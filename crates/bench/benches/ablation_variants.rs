@@ -1,0 +1,48 @@
+//! Timing benches for the DESIGN.md ablation variants — how much simulation
+//! time each design alternative costs (their *accuracy* deltas are produced
+//! by `experiments ablations`).
+
+use adavp_bench::ablations;
+use adavp_bench::context::ExperimentContext;
+use adavp_core::adaptation::AdaptationModel;
+use adavp_video::dataset::DatasetScale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn smoke_ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+    ctx.set_adaptation_model(AdaptationModel::default_model());
+    ctx.test_clips();
+    ctx.limit_test_clips(3);
+    ctx
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    c.bench_function("ablation_parallelism", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| ablations::parallelism(black_box(&mut ctx)))
+    });
+
+    c.bench_function("ablation_frame_selection", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| ablations::frame_selection(black_box(&mut ctx)))
+    });
+
+    c.bench_function("ablation_flow_points", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| ablations::flow_points(black_box(&mut ctx)))
+    });
+
+    c.bench_function("ablation_adaptation", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| ablations::adaptation_signal(black_box(&mut ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = ablation_benches
+}
+criterion_main!(benches);

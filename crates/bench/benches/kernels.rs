@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the hot kernels: the real CV code (Shi-Tomasi,
+//! pyramidal LK, rasterizer), the simulated detector, and Hungarian
+//! matching. These are the operations Table II budgets on the TX2; here we
+//! measure what this reproduction actually costs per call.
+
+use adavp_core::tracker::{ObjectTracker, TrackerConfig};
+use adavp_detector::{Detector, DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp_metrics::matching::{match_boxes, Matcher};
+use adavp_video::clip::VideoClip;
+use adavp_video::object::ObjectClass;
+use adavp_video::render::Renderer;
+use adavp_video::scenario::Scenario;
+use adavp_video::world::World;
+use adavp_vision::features::{good_features_to_track, GoodFeaturesParams};
+use adavp_vision::flow::{LkParams, PyramidalLk};
+use adavp_vision::geometry::{BoundingBox, Point2};
+use adavp_vision::pyramid::Pyramid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_clip() -> VideoClip {
+    let spec = Scenario::Highway.spec();
+    VideoClip::generate("bench", &spec, 3, 8)
+}
+
+fn kernels(c: &mut Criterion) {
+    let clip = bench_clip();
+    let img0 = &clip.frame(0).image;
+    let img1 = &clip.frame(1).image;
+    let boxes: Vec<BoundingBox> = clip.frame(0).ground_truth.iter().map(|g| g.bbox).collect();
+
+    c.bench_function("shi_tomasi_640x360_masked", |b| {
+        let params = GoodFeaturesParams::default();
+        b.iter(|| good_features_to_track(black_box(img0), &params, Some(&boxes)))
+    });
+
+    c.bench_function("pyramid_build_640x360_4_levels", |b| {
+        b.iter(|| Pyramid::build(black_box(img0), 4))
+    });
+
+    c.bench_function("lucas_kanade_30_points", |b| {
+        let lk = PyramidalLk::new(LkParams {
+            pyramid_levels: 4,
+            ..LkParams::default()
+        });
+        let pts: Vec<Point2> = (0..30)
+            .map(|i| Point2::new(60.0 + (i % 6) as f32 * 80.0, 60.0 + (i / 6) as f32 * 50.0))
+            .collect();
+        let p0 = Pyramid::build(img0, 4);
+        let p1 = Pyramid::build(img1, 4);
+        b.iter(|| lk.track_pyramids(black_box(&p0), black_box(&p1), &pts))
+    });
+
+    c.bench_function("tracker_step_real_frame", |b| {
+        let pairs: Vec<_> = clip
+            .frame(0)
+            .ground_truth
+            .iter()
+            .map(|g| (g.class, g.bbox))
+            .collect();
+        b.iter_with_setup(
+            || {
+                let mut t = ObjectTracker::new(TrackerConfig::default());
+                t.reset(img0, &pairs);
+                t
+            },
+            |mut t| {
+                t.step(black_box(img1), 1);
+                t
+            },
+        )
+    });
+
+    c.bench_function("render_frame_640x360", |b| {
+        let spec = Scenario::Highway.spec();
+        let world = World::new(spec.clone(), 9);
+        let renderer = Renderer::new(spec.width, spec.height, 9, spec.noise_amp);
+        b.iter(|| renderer.render(black_box(&world)))
+    });
+
+    c.bench_function("simulated_detect_608", |b| {
+        let mut det = SimulatedDetector::new(DetectorConfig::default());
+        b.iter(|| det.detect(black_box(clip.frame(0)), ModelSetting::Yolo608))
+    });
+
+    c.bench_function("hungarian_match_10x10", |b| {
+        let mk = |off: f32| -> Vec<(ObjectClass, BoundingBox)> {
+            (0..10)
+                .map(|i| {
+                    (
+                        ObjectClass::Car,
+                        BoundingBox::new(i as f32 * 30.0 + off, 40.0 + off, 28.0, 20.0),
+                    )
+                })
+                .collect()
+        };
+        let preds = mk(3.0);
+        let gts = mk(0.0);
+        b.iter(|| match_boxes(black_box(&preds), black_box(&gts), 0.3, Matcher::Hungarian))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! One bench target per paper table/figure, at smoke scale.
+//!
+//! `cargo bench` times a reduced version of each experiment end-to-end; the
+//! full regeneration (with printed tables and CSVs) is
+//! `cargo run --release -p adavp-bench --bin experiments -- all`.
+
+use adavp_bench::context::ExperimentContext;
+use adavp_bench::{figures, tables};
+use adavp_core::adaptation::AdaptationModel;
+use adavp_video::dataset::DatasetScale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn smoke_ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+    // Skip threshold training inside the timing loop; the trained model is
+    // exercised by the experiments binary and integration tests.
+    ctx.set_adaptation_model(AdaptationModel::default_model());
+    // Pre-render the clips so the benches time the experiment, not the
+    // rasterizer, and bound per-iteration cost to a 3-video subset.
+    ctx.test_clips();
+    ctx.limit_test_clips(3);
+    ctx
+}
+
+fn figures_benches(c: &mut Criterion) {
+    c.bench_function("fig1_detector_sweep", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig1(black_box(&mut ctx), 100))
+    });
+
+    c.bench_function("fig2_tracking_decay", |b| {
+        b.iter(|| figures::fig2(black_box(12), 1))
+    });
+
+    c.bench_function("table2_latency_components", |b| b.iter(tables::table2));
+
+    c.bench_function("fig5_mpdt_320_vs_608_trace", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig5(black_box(&mut ctx), 24))
+    });
+
+    c.bench_function("fig6_overall_comparison", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig6(black_box(&mut ctx)))
+    });
+
+    c.bench_function("fig7_switch_cdf", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig7(black_box(&mut ctx)))
+    });
+
+    c.bench_function("fig8_setting_usage", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig8(black_box(&mut ctx)))
+    });
+
+    c.bench_function("fig9_adavp_vs_mpdt512_trace", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig9(black_box(&mut ctx)))
+    });
+
+    c.bench_function("fig10_f1_threshold_sensitivity", |b| {
+        let mut ctx = smoke_ctx();
+        let results = figures::fig6(&mut ctx);
+        b.iter(|| figures::fig10(black_box(&results)))
+    });
+
+    c.bench_function("fig11_iou_threshold_sensitivity", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| figures::fig11(black_box(&mut ctx)))
+    });
+
+    c.bench_function("table3_energy_accuracy", |b| {
+        let mut ctx = smoke_ctx();
+        b.iter(|| tables::table3(black_box(&mut ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = figures_benches
+}
+criterion_main!(benches);

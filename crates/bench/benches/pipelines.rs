@@ -1,0 +1,84 @@
+//! Whole-pipeline benchmarks: how long does it take to *simulate* each
+//! system over a two-second clip? (The pipelines run in virtual time; this
+//! measures the reproduction's own throughput — relevant for scaling the
+//! experiment sweep.)
+
+use adavp_core::adaptation::AdaptationModel;
+use adavp_core::pipeline::{
+    DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
+    SettingPolicy, VideoProcessor,
+};
+use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp_video::clip::VideoClip;
+use adavp_video::scenario::Scenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn clip() -> VideoClip {
+    let mut spec = Scenario::Highway.spec();
+    spec.width = 320;
+    spec.height = 180;
+    VideoClip::generate("pipe-bench", &spec, 5, 60)
+}
+
+fn pipelines(c: &mut Criterion) {
+    let clip = clip();
+    let det = || SimulatedDetector::new(DetectorConfig::default());
+
+    c.bench_function("mpdt_512_60_frames", |b| {
+        b.iter(|| {
+            let mut p = MpdtPipeline::new(
+                det(),
+                SettingPolicy::Fixed(ModelSetting::Yolo512),
+                PipelineConfig::default(),
+            );
+            p.process(black_box(&clip))
+        })
+    });
+
+    c.bench_function("adavp_60_frames", |b| {
+        b.iter(|| {
+            let mut p = MpdtPipeline::new(
+                det(),
+                SettingPolicy::Adaptive(AdaptationModel::default_model()),
+                PipelineConfig::default(),
+            );
+            p.process(black_box(&clip))
+        })
+    });
+
+    c.bench_function("marlin_512_60_frames", |b| {
+        b.iter(|| {
+            let mut p = MarlinPipeline::new(
+                det(),
+                ModelSetting::Yolo512,
+                PipelineConfig::default(),
+                MarlinConfig::default(),
+            );
+            p.process(black_box(&clip))
+        })
+    });
+
+    c.bench_function("detector_only_512_60_frames", |b| {
+        b.iter(|| {
+            let mut p =
+                DetectorOnlyPipeline::new(det(), ModelSetting::Yolo512, PipelineConfig::default());
+            p.process(black_box(&clip))
+        })
+    });
+
+    c.bench_function("clip_generation_60_frames_320x180", |b| {
+        let mut spec = Scenario::Highway.spec();
+        spec.width = 320;
+        spec.height = 180;
+        b.iter(|| VideoClip::generate("gen", black_box(&spec), 7, 60))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = pipelines
+}
+criterion_main!(benches);

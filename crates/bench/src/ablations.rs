@@ -1,0 +1,280 @@
+//! Ablations of AdaVP's design choices (DESIGN.md §6).
+//!
+//! Each ablation swaps one mechanism for an alternative and measures the
+//! dataset accuracy delta:
+//!
+//! * **parallelism** — MPDT vs MARLIN at the same setting (also Fig. 6);
+//! * **tracking-frame selection** — the paper's adaptive fraction `p` vs
+//!   plan-everything-and-cancel;
+//! * **flow points** — one-point-per-box (the paper's latency trick) vs
+//!   mean-of-all-features;
+//! * **adaptation signal** — velocity-threshold switching vs fixed settings
+//!   vs content-blind cycling;
+//! * **per-setting thresholds** — the paper's per-current-setting threshold
+//!   rows vs one shared row.
+
+use crate::context::ExperimentContext;
+use crate::runner::{run_scheme, Scheme};
+use adavp_core::adaptation::AdaptationModel;
+use adavp_core::eval::evaluate_on_clip;
+use adavp_core::pipeline::{
+    MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig, SettingPolicy,
+};
+use adavp_core::tracker::{FeatureDetectorKind, FlowPoints};
+use adavp_detector::{ModelSetting, SimulatedDetector};
+use adavp_metrics::video::dataset_accuracy;
+
+/// One ablation outcome: variant label → dataset accuracy.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Dataset accuracy under this variant.
+    pub accuracy: f64,
+}
+
+fn run_config(
+    ctx: &mut ExperimentContext,
+    label: &str,
+    policy: SettingPolicy,
+    pipeline: PipelineConfig,
+) -> AblationRow {
+    let eval = ctx.eval;
+    let det = ctx.detector.clone();
+    let clips = ctx.test_clips().to_vec();
+    let mut per_video = Vec::new();
+    for clip in &clips {
+        let mut p = MpdtPipeline::new(
+            SimulatedDetector::new(det.clone()),
+            policy.clone(),
+            pipeline.clone(),
+        );
+        per_video.push(evaluate_on_clip(&mut p, clip, &eval).accuracy);
+    }
+    AblationRow {
+        variant: label.to_string(),
+        accuracy: dataset_accuracy(&per_video),
+    }
+}
+
+/// Adaptive tracking-frame selection vs plan-all-and-cancel.
+pub fn frame_selection(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let base = ctx.pipeline.clone();
+    let mut no_adapt = base.clone();
+    no_adapt.adaptive_selection = false;
+    vec![
+        run_config(
+            ctx,
+            "adaptive fraction p (paper)",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            base,
+        ),
+        run_config(
+            ctx,
+            "plan all, rely on cancel",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            no_adapt,
+        ),
+    ]
+}
+
+/// One-point-per-box vs mean-of-features box motion.
+pub fn flow_points(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let mut one = ctx.pipeline.clone();
+    one.tracker.flow_points = FlowPoints::OnePerBox;
+    let mut mean = ctx.pipeline.clone();
+    mean.tracker.flow_points = FlowPoints::MeanOfBox;
+    vec![
+        run_config(
+            ctx,
+            "one point per box (paper)",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            one,
+        ),
+        run_config(
+            ctx,
+            "mean of all features",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            mean,
+        ),
+    ]
+}
+
+/// Shi-Tomasi vs FAST corner seeding (the paper evaluated both before
+/// picking Shi-Tomasi).
+pub fn feature_detector(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let mut shi = ctx.pipeline.clone();
+    shi.tracker.detector = FeatureDetectorKind::ShiTomasi;
+    let mut fast = ctx.pipeline.clone();
+    fast.tracker.detector = FeatureDetectorKind::Fast;
+    vec![
+        run_config(
+            ctx,
+            "Shi-Tomasi good features (paper)",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            shi,
+        ),
+        run_config(
+            ctx,
+            "FAST-9 corners",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            fast,
+        ),
+    ]
+}
+
+/// Translate-only boxes (paper) vs feature-spread scale estimation
+/// (extension).
+pub fn scale_estimation(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let base = ctx.pipeline.clone();
+    let mut scaled = ctx.pipeline.clone();
+    scaled.tracker.estimate_scale = true;
+    vec![
+        run_config(
+            ctx,
+            "translate-only boxes (paper)",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            base,
+        ),
+        run_config(
+            ctx,
+            "feature-spread scale estimation",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            scaled,
+        ),
+    ]
+}
+
+/// Frozen stale boxes (paper) vs dead-reckoning coasting (extension).
+pub fn dead_reckoning(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let base = ctx.pipeline.clone();
+    let mut coast = ctx.pipeline.clone();
+    coast.tracker.dead_reckoning = true;
+    vec![
+        run_config(
+            ctx,
+            "freeze stale boxes (paper)",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            base,
+        ),
+        run_config(
+            ctx,
+            "dead-reckoning coast",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            coast,
+        ),
+    ]
+}
+
+/// Velocity-driven adaptation vs fixed vs content-blind cycling.
+pub fn adaptation_signal(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let model = ctx.adaptation_model();
+    let base = ctx.pipeline.clone();
+    vec![
+        run_config(
+            ctx,
+            "velocity thresholds (AdaVP)",
+            SettingPolicy::Adaptive(model),
+            base.clone(),
+        ),
+        run_config(
+            ctx,
+            "fixed 512",
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            base.clone(),
+        ),
+        run_config(ctx, "content-blind cycling", SettingPolicy::Cycling, base),
+    ]
+}
+
+/// Per-current-setting threshold rows vs a single shared row.
+pub fn threshold_sharing(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let per_setting = ctx.adaptation_model();
+    let shared = AdaptationModel::uniform(per_setting.thresholds_for(ModelSetting::Yolo512));
+    let base = ctx.pipeline.clone();
+    vec![
+        run_config(
+            ctx,
+            "per-setting thresholds (paper)",
+            SettingPolicy::Adaptive(per_setting),
+            base.clone(),
+        ),
+        run_config(
+            ctx,
+            "shared thresholds",
+            SettingPolicy::Adaptive(shared),
+            base,
+        ),
+    ]
+}
+
+/// Sweeps MARLIN's content-change trigger threshold, returning
+/// `(threshold, accuracy)` — how the paper picked its detector trigger.
+pub fn marlin_trigger_sweep(ctx: &mut ExperimentContext, thresholds: &[f64]) -> Vec<(f64, f64)> {
+    let eval = ctx.eval;
+    let det = ctx.detector.clone();
+    let pipe = ctx.pipeline.clone();
+    let clips = ctx.test_clips().to_vec();
+    thresholds
+        .iter()
+        .map(|&t| {
+            let mut per_video = Vec::new();
+            for clip in &clips {
+                let mut p = MarlinPipeline::new(
+                    SimulatedDetector::new(det.clone()),
+                    ModelSetting::Yolo512,
+                    pipe.clone(),
+                    MarlinConfig {
+                        trigger_velocity: t,
+                        ..MarlinConfig::default()
+                    },
+                );
+                per_video.push(evaluate_on_clip(&mut p, clip, &eval).accuracy);
+            }
+            (t, dataset_accuracy(&per_video))
+        })
+        .collect()
+}
+
+/// Parallel (MPDT) vs sequential (MARLIN) at every setting.
+pub fn parallelism(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
+    let eval = ctx.eval;
+    let det = ctx.detector.clone();
+    let pipe = ctx.pipeline.clone();
+    let clips = ctx.test_clips().to_vec();
+    let mut rows = Vec::new();
+    for s in [ModelSetting::Yolo512] {
+        for scheme in [Scheme::Mpdt(s), Scheme::Marlin(s)] {
+            let r = run_scheme(&scheme, &clips, &det, &pipe, &eval);
+            rows.push(AblationRow {
+                variant: r.label,
+                accuracy: r.accuracy,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adavp_video::dataset::DatasetScale;
+
+    #[test]
+    fn ablations_run_at_smoke_scale() {
+        let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+        ctx.set_adaptation_model(AdaptationModel::default_model());
+        let fs = frame_selection(&mut ctx);
+        assert_eq!(fs.len(), 2);
+        for r in fs.iter().chain(&flow_points(&mut ctx)) {
+            assert!(
+                (0.0..=1.0).contains(&r.accuracy),
+                "{}: {}",
+                r.variant,
+                r.accuracy
+            );
+        }
+        let sweep = marlin_trigger_sweep(&mut ctx, &[1.0, 3.0]);
+        assert_eq!(sweep.len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared experiment context: datasets, evaluation config, and the trained
+//! adaptation model (computed once, reused by every figure).
+
+use adavp_core::adaptation::{train_adaptation_model, AdaptationModel, TrainerConfig};
+use adavp_core::eval::EvalConfig;
+use adavp_core::pipeline::PipelineConfig;
+use adavp_detector::DetectorConfig;
+use adavp_video::clip::VideoClip;
+use adavp_video::dataset::{testing_set, training_set, DatasetScale};
+
+/// Everything an experiment needs. Construct once per run; clips and the
+/// trained model are generated lazily and cached.
+pub struct ExperimentContext {
+    /// Dataset scale (frames per video).
+    pub scale: DatasetScale,
+    /// Scoring configuration (paper defaults).
+    pub eval: EvalConfig,
+    /// Detector error-model configuration shared by all schemes.
+    pub detector: DetectorConfig,
+    /// Pipeline configuration shared by all schemes.
+    pub pipeline: PipelineConfig,
+    test_clips: Option<Vec<VideoClip>>,
+    train_clips: Option<Vec<VideoClip>>,
+    model: Option<AdaptationModel>,
+}
+
+impl ExperimentContext {
+    /// Creates a context at the given dataset scale with paper-default
+    /// evaluation settings.
+    pub fn new(scale: DatasetScale) -> Self {
+        Self {
+            scale,
+            eval: EvalConfig::default(),
+            detector: DetectorConfig::default(),
+            pipeline: PipelineConfig::default(),
+            test_clips: None,
+            train_clips: None,
+            model: None,
+        }
+    }
+
+    /// The 13-video testing set (rendered on first use).
+    pub fn test_clips(&mut self) -> &[VideoClip] {
+        if self.test_clips.is_none() {
+            self.test_clips = Some(
+                testing_set(self.scale)
+                    .iter()
+                    .map(|v| v.generate())
+                    .collect(),
+            );
+        }
+        self.test_clips.as_deref().expect("just generated")
+    }
+
+    /// The 32-video training set (rendered on first use).
+    pub fn train_clips(&mut self) -> &[VideoClip] {
+        if self.train_clips.is_none() {
+            self.train_clips = Some(
+                training_set(self.scale)
+                    .iter()
+                    .map(|v| v.generate())
+                    .collect(),
+            );
+        }
+        self.train_clips.as_deref().expect("just generated")
+    }
+
+    /// The adaptation model trained on the training set (trained on first
+    /// use; this is the expensive step — 4 MPDT runs per training video).
+    pub fn adaptation_model(&mut self) -> AdaptationModel {
+        if self.model.is_none() {
+            let cfg = TrainerConfig {
+                eval: self.eval,
+                detector: self.detector.clone(),
+                pipeline: self.pipeline.clone(),
+                ..TrainerConfig::default()
+            };
+            // Borrow dance: render training clips first.
+            self.train_clips();
+            let clips = self.train_clips.as_deref().expect("just generated");
+            self.model = Some(train_adaptation_model(clips, &cfg));
+            // The training corpus is large at full scale; free it once the
+            // model exists (regenerated on demand if needed again).
+            self.train_clips = None;
+        }
+        self.model.clone().expect("just trained")
+    }
+
+    /// Keeps only the first `n` test videos — used by timing benches to
+    /// bound per-iteration cost. No effect if clips are not yet rendered
+    /// with fewer than `n` entries.
+    pub fn limit_test_clips(&mut self, n: usize) {
+        self.test_clips();
+        if let Some(clips) = &mut self.test_clips {
+            clips.truncate(n);
+        }
+    }
+
+    /// Overrides the adaptation model (e.g. to skip training in smoke runs).
+    pub fn set_adaptation_model(&mut self, model: AdaptationModel) {
+        self.model = Some(model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clips_cached() {
+        let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+        let a = ctx.test_clips().len();
+        let b = ctx.test_clips().len();
+        assert_eq!(a, 13);
+        assert_eq!(a, b);
+        assert_eq!(ctx.train_clips().len(), 32);
+    }
+
+    #[test]
+    fn model_override_respected() {
+        let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+        let m = AdaptationModel::uniform([1.0, 2.0, 3.0]);
+        ctx.set_adaptation_model(m.clone());
+        assert_eq!(ctx.adaptation_model(), m);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table rendering and CSV output for the experiments binary.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders an aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use adavp_bench::report::text_table;
+/// let t = text_table(&["name", "value"], &[vec!["a".into(), "1".into()]]);
+/// assert!(t.contains("name"));
+/// assert!(t.contains("a"));
+/// ```
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, width) in widths.iter().enumerate().take(cols) {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            let _ = write!(out, "| {:w$} ", cell, w = width);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Writes rows as CSV (naive quoting: cells containing commas or quotes are
+/// double-quoted).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating parent directories or writing.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        // Each line has the same width.
+        let lens: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let dir = std::env::temp_dir().join("adavp_report_test");
+        let path = dir.join("x.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["he,llo".into(), "wo\"rld".into()]],
+        )
+        .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"he,llo\""));
+        assert!(content.contains("\"wo\"\"rld\""));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+    }
+}

@@ -1,0 +1,175 @@
+//! Scheme construction and dataset sweeps shared by the experiments.
+
+use adavp_core::adaptation::AdaptationModel;
+use adavp_core::eval::{evaluate_on_clip, EvalConfig, VideoEvaluation};
+use adavp_core::pipeline::{
+    ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
+    PipelineConfig, SettingPolicy, VideoProcessor,
+};
+use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp_metrics::video::dataset_accuracy;
+use adavp_sim::energy::EnergyBreakdown;
+use adavp_video::clip::VideoClip;
+
+/// A named processing scheme under evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// AdaVP with a trained adaptation model.
+    AdaVp(AdaptationModel),
+    /// MPDT with a fixed setting.
+    Mpdt(ModelSetting),
+    /// MARLIN (sequential) with a fixed setting.
+    Marlin(ModelSetting),
+    /// Detection only, newest frame, hold between detections.
+    WithoutTracking(ModelSetting),
+    /// Detect every frame, ignoring real time (Table III bound).
+    Continuous(ModelSetting),
+}
+
+impl Scheme {
+    /// The scheme's display label (matches the paper's column names).
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::AdaVp(_) => "AdaVP".to_string(),
+            Scheme::Mpdt(s) => format!("MPDT-{s}"),
+            Scheme::Marlin(s) => format!("MARLIN-{s}"),
+            Scheme::WithoutTracking(s) => format!("WithoutTracking-{s}"),
+            Scheme::Continuous(s) => format!("{s} (continuous)"),
+        }
+    }
+
+    /// Builds a runnable pipeline for this scheme.
+    pub fn build(
+        &self,
+        detector: DetectorConfig,
+        pipeline: PipelineConfig,
+    ) -> Box<dyn VideoProcessor> {
+        let det = SimulatedDetector::new(detector);
+        match self {
+            Scheme::AdaVp(model) => Box::new(MpdtPipeline::new(
+                det,
+                SettingPolicy::Adaptive(model.clone()),
+                pipeline,
+            )),
+            Scheme::Mpdt(s) => Box::new(MpdtPipeline::new(det, SettingPolicy::Fixed(*s), pipeline)),
+            Scheme::Marlin(s) => Box::new(MarlinPipeline::new(
+                det,
+                *s,
+                pipeline,
+                MarlinConfig::default(),
+            )),
+            Scheme::WithoutTracking(s) => Box::new(DetectorOnlyPipeline::new(det, *s, pipeline)),
+            Scheme::Continuous(s) => Box::new(ContinuousPipeline::new(det, *s, pipeline)),
+        }
+    }
+}
+
+/// Aggregated result of one scheme over a dataset.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Scheme label.
+    pub label: String,
+    /// Per-video accuracy (fraction of frames with F1 ≥ α).
+    pub per_video_accuracy: Vec<f64>,
+    /// Dataset accuracy (mean of per-video).
+    pub accuracy: f64,
+    /// Total energy over the dataset.
+    pub energy: EnergyBreakdown,
+    /// Mean processing-time / video-duration ratio.
+    pub latency_multiplier: f64,
+    /// Per-video evaluations (traces + frame scores), for detail figures.
+    pub evaluations: Vec<VideoEvaluation>,
+}
+
+/// Runs one scheme over every clip and aggregates.
+pub fn run_scheme(
+    scheme: &Scheme,
+    clips: &[VideoClip],
+    detector: &DetectorConfig,
+    pipeline: &PipelineConfig,
+    eval: &EvalConfig,
+) -> SchemeResult {
+    let mut per_video = Vec::with_capacity(clips.len());
+    let mut evaluations = Vec::with_capacity(clips.len());
+    let mut energy = EnergyBreakdown::default();
+    let mut mult_sum = 0.0;
+    for clip in clips {
+        let mut p = scheme.build(detector.clone(), pipeline.clone());
+        let ev = evaluate_on_clip(p.as_mut(), clip, eval);
+        per_video.push(ev.accuracy);
+        energy = EnergyBreakdown {
+            gpu_wh: energy.gpu_wh + ev.trace.energy.gpu_wh,
+            cpu_wh: energy.cpu_wh + ev.trace.energy.cpu_wh,
+            soc_wh: energy.soc_wh + ev.trace.energy.soc_wh,
+            ddr_wh: energy.ddr_wh + ev.trace.energy.ddr_wh,
+        };
+        mult_sum += ev.trace.latency_multiplier(clip);
+        evaluations.push(ev);
+    }
+    SchemeResult {
+        label: scheme.label(),
+        accuracy: dataset_accuracy(&per_video),
+        per_video_accuracy: per_video,
+        energy,
+        latency_multiplier: mult_sum / clips.len().max(1) as f64,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adavp_video::scenario::Scenario;
+
+    fn clips() -> Vec<VideoClip> {
+        let mut spec = Scenario::Highway.spec();
+        spec.width = 200;
+        spec.height = 120;
+        spec.size_range = (18.0, 30.0);
+        vec![VideoClip::generate("a", &spec, 1, 45)]
+    }
+
+    #[test]
+    fn all_schemes_build_and_run() {
+        let clips = clips();
+        for scheme in [
+            Scheme::AdaVp(AdaptationModel::default_model()),
+            Scheme::Mpdt(ModelSetting::Yolo320),
+            Scheme::Marlin(ModelSetting::Yolo512),
+            Scheme::WithoutTracking(ModelSetting::Yolo608),
+            Scheme::Continuous(ModelSetting::Tiny320),
+        ] {
+            let r = run_scheme(
+                &scheme,
+                &clips,
+                &DetectorConfig::default(),
+                &PipelineConfig::default(),
+                &EvalConfig::default(),
+            );
+            assert_eq!(r.per_video_accuracy.len(), 1);
+            assert!(
+                (0.0..=1.0).contains(&r.accuracy),
+                "{}: {}",
+                r.label,
+                r.accuracy
+            );
+            assert!(r.energy.total_wh() > 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_are_paperlike() {
+        assert_eq!(
+            Scheme::Mpdt(ModelSetting::Yolo512).label(),
+            "MPDT-YOLOv3-512"
+        );
+        assert_eq!(
+            Scheme::Continuous(ModelSetting::Yolo320).label(),
+            "YOLOv3-320 (continuous)"
+        );
+        assert_eq!(
+            Scheme::AdaVp(AdaptationModel::default_model()).label(),
+            "AdaVP"
+        );
+    }
+}

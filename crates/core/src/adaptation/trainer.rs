@@ -1,0 +1,432 @@
+//! Offline threshold learning (§IV-D3).
+//!
+//! The paper's procedure, reproduced with one refinement:
+//!
+//! 1. Divide each training video into 1-second chunks.
+//! 2. Run MPDT with each of the 4 fixed settings independently over the
+//!    video; per chunk, record the mean detection accuracy under each
+//!    setting and the mean motion velocity under each setting.
+//! 3. Per current setting `s`, collect `(velocity measured under s,
+//!    per-setting chunk accuracies)` samples and fit the three thresholds.
+//!
+//! The paper fits thresholds as a hard classification problem (label = the
+//! best setting per chunk). With a finite corpus those labels are noisy —
+//! two settings within a hair of each other still cast full votes — so this
+//! implementation minimizes **regret** instead: assigning a chunk to setting
+//! `c` costs `best_f1 - f1_c`. Minimizing total regret over a contiguous
+//! 4-way partition of the velocity axis is solved exactly by dynamic
+//! programming over the velocity-sorted samples. With one-hot accuracies the
+//! objective degenerates to the paper's misclassification count.
+
+use crate::adaptation::model::AdaptationModel;
+use crate::eval::{ground_truth_boxes, score_trace, EvalConfig};
+use crate::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy, VideoProcessor};
+use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp_video::clip::VideoClip;
+use serde::{Deserialize, Serialize};
+
+/// One training sample for the threshold learner.
+///
+/// Classes are in *velocity order*: 0 = 608 (best for the slowest content) …
+/// 3 = 320 (best for the fastest content).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// Mean motion velocity of the chunk (px/frame), measured under the
+    /// current setting.
+    pub velocity: f64,
+    /// Mean chunk F1 under each class (velocity order).
+    pub f1_by_class: [f64; 4],
+}
+
+impl TrainingExample {
+    /// A hard-labeled example (the paper's original formulation): the best
+    /// class gets accuracy 1, all others 0.
+    pub fn hard(velocity: f64, best_class: usize) -> Self {
+        let mut f1 = [0.0; 4];
+        f1[best_class.min(3)] = 1.0;
+        Self {
+            velocity,
+            f1_by_class: f1,
+        }
+    }
+
+    /// The class with the highest accuracy (ties → lower class = heavier
+    /// setting).
+    pub fn best_class(&self) -> usize {
+        let mut best = 0;
+        for c in 1..4 {
+            if self.f1_by_class[c] > self.f1_by_class[best] + 1e-12 {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Regret of assigning this chunk to class `c`.
+    pub fn regret(&self, c: usize) -> f64 {
+        let best = self.f1_by_class[self.best_class()];
+        (best - self.f1_by_class[c.min(3)]).max(0.0)
+    }
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Chunk length in frames (paper: 1 second = 30 frames).
+    pub chunk_frames: usize,
+    /// Scoring configuration (ground truth, IoU).
+    pub eval: EvalConfig,
+    /// Detector error model used during training runs.
+    pub detector: DetectorConfig,
+    /// Pipeline configuration used during training runs.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            chunk_frames: 30,
+            eval: EvalConfig::default(),
+            detector: DetectorConfig::default(),
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Maps an adaptive setting to its velocity-order class
+/// (608 → 0, 512 → 1, 416 → 2, 320 → 3).
+fn setting_to_class(s: ModelSetting) -> usize {
+    3 - s.adaptive_index().expect("adaptive setting")
+}
+
+/// Optimally learns `(v1 <= v2 <= v3)` from samples by minimum-total-regret
+/// partition of the velocity axis into the four ordered classes.
+///
+/// Returns a default spread when `samples` is empty.
+pub fn learn_thresholds(samples: &[TrainingExample]) -> [f64; 3] {
+    if samples.is_empty() {
+        return [1.1, 2.6, 5.5];
+    }
+    let mut sorted: Vec<&TrainingExample> = samples.iter().collect();
+    sorted.sort_by(|a, b| a.velocity.total_cmp(&b.velocity));
+    let n = sorted.len();
+
+    // prefix[c][i] = total regret of assigning the first i samples to class c.
+    let mut prefix = vec![[0.0f64; 4]; n + 1];
+    for i in 0..n {
+        for (c, cell) in prefix[i].into_iter().enumerate().collect::<Vec<_>>() {
+            prefix[i + 1][c] = cell + sorted[i].regret(c);
+        }
+    }
+    let cost = |j: usize, i: usize, c: usize| prefix[i][c] - prefix[j][c];
+
+    // dp[c][i]: min regret assigning the first i samples to classes 0..=c,
+    // classes contiguous in velocity order. parent[c][i]: where class c starts.
+    let mut dp = vec![vec![f64::INFINITY; n + 1]; 4];
+    let mut parent = vec![vec![0usize; n + 1]; 4];
+    for (i, cell) in dp[0].iter_mut().enumerate() {
+        *cell = cost(0, i, 0);
+    }
+    for c in 1..4 {
+        for i in 0..=n {
+            for j in 0..=i {
+                let cand = dp[c - 1][j] + cost(j, i, c);
+                if cand < dp[c][i] {
+                    dp[c][i] = cand;
+                    parent[c][i] = j;
+                }
+            }
+        }
+    }
+
+    // Recover segment boundaries (start indices of classes 1, 2, 3).
+    let mut bounds = [0usize; 3];
+    let mut i = n;
+    for c in (1..4).rev() {
+        let j = parent[c][i];
+        bounds[c - 1] = j;
+        i = j;
+    }
+
+    let threshold_at = |b: usize| -> f64 {
+        if b == 0 {
+            sorted[0].velocity - 1e-6
+        } else if b >= n {
+            sorted[n - 1].velocity + 1e-6
+        } else {
+            (sorted[b - 1].velocity + sorted[b].velocity) / 2.0
+        }
+    };
+    let mut t = [
+        threshold_at(bounds[0]),
+        threshold_at(bounds[1]),
+        threshold_at(bounds[2]),
+    ];
+    // Guard monotonicity against duplicate velocities.
+    t[1] = t[1].max(t[0]);
+    t[2] = t[2].max(t[1]);
+    t
+}
+
+/// Collects per-current-setting training examples from one clip.
+///
+/// Returns `examples[si]` = chunk samples with velocity measured under
+/// `ModelSetting::ADAPTIVE[si]`.
+pub fn collect_examples(clip: &VideoClip, cfg: &TrainerConfig) -> [Vec<TrainingExample>; 4] {
+    let gt = ground_truth_boxes(clip, cfg.eval.ground_truth);
+    let chunk = cfg.chunk_frames.max(1);
+    let n_chunks = clip.len().div_ceil(chunk);
+    if n_chunks == 0 {
+        return [vec![], vec![], vec![], vec![]];
+    }
+
+    // Per setting: chunk-mean F1 and chunk-mean velocity.
+    let mut chunk_f1 = vec![[0.0f64; 4]; n_chunks]; // indexed by class
+    let mut chunk_vel = vec![[None::<f64>; 4]; n_chunks]; // indexed by setting
+    for (si, &setting) in ModelSetting::ADAPTIVE.iter().enumerate() {
+        let class = setting_to_class(setting);
+        let mut pipeline = MpdtPipeline::new(
+            SimulatedDetector::new(cfg.detector.clone()),
+            SettingPolicy::Fixed(setting),
+            cfg.pipeline.clone(),
+        );
+        let trace = pipeline.process(clip);
+        let scores = score_trace(&trace, &gt, cfg.eval.iou_threshold);
+        for (ci, window) in scores.chunks(chunk).enumerate() {
+            // Chunk accuracy uses the same statistic as the evaluation
+            // metric — the fraction of frames with F1 above the threshold —
+            // so the learner optimizes what the system is judged on.
+            let good = window
+                .iter()
+                .filter(|&&f| f >= cfg.eval.f1_threshold)
+                .count();
+            chunk_f1[ci][class] = good as f64 / window.len() as f64;
+        }
+        // Assign each cycle's velocity to the chunk holding its detected frame.
+        let mut sums = vec![(0.0f64, 0u32); n_chunks];
+        for cy in &trace.cycles {
+            if let Some(v) = cy.velocity {
+                let ci = (cy.detected_frame as usize / chunk).min(n_chunks - 1);
+                sums[ci].0 += v;
+                sums[ci].1 += 1;
+            }
+        }
+        let mut last = None;
+        for (ci, (s, c)) in sums.into_iter().enumerate() {
+            let v = if c > 0 { Some(s / c as f64) } else { last };
+            chunk_vel[ci][si] = v;
+            if v.is_some() {
+                last = v;
+            }
+        }
+    }
+
+    let mut out: [Vec<TrainingExample>; 4] = Default::default();
+    for ci in 0..n_chunks {
+        for si in 0..4 {
+            if let Some(v) = chunk_vel[ci][si] {
+                out[si].push(TrainingExample {
+                    velocity: v,
+                    f1_by_class: chunk_f1[ci],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Trains a full [`AdaptationModel`] from a set of training clips.
+pub fn train_adaptation_model(clips: &[VideoClip], cfg: &TrainerConfig) -> AdaptationModel {
+    let mut per_setting: [Vec<TrainingExample>; 4] = Default::default();
+    for clip in clips {
+        let ex = collect_examples(clip, cfg);
+        for (si, v) in ex.into_iter().enumerate() {
+            per_setting[si].extend(v);
+        }
+    }
+    let mut thresholds = [[0.0f64; 3]; 4];
+    for (si, samples) in per_setting.iter().enumerate() {
+        thresholds[si] = learn_thresholds(samples);
+    }
+    AdaptationModel::from_thresholds(thresholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(v: f64, c: usize) -> TrainingExample {
+        TrainingExample::hard(v, c)
+    }
+
+    #[test]
+    fn hard_example_accessors() {
+        let e = ex(2.0, 1);
+        assert_eq!(e.best_class(), 1);
+        assert_eq!(e.regret(1), 0.0);
+        assert_eq!(e.regret(0), 1.0);
+    }
+
+    #[test]
+    fn soft_example_regret() {
+        let e = TrainingExample {
+            velocity: 1.0,
+            f1_by_class: [0.8, 0.9, 0.5, 0.2],
+        };
+        assert_eq!(e.best_class(), 1);
+        assert!((e.regret(0) - 0.1).abs() < 1e-12);
+        assert_eq!(e.regret(1), 0.0);
+        assert!((e.regret(3) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learn_thresholds_separable_case() {
+        // Perfectly separable: class 0 at v<1, 1 at 1..2, 2 at 2..3, 3 at >3.
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            samples.push(ex(0.1 + i as f64 * 0.05, 0));
+            samples.push(ex(1.1 + i as f64 * 0.05, 1));
+            samples.push(ex(2.1 + i as f64 * 0.05, 2));
+            samples.push(ex(3.1 + i as f64 * 0.05, 3));
+        }
+        let t = learn_thresholds(&samples);
+        assert!(t[0] > 0.55 && t[0] < 1.1, "t1 = {}", t[0]);
+        assert!(t[1] > 1.55 && t[1] < 2.1, "t2 = {}", t[1]);
+        assert!(t[2] > 2.55 && t[2] < 3.1, "t3 = {}", t[2]);
+    }
+
+    #[test]
+    fn learn_thresholds_with_noise_is_still_ordered() {
+        let mut samples = Vec::new();
+        for i in 0..40 {
+            let v = i as f64 * 0.1;
+            let c = match v {
+                v if v < 1.0 => usize::from(i % 7 == 0),
+                v if v < 2.0 => 1 + usize::from(i % 5 == 0),
+                v if v < 3.0 => 2,
+                _ => 3 - usize::from(i % 6 == 0),
+            };
+            samples.push(ex(v, c));
+        }
+        let t = learn_thresholds(&samples);
+        assert!(t[0] <= t[1] && t[1] <= t[2]);
+    }
+
+    #[test]
+    fn near_tie_chunks_barely_influence_thresholds() {
+        // 30 decisive samples say "608 below v=2, 320 above"; 10 near-tie
+        // samples (all settings within 0.01) scattered arbitrarily must not
+        // move the boundary.
+        let mut samples = Vec::new();
+        for i in 0..15 {
+            samples.push(TrainingExample {
+                velocity: 0.5 + i as f64 * 0.09,
+                f1_by_class: [0.9, 0.6, 0.5, 0.4],
+            });
+            samples.push(TrainingExample {
+                velocity: 2.5 + i as f64 * 0.09,
+                f1_by_class: [0.3, 0.4, 0.5, 0.9],
+            });
+        }
+        for i in 0..10 {
+            samples.push(TrainingExample {
+                velocity: 0.3 + i as f64 * 0.35,
+                f1_by_class: [0.700, 0.701, 0.700, 0.701],
+            });
+        }
+        let t = learn_thresholds(&samples);
+        // All three boundaries lie in the decisive gap region (1.8..2.6).
+        assert!(t[0] > 1.7 && t[2] < 2.6, "thresholds {t:?} pulled by ties");
+    }
+
+    #[test]
+    fn learn_thresholds_single_class() {
+        let samples: Vec<_> = (0..10).map(|i| ex(i as f64 * 0.1, 0)).collect();
+        let t = learn_thresholds(&samples);
+        assert!(t[0] >= 0.9 - 1e-9, "t1 = {}", t[0]);
+        assert!(t[0] <= t[1] && t[1] <= t[2]);
+    }
+
+    #[test]
+    fn learn_thresholds_empty_gives_default() {
+        let t = learn_thresholds(&[]);
+        assert!(t[0] < t[1] && t[1] < t[2]);
+    }
+
+    #[test]
+    fn learn_thresholds_optimal_vs_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..14);
+            let samples: Vec<TrainingExample> = (0..n)
+                .map(|_| TrainingExample {
+                    velocity: rng.gen_range(0.0..5.0),
+                    f1_by_class: [
+                        rng.gen_range(0.0..1.0),
+                        rng.gen_range(0.0..1.0),
+                        rng.gen_range(0.0..1.0),
+                        rng.gen_range(0.0..1.0),
+                    ],
+                })
+                .collect();
+            let t = learn_thresholds(&samples);
+            let classify = |v: f64, t: &[f64; 3]| {
+                if v <= t[0] {
+                    0
+                } else if v <= t[1] {
+                    1
+                } else if v <= t[2] {
+                    2
+                } else {
+                    3
+                }
+            };
+            let regret = |t: &[f64; 3]| -> f64 {
+                samples
+                    .iter()
+                    .map(|s| s.regret(classify(s.velocity, t)))
+                    .sum()
+            };
+            let learned = regret(&t);
+            // Brute force over all boundary placements on sorted velocities.
+            let mut vs: Vec<f64> = samples.iter().map(|s| s.velocity).collect();
+            vs.sort_by(f64::total_cmp);
+            let mut cuts = vec![f64::NEG_INFINITY];
+            for w in vs.windows(2) {
+                cuts.push((w[0] + w[1]) / 2.0);
+            }
+            cuts.push(vs.last().unwrap() + 1.0);
+            let mut best = f64::INFINITY;
+            for a in 0..cuts.len() {
+                for b in a..cuts.len() {
+                    for c in b..cuts.len() {
+                        best = best.min(regret(&[cuts[a], cuts[b], cuts[c]]));
+                    }
+                }
+            }
+            assert!(
+                (learned - best).abs() < 1e-9,
+                "DP not optimal: {learned} vs {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn trainer_end_to_end_on_contrasting_clips() {
+        use adavp_video::scenario::Scenario;
+        let mk = |s: Scenario, seed| {
+            let mut spec = s.spec();
+            spec.width = 240;
+            spec.height = 140;
+            spec.size_range = (20.0, 36.0);
+            VideoClip::generate("train", &spec, seed, 90)
+        };
+        let clips = vec![mk(Scenario::Highway, 1), mk(Scenario::MeetingRoom, 2)];
+        let cfg = TrainerConfig::default();
+        let model = train_adaptation_model(&clips, &cfg);
+        let t = model.thresholds_for(ModelSetting::Yolo512);
+        assert!(t[0] <= t[1] && t[1] <= t[2]);
+    }
+}

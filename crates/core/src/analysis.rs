@@ -1,0 +1,276 @@
+//! Trace analysis: the statistics the evaluation figures are built from.
+//!
+//! [`CycleStats`] summarizes one [`ProcessingTrace`]; the free functions
+//! aggregate across traces (Fig. 7's switch-gap distribution, Fig. 8's
+//! setting-usage shares).
+
+use crate::pipeline::{FrameSource, ProcessingTrace};
+use adavp_detector::ModelSetting;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one pipeline trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Number of detection cycles.
+    pub cycles: usize,
+    /// Number of setting switches.
+    pub switches: usize,
+    /// Mean cycle duration (detection latency) in ms.
+    pub mean_cycle_ms: f64,
+    /// Mean number of frames buffered for the tracker per cycle.
+    pub mean_buffered: f64,
+    /// Mean number of frames the tracker processed per cycle.
+    pub mean_tracked: f64,
+    /// Mean measured content velocity (over cycles that measured one).
+    pub mean_velocity: Option<f64>,
+    /// Cycles spent at each adaptive setting (320/416/512/608 order).
+    pub usage: [usize; 4],
+    /// Fractions of frames by source: detected, tracked, held.
+    pub frame_sources: (f64, f64, f64),
+}
+
+impl CycleStats {
+    /// Fraction of tracker-planned frames that were actually tracked
+    /// (1.0 = the tracker always kept up).
+    pub fn tracking_completion(&self) -> f64 {
+        if self.mean_buffered <= 0.0 {
+            return 1.0;
+        }
+        (self.mean_tracked / self.mean_buffered).min(1.0)
+    }
+}
+
+/// Computes summary statistics for a trace.
+pub fn analyze(trace: &ProcessingTrace) -> CycleStats {
+    let n = trace.cycles.len();
+    let mut usage = [0usize; 4];
+    let mut dur = 0.0;
+    let mut buffered = 0.0;
+    let mut tracked = 0.0;
+    let mut vel_sum = 0.0;
+    let mut vel_n = 0usize;
+    for cy in &trace.cycles {
+        if let Some(i) = cy.setting.adaptive_index() {
+            usage[i] += 1;
+        }
+        dur += cy.end_ms - cy.start_ms;
+        buffered += cy.buffered as f64;
+        tracked += cy.tracked as f64;
+        if let Some(v) = cy.velocity {
+            vel_sum += v;
+            vel_n += 1;
+        }
+    }
+    let nf = n.max(1) as f64;
+    CycleStats {
+        cycles: n,
+        switches: trace.switch_count(),
+        mean_cycle_ms: dur / nf,
+        mean_buffered: buffered / nf,
+        mean_tracked: tracked / nf,
+        mean_velocity: if vel_n > 0 {
+            Some(vel_sum / vel_n as f64)
+        } else {
+            None
+        },
+        usage,
+        frame_sources: trace.source_fractions(),
+    }
+}
+
+/// Numbers of cycles between consecutive setting switches across traces
+/// (the sample Fig. 7 draws its CDF from). A gap of 1 means the system
+/// switched again on the very next cycle.
+pub fn switch_gaps<'a>(traces: impl IntoIterator<Item = &'a ProcessingTrace>) -> Vec<u32> {
+    let mut gaps = Vec::new();
+    for trace in traces {
+        let mut since = 0u32;
+        for cy in &trace.cycles {
+            since += 1;
+            if cy.switched {
+                gaps.push(since);
+                since = 0;
+            }
+        }
+    }
+    gaps
+}
+
+/// Fraction of detection cycles run at each adaptive setting across traces
+/// (Fig. 8). Sums to 1 when any adaptive-setting cycle exists.
+pub fn usage_shares<'a>(
+    traces: impl IntoIterator<Item = &'a ProcessingTrace>,
+) -> [(ModelSetting, f64); 4] {
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    for trace in traces {
+        for cy in &trace.cycles {
+            if let Some(i) = cy.setting.adaptive_index() {
+                counts[i] += 1;
+                total += 1;
+            }
+        }
+    }
+    let mut out = [(ModelSetting::Yolo320, 0.0); 4];
+    for (i, &s) in ModelSetting::ADAPTIVE.iter().enumerate() {
+        out[i] = (s, counts[i] as f64 / total.max(1) as f64);
+    }
+    out
+}
+
+/// Mean F1 per [`FrameSource`] given a trace and its per-frame scores —
+/// quantifies how much held frames cost relative to fresh detections.
+///
+/// Returns `(detected, tracked, held)` means; a source with no frames
+/// yields `None`.
+///
+/// # Panics
+///
+/// Panics if `frame_f1.len() != trace.outputs.len()`.
+pub fn f1_by_source(
+    trace: &ProcessingTrace,
+    frame_f1: &[f64],
+) -> (Option<f64>, Option<f64>, Option<f64>) {
+    assert_eq!(trace.outputs.len(), frame_f1.len(), "score/trace mismatch");
+    let mean_of = |src: FrameSource| {
+        let v: Vec<f64> = trace
+            .outputs
+            .iter()
+            .zip(frame_f1)
+            .filter(|(o, _)| o.source == src)
+            .map(|(_, &f)| f)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    };
+    (
+        mean_of(FrameSource::Detected),
+        mean_of(FrameSource::Tracked),
+        mean_of(FrameSource::Held),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{CycleRecord, FrameOutput};
+
+    fn cycle(idx: u32, setting: ModelSetting, switched: bool, vel: Option<f64>) -> CycleRecord {
+        CycleRecord {
+            index: idx,
+            detected_frame: idx as u64 * 10,
+            setting,
+            start_ms: idx as f64 * 400.0,
+            end_ms: idx as f64 * 400.0 + 390.0,
+            buffered: 9,
+            tracked: 3,
+            velocity: vel,
+            switched,
+        }
+    }
+
+    fn trace(cycles: Vec<CycleRecord>) -> ProcessingTrace {
+        ProcessingTrace {
+            pipeline: "t".into(),
+            outputs: vec![
+                FrameOutput {
+                    frame_index: 0,
+                    source: FrameSource::Detected,
+                    boxes: vec![],
+                    display_ms: 0.0,
+                },
+                FrameOutput {
+                    frame_index: 1,
+                    source: FrameSource::Held,
+                    boxes: vec![],
+                    display_ms: 0.0,
+                },
+            ],
+            cycles,
+            energy: Default::default(),
+            finished_ms: 0.0,
+            gpu_busy_ms: 0.0,
+            cpu_busy_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn analyze_basic_stats() {
+        let t = trace(vec![
+            cycle(0, ModelSetting::Yolo512, false, None),
+            cycle(1, ModelSetting::Yolo608, true, Some(1.0)),
+            cycle(2, ModelSetting::Yolo608, false, Some(3.0)),
+        ]);
+        let s = analyze(&t);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.switches, 1);
+        assert_eq!(s.usage, [0, 0, 1, 2]);
+        assert!((s.mean_cycle_ms - 390.0).abs() < 1e-9);
+        assert_eq!(s.mean_velocity, Some(2.0));
+        assert!((s.mean_buffered - 9.0).abs() < 1e-9);
+        assert!((s.tracking_completion() - 3.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_gap_extraction() {
+        let t = trace(vec![
+            cycle(0, ModelSetting::Yolo512, false, None),
+            cycle(1, ModelSetting::Yolo608, true, None),
+            cycle(2, ModelSetting::Yolo608, false, None),
+            cycle(3, ModelSetting::Yolo608, false, None),
+            cycle(4, ModelSetting::Yolo512, true, None),
+        ]);
+        let gaps = switch_gaps([&t]);
+        assert_eq!(gaps, vec![2, 3]);
+    }
+
+    #[test]
+    fn usage_shares_sum_to_one() {
+        let t = trace(vec![
+            cycle(0, ModelSetting::Yolo320, false, None),
+            cycle(1, ModelSetting::Yolo608, false, None),
+        ]);
+        let shares = usage_shares([&t]);
+        let sum: f64 = shares.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(shares[0].1, 0.5);
+        assert_eq!(shares[3].1, 0.5);
+    }
+
+    #[test]
+    fn f1_by_source_splits() {
+        let t = trace(vec![]);
+        let (d, tr, h) = f1_by_source(&t, &[0.9, 0.3]);
+        assert_eq!(d, Some(0.9));
+        assert_eq!(tr, None);
+        assert_eq!(h, Some(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "score/trace mismatch")]
+    fn f1_by_source_length_checked() {
+        let t = trace(vec![]);
+        let _ = f1_by_source(&t, &[0.9]);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = ProcessingTrace {
+            pipeline: "e".into(),
+            outputs: vec![],
+            cycles: vec![],
+            energy: Default::default(),
+            finished_ms: 0.0,
+            gpu_busy_ms: 0.0,
+            cpu_busy_ms: 0.0,
+        };
+        let s = analyze(&t);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.mean_velocity, None);
+        assert_eq!(s.tracking_completion(), 1.0);
+        assert!(switch_gaps([&t]).is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Trace serialization for external analysis and plotting.
+//!
+//! Writes a [`ProcessingTrace`] (plus optional per-frame scores) as JSON or
+//! CSV without any extra dependencies — the JSON writer covers exactly the
+//! shapes a trace contains and escapes strings per RFC 8259.
+
+use crate::pipeline::{FrameSource, ProcessingTrace};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for JSON (finite values only; NaN/inf become `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn source_str(s: FrameSource) -> &'static str {
+    match s {
+        FrameSource::Detected => "detected",
+        FrameSource::Tracked => "tracked",
+        FrameSource::Held => "held",
+    }
+}
+
+/// Serializes a trace (and optional per-frame F1 scores) to a JSON string.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "pipeline": "AdaVP",
+///   "energy": {"gpu_wh": ..., "cpu_wh": ..., "soc_wh": ..., "ddr_wh": ...},
+///   "finished_ms": ...,
+///   "cycles": [{"index": 0, "frame": 0, "setting": "YOLOv3-512", ...}, ...],
+///   "frames": [{"index": 0, "source": "detected", "boxes": [...], "f1": 1.0}, ...]
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `frame_f1` is `Some` and its length differs from the trace's.
+pub fn trace_to_json(trace: &ProcessingTrace, frame_f1: Option<&[f64]>) -> String {
+    if let Some(scores) = frame_f1 {
+        assert_eq!(
+            scores.len(),
+            trace.outputs.len(),
+            "frame_f1 length must match trace outputs"
+        );
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"pipeline\": \"{}\",", json_escape(&trace.pipeline));
+    let e = &trace.energy;
+    let _ = writeln!(
+        out,
+        "  \"energy\": {{\"gpu_wh\": {}, \"cpu_wh\": {}, \"soc_wh\": {}, \"ddr_wh\": {}, \"total_wh\": {}}},",
+        json_num(e.gpu_wh),
+        json_num(e.cpu_wh),
+        json_num(e.soc_wh),
+        json_num(e.ddr_wh),
+        json_num(e.total_wh()),
+    );
+    let _ = writeln!(out, "  \"finished_ms\": {},", json_num(trace.finished_ms));
+    let _ = writeln!(out, "  \"gpu_busy_ms\": {},", json_num(trace.gpu_busy_ms));
+    let _ = writeln!(out, "  \"cpu_busy_ms\": {},", json_num(trace.cpu_busy_ms));
+
+    out.push_str("  \"cycles\": [\n");
+    for (i, cy) in trace.cycles.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"index\": {}, \"frame\": {}, \"setting\": \"{}\", \"start_ms\": {}, \"end_ms\": {}, \"buffered\": {}, \"tracked\": {}, \"velocity\": {}, \"switched\": {}}}",
+            cy.index,
+            cy.detected_frame,
+            cy.setting,
+            json_num(cy.start_ms),
+            json_num(cy.end_ms),
+            cy.buffered,
+            cy.tracked,
+            cy.velocity.map(json_num).unwrap_or_else(|| "null".into()),
+            cy.switched,
+        );
+        out.push_str(if i + 1 < trace.cycles.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"frames\": [\n");
+    for (i, f) in trace.outputs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"index\": {}, \"source\": \"{}\", \"display_ms\": {}, \"boxes\": [",
+            f.frame_index,
+            source_str(f.source),
+            json_num(f.display_ms),
+        );
+        for (j, b) in f.boxes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"class\": \"{}\", \"left\": {}, \"top\": {}, \"width\": {}, \"height\": {}}}",
+                b.class,
+                json_num(b.bbox.left as f64),
+                json_num(b.bbox.top as f64),
+                json_num(b.bbox.width as f64),
+                json_num(b.bbox.height as f64),
+            );
+            if j + 1 < f.boxes.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push(']');
+        if let Some(scores) = frame_f1 {
+            let _ = write!(out, ", \"f1\": {}", json_num(scores[i]));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < trace.outputs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`trace_to_json`] output to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O error.
+pub fn write_trace_json(
+    trace: &ProcessingTrace,
+    frame_f1: Option<&[f64]>,
+    path: &Path,
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, trace_to_json(trace, frame_f1))
+}
+
+/// Writes per-frame `(index, source, boxes, f1)` rows as CSV.
+///
+/// # Errors
+///
+/// Propagates any I/O error.
+///
+/// # Panics
+///
+/// Panics if `frame_f1.len() != trace.outputs.len()`.
+pub fn write_frame_csv(trace: &ProcessingTrace, frame_f1: &[f64], path: &Path) -> io::Result<()> {
+    assert_eq!(frame_f1.len(), trace.outputs.len(), "score length mismatch");
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from("frame,source,boxes,f1\n");
+    for (f, &score) in trace.outputs.iter().zip(frame_f1) {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            f.frame_index,
+            source_str(f.source),
+            f.boxes.len(),
+            score
+        );
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{CycleRecord, FrameOutput};
+    use adavp_detector::ModelSetting;
+    use adavp_metrics::f1::LabeledBox;
+    use adavp_video::object::ObjectClass;
+    use adavp_vision::geometry::BoundingBox;
+
+    fn sample_trace() -> ProcessingTrace {
+        ProcessingTrace {
+            pipeline: "Ada\"VP\"".into(),
+            outputs: vec![
+                FrameOutput {
+                    frame_index: 0,
+                    source: FrameSource::Detected,
+                    boxes: vec![LabeledBox::new(
+                        ObjectClass::Car,
+                        BoundingBox::new(1.0, 2.0, 3.0, 4.0),
+                    )],
+                    display_ms: 400.0,
+                },
+                FrameOutput {
+                    frame_index: 1,
+                    source: FrameSource::Held,
+                    boxes: vec![],
+                    display_ms: 433.0,
+                },
+            ],
+            cycles: vec![CycleRecord {
+                index: 0,
+                detected_frame: 0,
+                setting: ModelSetting::Yolo512,
+                start_ms: 0.0,
+                end_ms: 390.0,
+                buffered: 0,
+                tracked: 0,
+                velocity: None,
+                switched: false,
+            }],
+            energy: Default::default(),
+            finished_ms: 433.0,
+            gpu_busy_ms: 390.0,
+            cpu_busy_ms: 43.0,
+        }
+    }
+
+    #[test]
+    fn json_structure_and_escaping() {
+        let trace = sample_trace();
+        let json = trace_to_json(&trace, Some(&[1.0, 0.5]));
+        assert!(json.contains("\"pipeline\": \"Ada\\\"VP\\\"\""));
+        assert!(json.contains("\"setting\": \"YOLOv3-512\""));
+        assert!(json.contains("\"velocity\": null"));
+        assert!(json.contains("\"source\": \"held\""));
+        assert!(json.contains("\"f1\": 0.5"));
+        assert!(json.contains("\"class\": \"car\""));
+        // Balanced braces / brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_without_scores_omits_f1() {
+        let trace = sample_trace();
+        let json = trace_to_json(&trace, None);
+        assert!(!json.contains("\"f1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "frame_f1 length")]
+    fn json_score_length_checked() {
+        let trace = sample_trace();
+        let _ = trace_to_json(&trace, Some(&[1.0]));
+    }
+
+    #[test]
+    fn escape_control_characters() {
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("t\tx"), "t\\tx");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+    }
+
+    #[test]
+    fn files_written() {
+        let dir = std::env::temp_dir().join("adavp_trace_export");
+        let _ = fs::remove_dir_all(&dir);
+        let trace = sample_trace();
+        write_trace_json(&trace, Some(&[1.0, 0.5]), &dir.join("t.json")).unwrap();
+        write_frame_csv(&trace, &[1.0, 0.5], &dir.join("t.csv")).unwrap();
+        let csv = fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(csv.starts_with("frame,source,boxes,f1\n"));
+        assert!(csv.contains("0,detected,1,1"));
+        assert!(csv.contains("1,held,0,0.5"));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,364 @@
+//! The MARLIN baseline (Apicharttrisorn et al., SenSys 2019) as described
+//! and re-implemented by the AdaVP paper (§II, §IV-B, §VI-A).
+//!
+//! MARLIN runs the detector and tracker **sequentially**: after a detection,
+//! the DNN stops and a lightweight tracker follows the detected objects
+//! frame-to-frame; the DNN is only triggered again when a content-change
+//! detector observes a significant scene change (here: the same feature
+//! motion velocity AdaVP uses, compared against a fixed threshold), or when
+//! the tracker has lost all its objects. While the DNN runs, the tracker is
+//! idle and arriving frames display stale boxes — the accumulated latency
+//! the paper identifies as MARLIN's weakness on fast scenes.
+
+use super::mpdt::{fill_held, finish_trace};
+use super::{
+    CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
+};
+use crate::tracker::ObjectTracker;
+use crate::velocity::VelocityEstimator;
+use adavp_detector::{DetectionResult, Detector, ModelSetting};
+use adavp_metrics::f1::LabeledBox;
+use adavp_sim::energy::{Activity, EnergyMeter};
+use adavp_sim::resource::Resource;
+use adavp_sim::time::SimTime;
+use adavp_video::buffer::FrameStream;
+use adavp_video::clip::VideoClip;
+
+/// MARLIN-specific configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarlinConfig {
+    /// Velocity (px/frame) above which the scene change triggers a new
+    /// detection. The paper tunes this "by a set of experiments to find a
+    /// motion velocity threshold that provides the best detection accuracy";
+    /// the default comes from our Fig. 6 sweep (see the bench crate).
+    pub trigger_velocity: f64,
+    /// Upper bound on frames tracked without any re-detection, so the
+    /// baseline cannot silently drift forever on static scenes.
+    pub max_cycle_frames: u64,
+}
+
+impl Default for MarlinConfig {
+    fn default() -> Self {
+        Self {
+            trigger_velocity: 0.5,
+            max_cycle_frames: 150,
+        }
+    }
+}
+
+/// The sequential detect-then-track baseline. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MarlinPipeline<D> {
+    detector: D,
+    setting: ModelSetting,
+    config: PipelineConfig,
+    marlin: MarlinConfig,
+}
+
+impl<D: Detector> MarlinPipeline<D> {
+    /// Creates a MARLIN baseline at a fixed model setting.
+    pub fn new(
+        detector: D,
+        setting: ModelSetting,
+        config: PipelineConfig,
+        marlin: MarlinConfig,
+    ) -> Self {
+        Self {
+            detector,
+            setting,
+            config,
+            marlin,
+        }
+    }
+}
+
+fn to_labeled(result: &DetectionResult) -> Vec<LabeledBox> {
+    result
+        .detections
+        .iter()
+        .map(|d| LabeledBox::new(d.class, d.bbox))
+        .collect()
+}
+
+impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
+    fn name(&self) -> String {
+        format!("MARLIN-{}", self.setting)
+    }
+
+    fn process(&mut self, clip: &VideoClip) -> ProcessingTrace {
+        let n = clip.len() as u64;
+        let mut outputs: Vec<Option<FrameOutput>> = vec![None; clip.len()];
+        let mut cycles = Vec::new();
+        let mut gpu = Resource::new("gpu");
+        let mut cpu = Resource::new("cpu");
+        let mut meter = EnergyMeter::new();
+        if n == 0 {
+            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu);
+        }
+        let stream = FrameStream::new(clip);
+        let lat = self.config.latency;
+        let mut tracker = ObjectTracker::new(self.config.tracker.clone());
+        let mut vel = VelocityEstimator::new();
+
+        let mut detect_at: u64 = 0;
+        let mut cursor = SimTime::ZERO;
+
+        'run: loop {
+            // ---- Detection phase (tracker idle). ------------------------
+            let det = self.detector.detect(stream.frame(detect_at), self.setting);
+            let arrival = SimTime::from_ms(stream.arrival_ms(detect_at));
+            let (ds, de) = gpu.schedule(cursor.max(arrival), SimTime::from_ms(det.latency_ms));
+            meter.record(
+                Activity::Detect {
+                    input_size: self.setting.input_size(),
+                    tiny: self.setting == ModelSetting::Tiny320,
+                },
+                de - ds,
+            );
+            let boxes = to_labeled(&det);
+            let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
+            let (_, ov_end) = cpu.schedule(de, overlay);
+            meter.record(Activity::Overlay, overlay);
+            outputs[detect_at as usize] = Some(FrameOutput {
+                frame_index: detect_at,
+                source: FrameSource::Detected,
+                boxes: boxes.clone(),
+                display_ms: ov_end.as_ms(),
+            });
+            cycles.push(CycleRecord {
+                index: cycles.len() as u32,
+                detected_frame: detect_at,
+                setting: self.setting,
+                start_ms: ds.as_ms(),
+                end_ms: de.as_ms(),
+                buffered: 0,
+                tracked: 0,
+                velocity: vel.effective_velocity(),
+                switched: false,
+            });
+            if detect_at == n - 1 {
+                break 'run;
+            }
+
+            // ---- Tracking phase (detector idle). -------------------------
+            vel.start_cycle();
+            let fe = SimTime::from_ms(lat.feature_extraction_ms);
+            let (_, fe_end) = cpu.schedule(ov_end, fe);
+            meter.record(Activity::FeatureExtraction, fe);
+            let pairs: Vec<_> = boxes.iter().map(|l| (l.class, l.bbox)).collect();
+            tracker.reset(&stream.frame(detect_at).image, &pairs);
+
+            let cycle_start_frame = detect_at;
+            let mut last_processed = detect_at;
+            let mut tracked_count = 0u32;
+            cursor = fe_end;
+            let mut trigger = false;
+            while !trigger {
+                // Track the newest captured frame (implicit frame selection:
+                // the tracker keeps pace with the camera by skipping).
+                let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
+                let next = newest.max(last_processed + 1);
+                if next >= n {
+                    break;
+                }
+                let arrive = SimTime::from_ms(stream.arrival_ms(next));
+                let objs = tracker.boxes().len();
+                let track = SimTime::from_ms(lat.track_ms(objs));
+                let draw = SimTime::from_ms(lat.overlay_ms(objs));
+                let (_, te) = cpu.schedule(cursor.max(arrive), track + draw);
+                meter.record(Activity::Tracking, track);
+                meter.record(Activity::Overlay, draw);
+                let stats = tracker.step(&stream.frame(next).image, (next - last_processed) as u32);
+                let mut step_velocity = None;
+                if let Some(s) = stats {
+                    if let Some(v) = s.mean_velocity {
+                        vel.record(v);
+                        step_velocity = Some(v);
+                    }
+                }
+                // Skipped frames inherit.
+                let gap: Vec<u64> = (last_processed + 1..next).collect();
+                fill_held(
+                    &mut outputs,
+                    &gap,
+                    &boxes,
+                    ov_end,
+                    &stream,
+                    lat.held_frame_ms,
+                    &mut meter,
+                );
+                outputs[next as usize] = Some(FrameOutput {
+                    frame_index: next,
+                    source: FrameSource::Tracked,
+                    boxes: tracker
+                        .current_boxes()
+                        .into_iter()
+                        .map(|(c, b)| LabeledBox::new(c, b))
+                        .collect(),
+                    display_ms: te.as_ms(),
+                });
+                if let Some(c) = cycles.last_mut() {
+                    c.buffered += gap.len() as u32 + 1;
+                    c.tracked += 1;
+                }
+                tracked_count += 1;
+                let _ = tracked_count;
+                cursor = te;
+                last_processed = next;
+
+                // Content-change detector: significant change → re-detect.
+                trigger = step_velocity.is_some_and(|v| v > self.marlin.trigger_velocity)
+                    || tracker.all_stale()
+                    || next - cycle_start_frame >= self.marlin.max_cycle_frames;
+                if next == n - 1 && !trigger {
+                    // Clip exhausted while tracking.
+                    break 'run;
+                }
+            }
+
+            // Trigger: detect the newest frame; frames arriving while the
+            // DNN runs will be held at the stale tracker output (that is
+            // MARLIN's accumulated latency).
+            let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
+            detect_at = newest.max(last_processed + 1).min(n - 1);
+            let stale: Vec<LabeledBox> = tracker
+                .current_boxes()
+                .into_iter()
+                .map(|(c, b)| LabeledBox::new(c, b))
+                .collect();
+            let gap: Vec<u64> = (last_processed + 1..detect_at).collect();
+            fill_held(
+                &mut outputs,
+                &gap,
+                &stale,
+                cursor,
+                &stream,
+                lat.held_frame_ms,
+                &mut meter,
+            );
+        }
+
+        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adavp_detector::{DetectorConfig, SimulatedDetector};
+    use adavp_video::scenario::Scenario;
+
+    fn clip(frames: u32, scenario: Scenario, seed: u64) -> VideoClip {
+        let mut spec = scenario.spec();
+        spec.width = 240;
+        spec.height = 140;
+        spec.size_range = (20.0, 36.0);
+        VideoClip::generate("marlin", &spec, seed, frames)
+    }
+
+    fn marlin(setting: ModelSetting) -> MarlinPipeline<SimulatedDetector> {
+        MarlinPipeline::new(
+            SimulatedDetector::new(DetectorConfig::default()),
+            setting,
+            PipelineConfig::default(),
+            MarlinConfig::default(),
+        )
+    }
+
+    #[test]
+    fn every_frame_covered() {
+        let c = clip(80, Scenario::Highway, 3);
+        let trace = marlin(ModelSetting::Yolo512).process(&c);
+        assert_eq!(trace.outputs.len(), 80);
+        for (i, o) in trace.outputs.iter().enumerate() {
+            assert_eq!(o.frame_index as usize, i);
+        }
+    }
+
+    #[test]
+    fn fast_scene_triggers_redetection() {
+        let c = clip(150, Scenario::Highway, 4);
+        let trace = marlin(ModelSetting::Yolo512).process(&c);
+        assert!(
+            trace.cycles.len() >= 2,
+            "highway motion must trigger the change detector, got {} cycles",
+            trace.cycles.len()
+        );
+    }
+
+    #[test]
+    fn slow_scene_detects_rarely() {
+        let slow = clip(150, Scenario::MeetingRoom, 5);
+        let fast = clip(150, Scenario::Highway, 5);
+        let s = marlin(ModelSetting::Yolo512).process(&slow);
+        let f = marlin(ModelSetting::Yolo512).process(&fast);
+        assert!(
+            s.cycles.len() <= f.cycles.len(),
+            "meeting room ({}) should trigger no more than highway ({})",
+            s.cycles.len(),
+            f.cycles.len()
+        );
+    }
+
+    #[test]
+    fn sequential_means_no_tracking_during_detection() {
+        // GPU and CPU busy intervals may only overlap for the cheap overlay
+        // of held frames, which we do not schedule on the CPU resource —
+        // verify tracker CPU ops never overlap GPU detection intervals.
+        let c = clip(120, Scenario::Highway, 6);
+        let trace = marlin(ModelSetting::Yolo512).process(&c);
+        // A sequential system's makespan is at least the sum of GPU busy
+        // time plus substantial CPU time; sanity-check they do not overlap
+        // by comparing with the parallel pipeline's finishing time.
+        use crate::pipeline::{MpdtPipeline, SettingPolicy};
+        let mut mpdt = MpdtPipeline::new(
+            SimulatedDetector::new(DetectorConfig::default()),
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            PipelineConfig::default(),
+        );
+        let ptrace = mpdt.process(&c);
+        // MARLIN holds frames during detection, so it should have more Held
+        // frames than MPDT on a fast clip.
+        let (_, _, h_marlin) = trace.source_fractions();
+        let (_, _, h_mpdt) = ptrace.source_fractions();
+        assert!(
+            h_marlin > h_mpdt,
+            "MARLIN held {h_marlin:.2} vs MPDT {h_mpdt:.2}: sequential design must hold more"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = clip(80, Scenario::Highway, 7);
+        let a = marlin(ModelSetting::Yolo512).process(&c);
+        let b = marlin(ModelSetting::Yolo512).process(&c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_clip() {
+        let c = clip(0, Scenario::Highway, 8);
+        let trace = marlin(ModelSetting::Yolo512).process(&c);
+        assert!(trace.outputs.is_empty());
+    }
+
+    #[test]
+    fn max_cycle_frames_bounds_drift() {
+        let c = clip(200, Scenario::MeetingRoom, 9);
+        let mut p = MarlinPipeline::new(
+            SimulatedDetector::new(DetectorConfig::default()),
+            ModelSetting::Yolo512,
+            PipelineConfig::default(),
+            MarlinConfig {
+                trigger_velocity: 1e9, // never trigger on velocity
+                max_cycle_frames: 50,
+            },
+        );
+        let trace = p.process(&c);
+        assert!(
+            trace.cycles.len() >= 3,
+            "cap must force re-detection, got {} cycles",
+            trace.cycles.len()
+        );
+    }
+}

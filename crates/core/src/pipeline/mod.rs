@@ -1,0 +1,280 @@
+//! Video-processing pipelines on the simulated TX2.
+//!
+//! All pipelines consume a [`VideoClip`] and
+//! produce a [`ProcessingTrace`]: which boxes the system displayed for every
+//! frame, the detection-cycle log, and the energy spent. Virtual time drives
+//! everything — detection latency comes from the detector model, tracker
+//! latencies from [`LatencyModel`] — so runs
+//! are deterministic and much faster than real time.
+//!
+//! * [`MpdtPipeline`] — the paper's parallel detection+tracking pipeline
+//!   (§IV-B). With [`SettingPolicy::Fixed`] it is the MPDT baseline; with
+//!   [`SettingPolicy::Adaptive`] it is **AdaVP**.
+//! * [`MarlinPipeline`] — the sequential MARLIN baseline (detector idle
+//!   while tracking; detection triggered by the content-change detector).
+//! * [`DetectorOnlyPipeline`] — "without tracking": detect the newest frame,
+//!   hold results for skipped frames.
+//! * [`ContinuousPipeline`] — detect *every* frame, ignoring real-time
+//!   (the `YOLOv3-320 (7x latency)` columns of Table III).
+
+mod continuous;
+mod detector_only;
+mod marlin;
+mod mpdt;
+
+pub use continuous::ContinuousPipeline;
+pub use detector_only::DetectorOnlyPipeline;
+pub use marlin::{MarlinConfig, MarlinPipeline};
+pub use mpdt::MpdtPipeline;
+
+use crate::adaptation::AdaptationModel;
+use crate::latency::LatencyModel;
+use crate::tracker::TrackerConfig;
+use adavp_detector::ModelSetting;
+use adavp_metrics::f1::LabeledBox;
+use adavp_sim::energy::EnergyBreakdown;
+use adavp_video::clip::VideoClip;
+use serde::{Deserialize, Serialize};
+
+/// How the boxes shown for a frame were produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameSource {
+    /// Fresh DNN detection of this exact frame.
+    Detected,
+    /// Optical-flow tracking from an earlier detection.
+    Tracked,
+    /// Inherited unchanged from the previous processed frame (the frame was
+    /// skipped by frame selection, or arrived while the system was busy).
+    Held,
+}
+
+/// What the system displayed for one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameOutput {
+    /// Frame index within the clip.
+    pub frame_index: u64,
+    /// How the boxes were produced.
+    pub source: FrameSource,
+    /// The displayed boxes.
+    pub boxes: Vec<LabeledBox>,
+    /// Virtual time at which the overlaid frame appeared on screen (ms).
+    pub display_ms: f64,
+}
+
+/// One detection cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Cycle number (0-based).
+    pub index: u32,
+    /// Frame the detector processed this cycle.
+    pub detected_frame: u64,
+    /// Model setting used.
+    pub setting: ModelSetting,
+    /// Detection start (virtual ms).
+    pub start_ms: f64,
+    /// Detection completion (virtual ms).
+    pub end_ms: f64,
+    /// Frames accumulated in the buffer for the tracker this cycle.
+    pub buffered: u32,
+    /// Frames the tracker actually processed before cancellation.
+    pub tracked: u32,
+    /// Mean content-change velocity measured this cycle (px/frame).
+    pub velocity: Option<f64>,
+    /// Whether the setting changed relative to the previous cycle.
+    pub switched: bool,
+}
+
+/// Full record of one pipeline run over one clip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingTrace {
+    /// Name of the pipeline that produced the trace.
+    pub pipeline: String,
+    /// Per-frame outputs, index-aligned with the clip.
+    pub outputs: Vec<FrameOutput>,
+    /// Detection-cycle log.
+    pub cycles: Vec<CycleRecord>,
+    /// Energy spent (above idle), per rail.
+    pub energy: EnergyBreakdown,
+    /// Virtual time at which the last frame's processing finished (ms).
+    pub finished_ms: f64,
+    /// Total GPU busy time (ms).
+    pub gpu_busy_ms: f64,
+    /// Total CPU busy time (ms).
+    pub cpu_busy_ms: f64,
+}
+
+impl ProcessingTrace {
+    /// Number of setting switches across the run.
+    pub fn switch_count(&self) -> usize {
+        self.cycles.iter().filter(|c| c.switched).count()
+    }
+
+    /// Ratio of processing time to video duration (the "7x latency" figures
+    /// of Table III). 1.0 ≈ real time.
+    pub fn latency_multiplier(&self, clip: &VideoClip) -> f64 {
+        let d = clip.duration_ms();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.finished_ms / d
+    }
+
+    /// Fraction of frames by source: `(detected, tracked, held)`.
+    pub fn source_fractions(&self) -> (f64, f64, f64) {
+        let n = self.outputs.len().max(1) as f64;
+        let count =
+            |s: FrameSource| self.outputs.iter().filter(|o| o.source == s).count() as f64 / n;
+        (
+            count(FrameSource::Detected),
+            count(FrameSource::Tracked),
+            count(FrameSource::Held),
+        )
+    }
+}
+
+/// A video-processing system under evaluation.
+pub trait VideoProcessor {
+    /// Runs the pipeline over `clip` and returns the full trace.
+    fn process(&mut self, clip: &VideoClip) -> ProcessingTrace;
+
+    /// Human-readable name (used in experiment tables).
+    fn name(&self) -> String;
+}
+
+/// How the pipeline chooses the DNN setting each cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SettingPolicy {
+    /// Always the same setting (MPDT / MARLIN baselines).
+    Fixed(ModelSetting),
+    /// AdaVP's velocity-threshold adaptation.
+    Adaptive(AdaptationModel),
+    /// Content-blind round-robin over the adaptive settings — an ablation
+    /// that switches as often as AdaVP but ignores the measured velocity.
+    Cycling,
+}
+
+impl SettingPolicy {
+    /// The setting for the first cycle.
+    pub fn initial_setting(&self) -> ModelSetting {
+        match self {
+            SettingPolicy::Fixed(s) => *s,
+            // AdaVP starts at 512 (the best fixed setting) until the first
+            // velocity measurement arrives.
+            SettingPolicy::Adaptive(_) => ModelSetting::Yolo512,
+            SettingPolicy::Cycling => ModelSetting::Yolo512,
+        }
+    }
+
+    /// The setting for the next cycle given the measured velocity.
+    pub fn next_setting(&self, current: ModelSetting, velocity: Option<f64>) -> ModelSetting {
+        match self {
+            SettingPolicy::Fixed(s) => *s,
+            SettingPolicy::Adaptive(m) => match velocity {
+                Some(v) => m.decide(current, v),
+                None => current,
+            },
+            SettingPolicy::Cycling => {
+                let i = current.adaptive_index().unwrap_or(2);
+                ModelSetting::ADAPTIVE[(i + 1) % ModelSetting::ADAPTIVE.len()]
+            }
+        }
+    }
+}
+
+/// Shared pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Object-tracker configuration.
+    pub tracker: TrackerConfig,
+    /// Virtual-latency model for tracker-side costs.
+    pub latency: LatencyModel,
+    /// Whether the tracking-frame selector adapts its fraction `p` from the
+    /// previous cycle (the paper's scheme). When `false` the tracker always
+    /// plans to track every buffered frame and relies on cancellation — the
+    /// ablation of §IV-C's selection scheme.
+    pub adaptive_selection: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            tracker: TrackerConfig::default(),
+            latency: LatencyModel::default(),
+            adaptive_selection: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setting_policy_fixed() {
+        let p = SettingPolicy::Fixed(ModelSetting::Yolo416);
+        assert_eq!(p.initial_setting(), ModelSetting::Yolo416);
+        assert_eq!(
+            p.next_setting(ModelSetting::Yolo416, Some(100.0)),
+            ModelSetting::Yolo416
+        );
+    }
+
+    #[test]
+    fn setting_policy_adaptive() {
+        let p = SettingPolicy::Adaptive(AdaptationModel::uniform([1.0, 2.0, 3.0]));
+        assert_eq!(p.initial_setting(), ModelSetting::Yolo512);
+        assert_eq!(
+            p.next_setting(ModelSetting::Yolo512, Some(0.5)),
+            ModelSetting::Yolo608
+        );
+        // No velocity yet: stay put.
+        assert_eq!(
+            p.next_setting(ModelSetting::Yolo512, None),
+            ModelSetting::Yolo512
+        );
+    }
+
+    #[test]
+    fn setting_policy_cycling_rotates() {
+        let p = SettingPolicy::Cycling;
+        assert_eq!(p.initial_setting(), ModelSetting::Yolo512);
+        let mut s = ModelSetting::Yolo320;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(s);
+            s = p.next_setting(s, None);
+        }
+        assert_eq!(seen.len(), 4, "cycling must visit all adaptive settings");
+        // A full rotation returns to the start.
+        assert_eq!(s, ModelSetting::Yolo320);
+    }
+
+    #[test]
+    fn trace_helpers() {
+        let mk = |source| FrameOutput {
+            frame_index: 0,
+            source,
+            boxes: vec![],
+            display_ms: 0.0,
+        };
+        let trace = ProcessingTrace {
+            pipeline: "x".into(),
+            outputs: vec![
+                mk(FrameSource::Detected),
+                mk(FrameSource::Tracked),
+                mk(FrameSource::Tracked),
+                mk(FrameSource::Held),
+            ],
+            cycles: vec![],
+            energy: EnergyBreakdown::default(),
+            finished_ms: 0.0,
+            gpu_busy_ms: 0.0,
+            cpu_busy_ms: 0.0,
+        };
+        let (d, t, h) = trace.source_fractions();
+        assert!((d - 0.25).abs() < 1e-12);
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!((h - 0.25).abs() < 1e-12);
+        assert_eq!(trace.switch_count(), 0);
+    }
+}

@@ -1,0 +1,752 @@
+//! The object tracker (§IV-C): real feature extraction and optical flow
+//! over rendered frames.
+//!
+//! Workflow, exactly as the paper describes it:
+//!
+//! 1. Receive the detector's results (labels + boxes) for the reference
+//!    frame and extract Shi-Tomasi *good features* **inside the boxes only**
+//!    (the paper masks the detected boxes; features elsewhere are useless).
+//! 2. For each frame selected by the [`FrameSelector`], run pyramidal
+//!    Lucas-Kanade from the previous processed frame, obtain per-feature
+//!    displacements, and shift each box by its object's motion vector.
+//! 3. Report the mean feature motion per frame — the video-content
+//!    change-rate measurement (Eq. 3) consumed by the adaptation module.
+//!
+//! Tracking error accumulates for real reasons here: features drift on the
+//! actual pixels, die when objects leave the frame or get occluded, and new
+//! objects are invisible to the tracker until the next detection — the
+//! phenomena behind the paper's Fig. 2.
+
+use adavp_video::object::ObjectClass;
+use adavp_vision::fast::{fast_corners, FastParams};
+use adavp_vision::features::{good_features_to_track, Corner, GoodFeaturesParams};
+use adavp_vision::flow::{LkParams, PyramidalLk};
+use adavp_vision::geometry::{BoundingBox, Point2, Vec2};
+use adavp_vision::image::GrayImage;
+use adavp_vision::pyramid::Pyramid;
+use serde::{Deserialize, Serialize};
+
+/// How a box's motion vector is derived from its features' flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowPoints {
+    /// Shift by the single strongest feature in the box (the paper's choice,
+    /// to minimize per-frame latency: "for each bounding box, we find one
+    /// point inside it and calculate the moving vector of this point").
+    OnePerBox,
+    /// Shift by the mean displacement of all surviving features in the box
+    /// (ablation alternative).
+    MeanOfBox,
+}
+
+/// Which corner detector seeds the tracker.
+///
+/// The paper compares SIFT, SURF, *good features to track*, FAST and ORB
+/// before picking Shi-Tomasi (§IV-C); FAST is provided as the ablation
+/// alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureDetectorKind {
+    /// Shi-Tomasi *good features to track* (the paper's choice).
+    ShiTomasi,
+    /// FAST-9 segment-test corners.
+    Fast,
+}
+
+/// Configuration of the object tracker.
+#[derive(Debug, Clone)]
+pub struct TrackerConfig {
+    /// Which corner detector to use.
+    pub detector: FeatureDetectorKind,
+    /// Shi-Tomasi parameters (used when `detector` is `ShiTomasi`).
+    pub features: GoodFeaturesParams,
+    /// FAST parameters (used when `detector` is `Fast`).
+    pub fast: FastParams,
+    /// Optical-flow parameters.
+    pub lk: LkParams,
+    /// Box-motion derivation.
+    pub flow_points: FlowPoints,
+    /// Cap on tracked features per box.
+    pub max_features_per_box: usize,
+    /// Estimate per-box scale change from the spread of its features and
+    /// rescale boxes accordingly (an extension beyond the paper, which only
+    /// translates boxes; needs ≥ 3 surviving features per box).
+    pub estimate_scale: bool,
+    /// When a box loses all its features, keep moving it by its last known
+    /// motion vector (decaying per step) instead of freezing it in place —
+    /// dead reckoning, an extension beyond the paper.
+    pub dead_reckoning: bool,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            detector: FeatureDetectorKind::ShiTomasi,
+            features: GoodFeaturesParams {
+                max_corners: 6,
+                quality_level: 0.03,
+                min_distance: 4.0,
+                block_radius: 1,
+            },
+            fast: FastParams {
+                max_corners: 6,
+                ..FastParams::default()
+            },
+            lk: LkParams {
+                pyramid_levels: 4,
+                ..LkParams::default()
+            },
+            flow_points: FlowPoints::OnePerBox,
+            max_features_per_box: 6,
+            estimate_scale: false,
+            dead_reckoning: false,
+        }
+    }
+}
+
+/// A box the tracker is currently carrying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedBox {
+    /// Class label inherited from the detection.
+    pub class: ObjectClass,
+    /// Current estimated box.
+    pub bbox: BoundingBox,
+    /// Whether the box has lost all its features (position frozen, or
+    /// coasting under dead reckoning).
+    pub stale: bool,
+    /// Last observed per-frame motion of the box (for dead reckoning).
+    pub last_motion: Vec2,
+}
+
+#[derive(Debug, Clone)]
+struct TrackedFeature {
+    point: Point2,
+    box_idx: usize,
+    /// Shi-Tomasi response at extraction (strongest feature drives
+    /// [`FlowPoints::OnePerBox`]).
+    response: f32,
+    alive: bool,
+}
+
+/// Statistics of one tracking step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Mean per-frame feature motion (Eq. 3): mean displacement magnitude of
+    /// surviving features divided by the frame gap. `None` when no feature
+    /// survived the step.
+    pub mean_velocity: Option<f64>,
+    /// Features successfully tracked in this step.
+    pub features_tracked: usize,
+    /// Features lost in this step.
+    pub features_lost: usize,
+}
+
+/// The object tracker. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ObjectTracker {
+    config: TrackerConfig,
+    lk: PyramidalLk,
+    boxes: Vec<TrackedBox>,
+    features: Vec<TrackedFeature>,
+    reference: Option<Pyramid>,
+}
+
+impl ObjectTracker {
+    /// Creates a tracker with the given configuration.
+    pub fn new(config: TrackerConfig) -> Self {
+        let lk = PyramidalLk::new(config.lk.clone());
+        Self {
+            config,
+            lk,
+            boxes: Vec::new(),
+            features: Vec::new(),
+            reference: None,
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// Current box estimates (empty before the first [`reset`](Self::reset)).
+    pub fn boxes(&self) -> &[TrackedBox] {
+        &self.boxes
+    }
+
+    /// Number of currently-alive features.
+    pub fn alive_features(&self) -> usize {
+        self.features.iter().filter(|f| f.alive).count()
+    }
+
+    /// Whether every box has gone stale (nothing left to track).
+    pub fn all_stale(&self) -> bool {
+        !self.boxes.is_empty() && self.boxes.iter().all(|b| b.stale)
+    }
+
+    /// Re-initializes the tracker from a detected reference frame: stores
+    /// the detections and extracts good features inside each box.
+    ///
+    /// Returns the number of features extracted.
+    pub fn reset(&mut self, image: &GrayImage, detections: &[(ObjectClass, BoundingBox)]) -> usize {
+        self.boxes = detections
+            .iter()
+            .map(|(class, bbox)| TrackedBox {
+                class: *class,
+                bbox: *bbox,
+                stale: false,
+                last_motion: Vec2::ZERO,
+            })
+            .collect();
+        self.features.clear();
+        let mut params = self.config.features.clone();
+        params.max_corners = self.config.max_features_per_box;
+        let mut fast_params = self.config.fast.clone();
+        fast_params.max_corners = self.config.max_features_per_box;
+        for (idx, tb) in self.boxes.iter_mut().enumerate() {
+            let mask = [tb.bbox];
+            let corners: Vec<Corner> = match self.config.detector {
+                FeatureDetectorKind::ShiTomasi => {
+                    good_features_to_track(image, &params, Some(&mask))
+                }
+                FeatureDetectorKind::Fast => fast_corners(image, &fast_params, Some(&mask)),
+            };
+            if corners.is_empty() {
+                tb.stale = true;
+                continue;
+            }
+            for c in corners {
+                self.features.push(TrackedFeature {
+                    point: c.point,
+                    box_idx: idx,
+                    response: c.response,
+                    alive: true,
+                });
+            }
+        }
+        self.reference = Some(Pyramid::build(image, self.config.lk.pyramid_levels));
+        self.features.len()
+    }
+
+    /// Tracks from the current reference frame into `next`, which is
+    /// `frame_gap` camera frames later, shifting all boxes.
+    ///
+    /// Returns `None` if the tracker has no reference yet (call
+    /// [`reset`](Self::reset) first).
+    pub fn step(&mut self, next: &GrayImage, frame_gap: u32) -> Option<StepStats> {
+        let reference = self.reference.as_ref()?;
+        let gap = frame_gap.max(1) as f64;
+        let next_pyr = Pyramid::build(next, self.config.lk.pyramid_levels);
+
+        let alive_idx: Vec<usize> = (0..self.features.len())
+            .filter(|&i| self.features[i].alive)
+            .collect();
+        let points: Vec<Point2> = alive_idx.iter().map(|&i| self.features[i].point).collect();
+        let results = self.lk.track_pyramids(reference, &next_pyr, &points);
+
+        let mut sum_motion = 0.0f64;
+        let mut tracked = 0usize;
+        let mut lost = 0usize;
+        // Per-box displacement accumulation.
+        let nb = self.boxes.len();
+        let mut box_sum = vec![Vec2::ZERO; nb];
+        let mut box_count = vec![0usize; nb];
+        let mut box_best: Vec<Option<(f32, Vec2)>> = vec![None; nb];
+        let mut box_old_pts: Vec<Vec<Point2>> = vec![Vec::new(); nb];
+        let mut box_new_pts: Vec<Vec<Point2>> = vec![Vec::new(); nb];
+
+        for (&fi, res) in alive_idx.iter().zip(&results) {
+            let feat = &mut self.features[fi];
+            if res.found {
+                let d = res.displacement();
+                let old = feat.point;
+                feat.point = res.current;
+                sum_motion += d.norm() as f64;
+                tracked += 1;
+                let bi = feat.box_idx;
+                box_sum[bi] += d;
+                box_count[bi] += 1;
+                if self.config.estimate_scale {
+                    box_old_pts[bi].push(old);
+                    box_new_pts[bi].push(res.current);
+                }
+                match box_best[bi] {
+                    Some((r, _)) if r >= feat.response => {}
+                    _ => box_best[bi] = Some((feat.response, d)),
+                }
+            } else {
+                feat.alive = false;
+                lost += 1;
+            }
+        }
+
+        let w = next.width() as f32;
+        let h = next.height() as f32;
+        let gap_f = frame_gap.max(1) as f32;
+        for (bi, tb) in self.boxes.iter_mut().enumerate() {
+            if box_count[bi] == 0 {
+                tb.stale = true;
+                if self.config.dead_reckoning {
+                    // Coast on the last observed motion, decaying so a bad
+                    // estimate cannot run away.
+                    tb.bbox = tb.bbox.translated(tb.last_motion * gap_f);
+                    tb.last_motion = tb.last_motion * 0.9;
+                }
+                continue;
+            }
+            let d = match self.config.flow_points {
+                FlowPoints::OnePerBox => box_best[bi].map(|(_, d)| d).unwrap_or(Vec2::ZERO),
+                FlowPoints::MeanOfBox => box_sum[bi] / box_count[bi] as f32,
+            };
+            tb.bbox = tb.bbox.translated(d);
+            tb.last_motion = d / gap_f;
+            if self.config.estimate_scale && box_old_pts[bi].len() >= 3 {
+                let factor = spread_ratio(&box_old_pts[bi], &box_new_pts[bi]);
+                // One noisy step must not explode the box.
+                tb.bbox = tb.bbox.scaled(factor.clamp(0.85, 1.18));
+            }
+            // A box fully outside the frame is gone; kill its features.
+            if tb.bbox.clipped(w, h).is_none() {
+                tb.stale = true;
+                for f in self.features.iter_mut().filter(|f| f.box_idx == bi) {
+                    f.alive = false;
+                }
+            }
+        }
+
+        self.reference = Some(next_pyr);
+        Some(StepStats {
+            mean_velocity: if tracked > 0 {
+                Some(sum_motion / tracked as f64 / gap)
+            } else {
+                None
+            },
+            features_tracked: tracked,
+            features_lost: lost,
+        })
+    }
+
+    /// Current non-stale box estimates as `(class, bbox)` pairs, plus stale
+    /// boxes at their frozen positions — what the pipeline displays.
+    pub fn current_boxes(&self) -> Vec<(ObjectClass, BoundingBox)> {
+        self.boxes.iter().map(|b| (b.class, b.bbox)).collect()
+    }
+}
+
+/// Ratio of mean feature distance to the centroid after vs before a step —
+/// a robust per-box apparent-scale-change estimate.
+fn spread_ratio(old: &[Point2], new: &[Point2]) -> f32 {
+    let centroid = |pts: &[Point2]| -> Point2 {
+        let n = pts.len() as f32;
+        Point2::new(
+            pts.iter().map(|p| p.x).sum::<f32>() / n,
+            pts.iter().map(|p| p.y).sum::<f32>() / n,
+        )
+    };
+    let spread = |pts: &[Point2]| -> f32 {
+        let c = centroid(pts);
+        pts.iter().map(|p| p.distance(c)).sum::<f32>() / pts.len() as f32
+    };
+    let so = spread(old);
+    let sn = spread(new);
+    if so <= 1e-3 || sn <= 1e-3 {
+        1.0
+    } else {
+        sn / so
+    }
+}
+
+/// The tracking-frame-selection scheme (§IV-C): track a fraction
+/// `p = h_{t-1} / f_{t-1}` of the buffered frames at regular intervals,
+/// where `h` is what the tracker managed last cycle and `f` the buffer size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSelector {
+    p: f64,
+}
+
+impl Default for FrameSelector {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl FrameSelector {
+    /// Minimum retained fraction, so the selector can always recover.
+    pub const MIN_FRACTION: f64 = 0.05;
+
+    /// Creates a selector with an initial tracking fraction.
+    ///
+    /// The paper starts optimistic (track everything) and lets cancellation
+    /// pull the fraction down to CPU capacity.
+    pub fn new(initial_p: f64) -> Self {
+        Self {
+            p: initial_p.clamp(Self::MIN_FRACTION, 1.0),
+        }
+    }
+
+    /// Current fraction estimate.
+    pub fn fraction(&self) -> f64 {
+        self.p
+    }
+
+    /// Plans which of `buffered` frames to track this cycle: `h = p * f`
+    /// indices (0-based, ascending) at regular intervals, always ending at
+    /// the last buffered frame so the hand-off to the next detection is as
+    /// fresh as possible.
+    pub fn plan(&self, buffered: usize) -> Vec<usize> {
+        if buffered == 0 {
+            return Vec::new();
+        }
+        let h = ((self.p * buffered as f64).round() as usize).clamp(1, buffered);
+        (1..=h).map(|i| (i * buffered) / h - 1).collect()
+    }
+
+    /// Records this cycle's outcome: `tracked` of `buffered` frames were
+    /// actually processed before cancellation.
+    pub fn update(&mut self, tracked: usize, buffered: usize) {
+        if buffered == 0 {
+            return;
+        }
+        self.p = (tracked as f64 / buffered as f64).clamp(Self::MIN_FRACTION, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adavp_video::clip::VideoClip;
+    use adavp_video::scenario::{CameraMotion, Scenario, ScenarioSpec};
+
+    fn slow_clip(frames: u32) -> VideoClip {
+        let mut spec: ScenarioSpec = Scenario::Highway.spec();
+        spec.width = 240;
+        spec.height = 140;
+        spec.camera = CameraMotion::Static;
+        spec.speed_range = (25.0, 45.0);
+        spec.size_range = (28.0, 40.0);
+        spec.initial_objects = 3;
+        spec.max_objects = 3;
+        spec.spawn_rate_hz = 0.0;
+        spec.noise_amp = 1.0;
+        spec.activity_depth = 0.0;
+        VideoClip::generate("trk", &spec, 77, frames)
+    }
+
+    fn gt_pairs(clip: &VideoClip, i: usize) -> Vec<(ObjectClass, BoundingBox)> {
+        clip.frame(i)
+            .ground_truth
+            .iter()
+            .map(|g| (g.class, g.bbox))
+            .collect()
+    }
+
+    #[test]
+    fn reset_extracts_features_in_boxes() {
+        let clip = slow_clip(2);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        let n = tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        assert!(n > 0, "objects have texture; features must be found");
+        assert_eq!(tracker.boxes().len(), clip.frame(0).ground_truth.len());
+        assert_eq!(tracker.alive_features(), n);
+    }
+
+    #[test]
+    fn step_without_reset_returns_none() {
+        let clip = slow_clip(1);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        assert!(tracker.step(&clip.frame(0).image, 1).is_none());
+    }
+
+    #[test]
+    fn tracks_moving_objects_across_frames() {
+        let clip = slow_clip(10);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        for i in 1..6 {
+            let stats = tracker.step(&clip.frame(i).image, 1).unwrap();
+            assert!(stats.features_tracked > 0, "lost everything at frame {i}");
+        }
+        // Tracked boxes should overlap the true boxes decently after 5 frames.
+        let truth = gt_pairs(&clip, 5);
+        let mut matched = 0;
+        for tb in tracker.boxes() {
+            if truth
+                .iter()
+                .any(|(c, b)| *c == tb.class && b.iou(&tb.bbox) > 0.5)
+            {
+                matched += 1;
+            }
+        }
+        assert!(
+            matched >= truth.len().saturating_sub(1).max(1),
+            "only {matched}/{} boxes still on target",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn velocity_reflects_object_speed() {
+        let clip = slow_clip(6);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        let stats = tracker.step(&clip.frame(1).image, 1).unwrap();
+        let v = stats.mean_velocity.expect("features survived");
+        // Objects move 25-45 px/s at 30 fps -> ~0.8-1.5 px/frame.
+        assert!(v > 0.3 && v < 3.0, "velocity {v} out of plausible range");
+    }
+
+    #[test]
+    fn velocity_normalized_by_frame_gap() {
+        let clip = slow_clip(7);
+        let mut t1 = ObjectTracker::new(TrackerConfig::default());
+        t1.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        let v1 = t1
+            .step(&clip.frame(3).image, 3)
+            .unwrap()
+            .mean_velocity
+            .unwrap();
+        let mut t2 = ObjectTracker::new(TrackerConfig::default());
+        t2.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        let mut v2 = 0.0;
+        for i in 1..=3 {
+            v2 = t2
+                .step(&clip.frame(i).image, 1)
+                .unwrap()
+                .mean_velocity
+                .unwrap();
+        }
+        // Per-frame velocity over a 3-frame gap should be commensurate with
+        // single-frame stepping (same order of magnitude).
+        assert!(
+            v1 > 0.2 * v2 && v1 < 5.0 * v2.max(0.1),
+            "v_gap={v1} v_step={v2}"
+        );
+    }
+
+    #[test]
+    fn boxes_leaving_frame_go_stale() {
+        // Fast objects must exit the 240-px static view within 60 frames
+        // (120-170 px/s for 2 s = 240-340 px of travel).
+        let mut spec: ScenarioSpec = Scenario::Highway.spec();
+        spec.width = 240;
+        spec.height = 140;
+        spec.camera = CameraMotion::Static;
+        spec.speed_range = (120.0, 170.0);
+        spec.size_range = (26.0, 36.0);
+        spec.initial_objects = 3;
+        spec.max_objects = 3;
+        spec.spawn_rate_hz = 0.0;
+        spec.noise_amp = 1.0;
+        spec.activity_depth = 0.0;
+        let clip = VideoClip::generate("exit", &spec, 78, 60);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        let initial = tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        for i in 1..60 {
+            tracker.step(&clip.frame(i).image, 1);
+        }
+        assert!(
+            tracker.boxes().iter().any(|b| b.stale) || tracker.alive_features() < initial,
+            "expected decay after objects exit the frame"
+        );
+    }
+
+    #[test]
+    fn empty_detections_mean_no_boxes() {
+        let clip = slow_clip(2);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        let n = tracker.reset(&clip.frame(0).image, &[]);
+        assert_eq!(n, 0);
+        assert!(tracker.boxes().is_empty());
+        assert!(
+            !tracker.all_stale(),
+            "no boxes is not the same as all stale"
+        );
+        let stats = tracker.step(&clip.frame(1).image, 1).unwrap();
+        assert_eq!(stats.features_tracked, 0);
+        assert_eq!(stats.mean_velocity, None);
+    }
+
+    #[test]
+    fn one_per_box_and_mean_both_track() {
+        let clip = slow_clip(5);
+        for fp in [FlowPoints::OnePerBox, FlowPoints::MeanOfBox] {
+            let cfg = TrackerConfig {
+                flow_points: fp,
+                ..TrackerConfig::default()
+            };
+            let mut tracker = ObjectTracker::new(cfg);
+            tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+            for i in 1..5 {
+                tracker.step(&clip.frame(i).image, 1);
+            }
+            let truth = gt_pairs(&clip, 4);
+            let hit = tracker
+                .boxes()
+                .iter()
+                .filter(|tb| truth.iter().any(|(_, b)| b.iou(&tb.bbox) > 0.4))
+                .count();
+            assert!(hit > 0, "{fp:?} lost all boxes");
+        }
+    }
+
+    #[test]
+    fn spread_ratio_measures_scale() {
+        let old = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(0.0, 10.0),
+        ];
+        // Same constellation scaled x1.5 about an arbitrary centre.
+        let scaled: Vec<Point2> = old
+            .iter()
+            .map(|p| Point2::new(p.x * 1.5 + 7.0, p.y * 1.5 - 3.0))
+            .collect();
+        let r = spread_ratio(&old, &scaled);
+        assert!((r - 1.5).abs() < 1e-4, "ratio {r}");
+        // Pure translation: ratio 1.
+        let moved: Vec<Point2> = old
+            .iter()
+            .map(|p| Point2::new(p.x + 5.0, p.y + 5.0))
+            .collect();
+        assert!((spread_ratio(&old, &moved) - 1.0).abs() < 1e-4);
+        // Degenerate (coincident points): falls back to 1.
+        let same = vec![Point2::new(1.0, 1.0); 3];
+        assert_eq!(spread_ratio(&same, &same), 1.0);
+    }
+
+    #[test]
+    fn scale_estimation_follows_growing_object() {
+        use adavp_vision::image::GrayImage;
+        // An expanding radial texture: frame B is frame A magnified by 1.1
+        // about the object centre (60, 40).
+        let tex = |u: f32, v: f32| {
+            let val =
+                128.0 + 55.0 * (u * 0.35).sin() * (v * 0.3).cos() + 25.0 * ((u + v) * 0.15).sin();
+            val.clamp(0.0, 255.0) as u8
+        };
+        let a = GrayImage::from_fn(120, 80, |x, y| tex(x as f32 - 60.0, y as f32 - 40.0));
+        let b = GrayImage::from_fn(120, 80, |x, y| {
+            tex((x as f32 - 60.0) / 1.1, (y as f32 - 40.0) / 1.1)
+        });
+        let bbox = BoundingBox::from_center(Point2::new(60.0, 40.0), 40.0, 30.0);
+        let cfg = TrackerConfig {
+            estimate_scale: true,
+            max_features_per_box: 8,
+            ..TrackerConfig::default()
+        };
+        let mut t = ObjectTracker::new(cfg);
+        t.reset(&a, &[(ObjectClass::Car, bbox)]);
+        t.step(&b, 1).unwrap();
+        let after = t.boxes()[0].bbox;
+        assert!(
+            after.width > bbox.width * 1.02,
+            "box should grow with the object: {} -> {}",
+            bbox.width,
+            after.width
+        );
+    }
+
+    #[test]
+    fn dead_reckoning_coasts_stale_boxes() {
+        use adavp_vision::image::GrayImage;
+        // Frame A: textured scene; frame B: same shifted +3px; frame C: flat
+        // gray (all features die). With dead reckoning the box keeps moving
+        // by its last motion; without, it freezes.
+        let tex = |x: u32, y: u32| {
+            let v = 120.0
+                + 50.0 * ((x as f32) * 0.4).sin() * ((y as f32) * 0.33).cos()
+                + 30.0 * (((x + y) as f32) * 0.17).sin();
+            v.clamp(0.0, 255.0) as u8
+        };
+        let a = GrayImage::from_fn(120, 80, tex);
+        let b = GrayImage::from_fn(120, 80, |x, y| {
+            let sx = x.saturating_sub(3);
+            tex(sx, y)
+        });
+        let c = GrayImage::from_fn(120, 80, |_, _| 10);
+        let bbox = BoundingBox::new(40.0, 24.0, 30.0, 24.0);
+
+        let run = |reckoning: bool| -> BoundingBox {
+            let cfg = TrackerConfig {
+                dead_reckoning: reckoning,
+                ..TrackerConfig::default()
+            };
+            let mut t = ObjectTracker::new(cfg);
+            t.reset(&a, &[(ObjectClass::Car, bbox)]);
+            t.step(&b, 1).unwrap();
+            let after_b = t.boxes()[0].bbox;
+            assert!(
+                (after_b.left - 43.0).abs() < 1.5,
+                "box should follow the +3px shift, got {}",
+                after_b.left
+            );
+            t.step(&c, 1).unwrap();
+            assert!(t.boxes()[0].stale, "flat frame must kill the features");
+            t.boxes()[0].bbox
+        };
+
+        let frozen = run(false);
+        let coasted = run(true);
+        assert!((frozen.left - 43.0).abs() < 1.5, "frozen box must not move");
+        assert!(
+            coasted.left > frozen.left + 1.5,
+            "dead reckoning must keep the box moving ({} vs {})",
+            coasted.left,
+            frozen.left
+        );
+    }
+
+    // ---- FrameSelector ------------------------------------------------
+
+    #[test]
+    fn selector_starts_optimistic() {
+        let s = FrameSelector::default();
+        assert_eq!(s.fraction(), 1.0);
+        assert_eq!(s.plan(5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn selector_plan_spacing() {
+        let s = FrameSelector::new(0.5);
+        let plan = s.plan(10);
+        assert_eq!(plan.len(), 5);
+        // Regular intervals, ending on the last frame.
+        assert_eq!(plan, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn selector_plan_always_selects_at_least_one() {
+        let s = FrameSelector::new(0.05);
+        assert_eq!(s.plan(3), vec![2]);
+        assert!(s.plan(0).is_empty());
+        assert_eq!(s.plan(1), vec![0]);
+    }
+
+    #[test]
+    fn selector_update_tracks_capacity() {
+        let mut s = FrameSelector::default();
+        s.update(3, 12);
+        assert!((s.fraction() - 0.25).abs() < 1e-12);
+        // Clamped below.
+        s.update(0, 10);
+        assert_eq!(s.fraction(), FrameSelector::MIN_FRACTION);
+        // Zero buffer leaves the estimate alone.
+        let before = s.fraction();
+        s.update(5, 0);
+        assert_eq!(s.fraction(), before);
+    }
+
+    #[test]
+    fn selector_plan_indices_strictly_increasing_and_in_range() {
+        for p in [0.1, 0.33, 0.5, 0.9, 1.0] {
+            let s = FrameSelector::new(p);
+            for f in 1..40 {
+                let plan = s.plan(f);
+                assert!(!plan.is_empty());
+                assert_eq!(*plan.last().unwrap(), f - 1, "must end at last frame");
+                for w in plan.windows(2) {
+                    assert!(w[0] < w[1], "p={p} f={f}: plan not increasing: {plan:?}");
+                }
+                assert!(plan.iter().all(|&i| i < f));
+            }
+        }
+    }
+}

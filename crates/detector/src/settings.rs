@@ -1,0 +1,166 @@
+//! YOLOv3 model settings (input frame sizes) and their calibrated
+//! latency/accuracy characteristics.
+//!
+//! YOLOv3 accepts a runtime-changeable input size without reloading weights
+//! (§III-A); AdaVP exploits exactly this. [`ModelSetting::ADAPTIVE`] is the
+//! set the adaptation module switches among; [`ModelSetting::Tiny320`] and
+//! [`ModelSetting::Yolo704`] exist only for baselines and pseudo-ground-truth.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A YOLOv3 model setting (network input size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelSetting {
+    /// YOLOv3-tiny at 320x320 — fast but very inaccurate (motivation §III-B).
+    Tiny320,
+    /// YOLOv3 at 320x320 — the lightest adaptive setting.
+    Yolo320,
+    /// YOLOv3 at 416x416.
+    Yolo416,
+    /// YOLOv3 at 512x512.
+    Yolo512,
+    /// YOLOv3 at 608x608 — the heaviest adaptive setting.
+    Yolo608,
+    /// YOLOv3 at 704x704 — pseudo-ground-truth oracle (§III-A).
+    Yolo704,
+}
+
+impl ModelSetting {
+    /// The four runtime-switchable settings, lightest first (§IV-D3).
+    pub const ADAPTIVE: [ModelSetting; 4] = [
+        ModelSetting::Yolo320,
+        ModelSetting::Yolo416,
+        ModelSetting::Yolo512,
+        ModelSetting::Yolo608,
+    ];
+
+    /// All settings, including tiny and the oracle.
+    pub const ALL: [ModelSetting; 6] = [
+        ModelSetting::Tiny320,
+        ModelSetting::Yolo320,
+        ModelSetting::Yolo416,
+        ModelSetting::Yolo512,
+        ModelSetting::Yolo608,
+        ModelSetting::Yolo704,
+    ];
+
+    /// Network input size in pixels (square).
+    pub fn input_size(&self) -> u32 {
+        match self {
+            ModelSetting::Tiny320 | ModelSetting::Yolo320 => 320,
+            ModelSetting::Yolo416 => 416,
+            ModelSetting::Yolo512 => 512,
+            ModelSetting::Yolo608 => 608,
+            ModelSetting::Yolo704 => 704,
+        }
+    }
+
+    /// Mean per-frame detection latency on the simulated TX2, in ms.
+    ///
+    /// Calibrated to Fig. 1 / Table II of the paper: full YOLOv3 spans
+    /// 230–500 ms over 320→608; tiny runs in ~60 ms (§I).
+    pub fn base_latency_ms(&self) -> f64 {
+        match self {
+            ModelSetting::Tiny320 => 60.0,
+            ModelSetting::Yolo320 => 230.0,
+            ModelSetting::Yolo416 => 310.0,
+            ModelSetting::Yolo512 => 390.0,
+            ModelSetting::Yolo608 => 500.0,
+            ModelSetting::Yolo704 => 650.0,
+        }
+    }
+
+    /// Index of this setting within [`ModelSetting::ADAPTIVE`], or `None`
+    /// for the non-adaptive settings.
+    pub fn adaptive_index(&self) -> Option<usize> {
+        Self::ADAPTIVE.iter().position(|s| s == self)
+    }
+
+    /// One step lighter (shorter latency) adaptive setting, saturating.
+    pub fn lighter(&self) -> ModelSetting {
+        match self.adaptive_index() {
+            Some(i) if i > 0 => Self::ADAPTIVE[i - 1],
+            _ => *self,
+        }
+    }
+
+    /// One step heavier (higher accuracy) adaptive setting, saturating.
+    pub fn heavier(&self) -> ModelSetting {
+        match self.adaptive_index() {
+            Some(i) if i + 1 < Self::ADAPTIVE.len() => Self::ADAPTIVE[i + 1],
+            _ => *self,
+        }
+    }
+
+    /// Cost of switching to a different setting at runtime, in ms.
+    ///
+    /// The paper measures 1.89e-2 ms (§IV-D3) — YOLOv3 resizes its input
+    /// without reloading weights.
+    pub fn switch_cost_ms() -> f64 {
+        0.0189
+    }
+}
+
+impl fmt::Display for ModelSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelSetting::Tiny320 => write!(f, "YOLOv3-tiny-320"),
+            s => write!(f, "YOLOv3-{}", s.input_size()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_monotone_in_input_size() {
+        let mut prev = 0.0;
+        for s in [
+            ModelSetting::Yolo320,
+            ModelSetting::Yolo416,
+            ModelSetting::Yolo512,
+            ModelSetting::Yolo608,
+            ModelSetting::Yolo704,
+        ] {
+            assert!(s.base_latency_ms() > prev);
+            prev = s.base_latency_ms();
+        }
+        assert!(ModelSetting::Tiny320.base_latency_ms() < ModelSetting::Yolo320.base_latency_ms());
+    }
+
+    #[test]
+    fn latency_matches_paper_range() {
+        // Fig. 1: "processing time changes from 230 ms to 500 ms".
+        assert_eq!(ModelSetting::Yolo320.base_latency_ms(), 230.0);
+        assert_eq!(ModelSetting::Yolo608.base_latency_ms(), 500.0);
+    }
+
+    #[test]
+    fn adaptive_index_and_steps() {
+        assert_eq!(ModelSetting::Yolo320.adaptive_index(), Some(0));
+        assert_eq!(ModelSetting::Yolo608.adaptive_index(), Some(3));
+        assert_eq!(ModelSetting::Tiny320.adaptive_index(), None);
+        assert_eq!(ModelSetting::Yolo704.adaptive_index(), None);
+
+        assert_eq!(ModelSetting::Yolo320.lighter(), ModelSetting::Yolo320);
+        assert_eq!(ModelSetting::Yolo416.lighter(), ModelSetting::Yolo320);
+        assert_eq!(ModelSetting::Yolo608.heavier(), ModelSetting::Yolo608);
+        assert_eq!(ModelSetting::Yolo512.heavier(), ModelSetting::Yolo608);
+        // Non-adaptive settings do not step.
+        assert_eq!(ModelSetting::Yolo704.lighter(), ModelSetting::Yolo704);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelSetting::Yolo608.to_string(), "YOLOv3-608");
+        assert_eq!(ModelSetting::Tiny320.to_string(), "YOLOv3-tiny-320");
+    }
+
+    #[test]
+    fn switch_cost_negligible() {
+        assert!(ModelSetting::switch_cost_ms() < 0.1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-class confusion statistics.
+//!
+//! The simulated detector confuses labels within visual families (car ↔
+//! truck ↔ bus, …) the way the paper's Fig. 5 example shows YOLOv3-320
+//! doing. This module accumulates a class-confusion matrix from box matches
+//! so that behaviour can be inspected and asserted on.
+//!
+//! Matching here is **geometry-only** (labels ignored), unlike true-positive
+//! counting: a predicted box is paired with the ground-truth box it overlaps
+//! best, and the pair's `(true class, predicted class)` cell is incremented.
+
+use crate::matching::Matcher;
+use adavp_video::object::ObjectClass;
+use adavp_vision::geometry::BoundingBox;
+use serde::{Deserialize, Serialize};
+
+/// A class-confusion matrix over [`ObjectClass::ALL`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// `counts[t][p]` = boxes of true class `t` predicted as class `p`.
+    counts: [[u64; 12]; 12],
+    /// Ground-truth boxes with no geometric match (missed entirely).
+    missed: u64,
+    /// Predicted boxes with no geometric match (spurious).
+    spurious: u64,
+}
+
+fn class_index(c: ObjectClass) -> usize {
+    ObjectClass::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("class in ALL")
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one frame: pairs predictions with ground truth by
+    /// geometry (IoU ≥ `iou_threshold`, Hungarian, labels ignored) and
+    /// increments the corresponding cells.
+    pub fn record_frame(
+        &mut self,
+        predictions: &[(ObjectClass, BoundingBox)],
+        ground_truth: &[(ObjectClass, BoundingBox)],
+        iou_threshold: f32,
+    ) {
+        // Erase labels so matching is geometric.
+        let preds: Vec<(ObjectClass, BoundingBox)> = predictions
+            .iter()
+            .map(|(_, b)| (ObjectClass::Car, *b))
+            .collect();
+        let gts: Vec<(ObjectClass, BoundingBox)> = ground_truth
+            .iter()
+            .map(|(_, b)| (ObjectClass::Car, *b))
+            .collect();
+        let outcome = crate::matching::match_boxes(&preds, &gts, iou_threshold, Matcher::Hungarian);
+        for (pi, gi, _) in &outcome.matches {
+            let t = class_index(ground_truth[*gi].0);
+            let p = class_index(predictions[*pi].0);
+            self.counts[t][p] += 1;
+        }
+        self.missed += outcome.unmatched_ground_truth.len() as u64;
+        self.spurious += outcome.unmatched_predictions.len() as u64;
+    }
+
+    /// Count of true class `t` predicted as `p`.
+    pub fn count(&self, t: ObjectClass, p: ObjectClass) -> u64 {
+        self.counts[class_index(t)][class_index(p)]
+    }
+
+    /// Total geometrically-matched boxes.
+    pub fn matched_total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction of matched boxes whose label was correct.
+    pub fn label_accuracy(&self) -> f64 {
+        let total = self.matched_total();
+        if total == 0 {
+            return 1.0;
+        }
+        let correct: u64 = (0..12).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Ground-truth boxes never matched by any prediction.
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+
+    /// Predictions never matched to any ground truth.
+    pub fn spurious(&self) -> u64 {
+        self.spurious
+    }
+
+    /// Fraction of label errors that stay within the true class's family
+    /// (1.0 when there are no label errors).
+    pub fn within_family_confusion(&self) -> f64 {
+        let mut errors = 0u64;
+        let mut within = 0u64;
+        for (t, &tc) in ObjectClass::ALL.iter().enumerate() {
+            for (p, &pc) in ObjectClass::ALL.iter().enumerate() {
+                if t != p {
+                    let n = self.counts[t][p];
+                    errors += n;
+                    if tc.family() == pc.family() {
+                        within += n;
+                    }
+                }
+            }
+        }
+        if errors == 0 {
+            1.0
+        } else {
+            within as f64 / errors as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ObjectClass::{Bus, Car, Person, Truck};
+
+    fn b(l: f32) -> BoundingBox {
+        BoundingBox::new(l, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn correct_labels_on_diagonal() {
+        let mut m = ConfusionMatrix::new();
+        m.record_frame(
+            &[(Car, b(0.0)), (Person, b(50.0))],
+            &[(Car, b(0.0)), (Person, b(50.0))],
+            0.5,
+        );
+        assert_eq!(m.count(Car, Car), 1);
+        assert_eq!(m.count(Person, Person), 1);
+        assert_eq!(m.label_accuracy(), 1.0);
+        assert_eq!(m.missed(), 0);
+        assert_eq!(m.spurious(), 0);
+    }
+
+    #[test]
+    fn label_confusion_counted_off_diagonal() {
+        let mut m = ConfusionMatrix::new();
+        // Truth is a car; predicted as truck at the same location.
+        m.record_frame(&[(Truck, b(0.0))], &[(Car, b(0.0))], 0.5);
+        assert_eq!(m.count(Car, Truck), 1);
+        assert_eq!(m.count(Car, Car), 0);
+        assert_eq!(m.label_accuracy(), 0.0);
+        assert_eq!(m.within_family_confusion(), 1.0);
+    }
+
+    #[test]
+    fn cross_family_confusion_detected() {
+        let mut m = ConfusionMatrix::new();
+        m.record_frame(&[(Person, b(0.0))], &[(Car, b(0.0))], 0.5);
+        assert_eq!(m.within_family_confusion(), 0.0);
+    }
+
+    #[test]
+    fn missed_and_spurious() {
+        let mut m = ConfusionMatrix::new();
+        m.record_frame(&[(Car, b(100.0))], &[(Bus, b(0.0))], 0.5);
+        assert_eq!(m.missed(), 1);
+        assert_eq!(m.spurious(), 1);
+        assert_eq!(m.matched_total(), 0);
+        // Vacuous accuracy when nothing matched.
+        assert_eq!(m.label_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn detector_confusion_stays_in_family() {
+        // End-to-end: the simulated detector's label errors should be
+        // overwhelmingly within-family.
+        use adavp_detector::{Detector, DetectorConfig, ModelSetting, SimulatedDetector};
+        use adavp_video::clip::VideoClip;
+        use adavp_video::scenario::Scenario;
+        let mut spec = Scenario::Highway.spec();
+        spec.width = 320;
+        spec.height = 180;
+        spec.size_range = (24.0, 44.0);
+        let clip = VideoClip::generate("conf", &spec, 5, 40);
+        let mut det = SimulatedDetector::new(DetectorConfig::default());
+        let mut m = ConfusionMatrix::new();
+        for f in &clip {
+            let r = det.detect(f, ModelSetting::Yolo320);
+            let preds: Vec<_> = r.detections.iter().map(|d| (d.class, d.bbox)).collect();
+            let gts: Vec<_> = f.ground_truth.iter().map(|g| (g.class, g.bbox)).collect();
+            m.record_frame(&preds, &gts, 0.3);
+        }
+        assert!(
+            m.matched_total() > 40,
+            "too few matches: {}",
+            m.matched_total()
+        );
+        assert!(
+            m.label_accuracy() > 0.7 && m.label_accuracy() < 1.0,
+            "YOLOv3-320 should confuse some labels: {}",
+            m.label_accuracy()
+        );
+        // A few cross-family cells arise when a random false-positive box
+        // happens to land on a ground-truth object; genuine label confusion
+        // dominates and stays within families.
+        assert!(
+            m.within_family_confusion() > 0.8,
+            "confusion must stay mostly within families: {}",
+            m.within_family_confusion()
+        );
+    }
+}

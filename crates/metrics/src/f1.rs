@@ -1,0 +1,187 @@
+//! Per-frame precision / recall / F1 (Eq. 1-2 of the paper).
+
+use crate::matching::{match_boxes, Matcher};
+use adavp_video::object::ObjectClass;
+use adavp_vision::geometry::BoundingBox;
+use serde::{Deserialize, Serialize};
+
+/// A labeled box — the common currency between detections, tracker outputs
+/// and ground truth when scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledBox {
+    /// Class label.
+    pub class: ObjectClass,
+    /// Bounding box.
+    pub bbox: BoundingBox,
+}
+
+impl LabeledBox {
+    /// Creates a labeled box.
+    pub fn new(class: ObjectClass, bbox: BoundingBox) -> Self {
+        Self { class, bbox }
+    }
+}
+
+/// Precision/recall/F1 for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameScore {
+    /// True positives.
+    pub tp: usize,
+    /// False positives (unmatched predictions).
+    pub fp: usize,
+    /// False negatives (unmatched ground truth).
+    pub fn_: usize,
+    /// `tp / (tp + fp)`; 1.0 when there are no predictions and no ground truth.
+    pub precision: f64,
+    /// `tp / (tp + fn)`; 1.0 when there is no ground truth and no predictions.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (Eq. 1).
+    pub f1: f64,
+}
+
+impl FrameScore {
+    /// A perfect score (used for empty-vs-empty frames).
+    pub fn perfect() -> Self {
+        Self {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        }
+    }
+}
+
+/// Scores one frame's predictions against ground truth.
+///
+/// An empty frame scored against empty predictions is perfect (F1 = 1);
+/// this matches the convention of Glimpse and MARLIN, whose per-video
+/// accuracy counts such frames as correct.
+pub fn evaluate_frame(
+    predictions: &[LabeledBox],
+    ground_truth: &[LabeledBox],
+    iou_threshold: f32,
+    matcher: Matcher,
+) -> FrameScore {
+    if predictions.is_empty() && ground_truth.is_empty() {
+        return FrameScore::perfect();
+    }
+    let preds: Vec<(ObjectClass, BoundingBox)> =
+        predictions.iter().map(|l| (l.class, l.bbox)).collect();
+    let gts: Vec<(ObjectClass, BoundingBox)> =
+        ground_truth.iter().map(|l| (l.class, l.bbox)).collect();
+    let outcome = match_boxes(&preds, &gts, iou_threshold, matcher);
+    let tp = outcome.matches.len();
+    let fp = outcome.unmatched_predictions.len();
+    let fn_ = outcome.unmatched_ground_truth.len();
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    FrameScore {
+        tp,
+        fp,
+        fn_,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ObjectClass::{Car, Person};
+
+    fn lb(class: ObjectClass, l: f32, t: f32, w: f32, h: f32) -> LabeledBox {
+        LabeledBox::new(class, BoundingBox::new(l, t, w, h))
+    }
+
+    #[test]
+    fn perfect_frame() {
+        let gt = vec![
+            lb(Car, 0.0, 0.0, 10.0, 10.0),
+            lb(Person, 40.0, 0.0, 5.0, 12.0),
+        ];
+        let s = evaluate_frame(&gt, &gt, 0.5, Matcher::Hungarian);
+        assert_eq!((s.tp, s.fp, s.fn_), (2, 0, 0));
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_perfect() {
+        let s = evaluate_frame(&[], &[], 0.5, Matcher::Greedy);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn miss_everything() {
+        let gt = vec![lb(Car, 0.0, 0.0, 10.0, 10.0)];
+        let s = evaluate_frame(&[], &gt, 0.5, Matcher::Greedy);
+        assert_eq!((s.tp, s.fp, s.fn_), (0, 0, 1));
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn all_false_positives() {
+        let pred = vec![lb(Car, 0.0, 0.0, 10.0, 10.0)];
+        let s = evaluate_frame(&pred, &[], 0.5, Matcher::Greedy);
+        assert_eq!((s.tp, s.fp, s.fn_), (0, 1, 0));
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn half_right() {
+        let gt = vec![
+            lb(Car, 0.0, 0.0, 10.0, 10.0),
+            lb(Car, 50.0, 0.0, 10.0, 10.0),
+        ];
+        let pred = vec![
+            lb(Car, 0.0, 0.0, 10.0, 10.0),
+            lb(Car, 200.0, 0.0, 10.0, 10.0),
+        ];
+        let s = evaluate_frame(&pred, &gt, 0.5, Matcher::Hungarian);
+        assert_eq!((s.tp, s.fp, s.fn_), (1, 1, 1));
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 0.5);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        // 2 TP, 1 FP, 0 FN: P = 2/3, R = 1 -> F1 = 2*(2/3)/(5/3) = 0.8.
+        let gt = vec![
+            lb(Car, 0.0, 0.0, 10.0, 10.0),
+            lb(Car, 50.0, 0.0, 10.0, 10.0),
+        ];
+        let mut pred = gt.clone();
+        pred.push(lb(Car, 200.0, 0.0, 10.0, 10.0));
+        let s = evaluate_frame(&pred, &gt, 0.5, Matcher::Hungarian);
+        assert!((s.f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stricter_iou_lowers_score() {
+        let gt = vec![lb(Car, 0.0, 0.0, 10.0, 10.0)];
+        let pred = vec![lb(Car, 3.0, 0.0, 10.0, 10.0)]; // IoU = 7/13 ≈ 0.538
+        let loose = evaluate_frame(&pred, &gt, 0.5, Matcher::Greedy);
+        let strict = evaluate_frame(&pred, &gt, 0.6, Matcher::Greedy);
+        assert_eq!(loose.tp, 1);
+        assert_eq!(strict.tp, 0);
+        assert!(strict.f1 < loose.f1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Per-video and per-dataset accuracy (§VI-A).
+//!
+//! "We use the percentage of frames with certain F1 score threshold to
+//! measure the accuracy of a video. … For the video set, we use the average
+//! percentage per video."
+
+/// Default F1 threshold α for counting a frame as accurate.
+pub const DEFAULT_F1_THRESHOLD: f64 = 0.7;
+
+/// Fraction of frames whose F1 meets the threshold.
+///
+/// Returns 0 for an empty score list.
+pub fn video_accuracy(frame_f1: &[f64], f1_threshold: f64) -> f64 {
+    if frame_f1.is_empty() {
+        return 0.0;
+    }
+    let good = frame_f1.iter().filter(|&&s| s >= f1_threshold).count();
+    good as f64 / frame_f1.len() as f64
+}
+
+/// Mean of per-video accuracies — the paper's dataset-level metric.
+///
+/// Returns 0 for an empty dataset.
+pub fn dataset_accuracy(per_video: &[f64]) -> f64 {
+    if per_video.is_empty() {
+        return 0.0;
+    }
+    per_video.iter().sum::<f64>() / per_video.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_accuracy_counts_threshold() {
+        let scores = [0.9, 0.8, 0.6, 0.71, 0.69];
+        assert!((video_accuracy(&scores, 0.7) - 0.6).abs() < 1e-12);
+        assert!((video_accuracy(&scores, 0.75) - 0.4).abs() < 1e-12);
+        // Threshold is inclusive.
+        assert!((video_accuracy(&[0.7], 0.7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(video_accuracy(&[], 0.7), 0.0);
+        assert_eq!(dataset_accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn dataset_is_mean_of_videos() {
+        assert!((dataset_accuracy(&[0.2, 0.4, 0.9]) - 0.5).abs() < 1e-12);
+    }
+}

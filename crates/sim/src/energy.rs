@@ -1,0 +1,263 @@
+//! TX2-style energy model.
+//!
+//! The paper measures the power of four rails — GPU, CPU, SoC, DDR — with
+//! `Power_Monitor.sh`, subtracts the idle baseline, and multiplies by
+//! running time (§V). We reproduce that accounting: each pipeline activity
+//! draws a fixed above-idle power on each rail; the meter integrates
+//! `power × duration` into watt-hours per rail, yielding the rows of
+//! Table III.
+//!
+//! The constants are calibrated for *relative* fidelity (which scheme costs
+//! more, and roughly by what factor) — absolute watt-hours depend on the
+//! length of the video set, exactly as in the paper.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pipeline activity that draws power while it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activity {
+    /// DNN inference on the GPU at a given input size.
+    Detect {
+        /// Network input size (320..=704).
+        input_size: u32,
+        /// Whether this is the tiny variant (lower GPU power).
+        tiny: bool,
+    },
+    /// Shi-Tomasi good-feature extraction on the CPU.
+    FeatureExtraction,
+    /// Lucas-Kanade tracking of one frame on the CPU.
+    Tracking,
+    /// Overlay drawing / display of one frame on the CPU.
+    Overlay,
+    /// Changing the DNN model setting.
+    ModelSwitch,
+}
+
+/// Above-idle power draw on each rail, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RailPowers {
+    /// GPU rail.
+    pub gpu_w: f64,
+    /// CPU rail.
+    pub cpu_w: f64,
+    /// SoC rail.
+    pub soc_w: f64,
+    /// DDR rail.
+    pub ddr_w: f64,
+}
+
+impl Activity {
+    /// The rail powers this activity draws while running.
+    pub fn rail_powers(&self) -> RailPowers {
+        match *self {
+            Activity::Detect { input_size, tiny } => {
+                let scale = (input_size as f64 / 608.0).powi(2);
+                let gpu = if tiny { 1.3 } else { 1.8 + 3.4 * scale };
+                RailPowers {
+                    gpu_w: gpu,
+                    cpu_w: 0.45,
+                    soc_w: 0.08 + 0.06 * gpu,
+                    ddr_w: 0.30 * gpu + 0.15,
+                }
+            }
+            Activity::FeatureExtraction => RailPowers {
+                gpu_w: 0.0,
+                cpu_w: 2.3,
+                soc_w: 0.18,
+                ddr_w: 0.55,
+            },
+            Activity::Tracking => RailPowers {
+                gpu_w: 0.0,
+                cpu_w: 2.1,
+                soc_w: 0.16,
+                ddr_w: 0.50,
+            },
+            Activity::Overlay => RailPowers {
+                gpu_w: 0.0,
+                cpu_w: 1.6,
+                soc_w: 0.20,
+                ddr_w: 0.65,
+            },
+            Activity::ModelSwitch => RailPowers {
+                gpu_w: 0.2,
+                cpu_w: 1.0,
+                soc_w: 0.10,
+                ddr_w: 0.20,
+            },
+        }
+    }
+}
+
+/// Accumulated energy per rail, in watt-hours.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// GPU rail energy (w·h).
+    pub gpu_wh: f64,
+    /// CPU rail energy (w·h).
+    pub cpu_wh: f64,
+    /// SoC rail energy (w·h).
+    pub soc_wh: f64,
+    /// DDR rail energy (w·h).
+    pub ddr_wh: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total over all rails (the "Total" row of Table III).
+    pub fn total_wh(&self) -> f64 {
+        self.gpu_wh + self.cpu_wh + self.soc_wh + self.ddr_wh
+    }
+
+    /// Element-wise scaling (e.g. to normalize per hour of video).
+    pub fn scaled(&self, k: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            gpu_wh: self.gpu_wh * k,
+            cpu_wh: self.cpu_wh * k,
+            soc_wh: self.soc_wh * k,
+            ddr_wh: self.ddr_wh * k,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GPU {:.3} | CPU {:.3} | SoC {:.3} | DDR {:.3} | total {:.3} w·h",
+            self.gpu_wh,
+            self.cpu_wh,
+            self.soc_wh,
+            self.ddr_wh,
+            self.total_wh()
+        )
+    }
+}
+
+/// Integrates activity power over time.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    acc: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with zero accumulated energy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `activity` running for `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative.
+    pub fn record(&mut self, activity: Activity, duration: SimTime) {
+        assert!(duration >= SimTime::ZERO, "negative activity duration");
+        let p = activity.rail_powers();
+        let h = duration.as_hours();
+        self.acc.gpu_wh += p.gpu_w * h;
+        self.acc.cpu_wh += p.cpu_w * h;
+        self.acc.soc_wh += p.soc_w * h;
+        self.acc.ddr_wh += p.ddr_w * h;
+    }
+
+    /// The energy accumulated so far.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: f64) -> SimTime {
+        SimTime::from_ms(h * 3_600_000.0)
+    }
+
+    #[test]
+    fn bigger_input_draws_more_gpu_power() {
+        let p320 = Activity::Detect {
+            input_size: 320,
+            tiny: false,
+        }
+        .rail_powers();
+        let p608 = Activity::Detect {
+            input_size: 608,
+            tiny: false,
+        }
+        .rail_powers();
+        assert!(p608.gpu_w > p320.gpu_w);
+        assert!(p608.ddr_w > p320.ddr_w);
+        let tiny = Activity::Detect {
+            input_size: 320,
+            tiny: true,
+        }
+        .rail_powers();
+        assert!(tiny.gpu_w < p320.gpu_w);
+    }
+
+    #[test]
+    fn tracking_is_cpu_dominated() {
+        for a in [
+            Activity::FeatureExtraction,
+            Activity::Tracking,
+            Activity::Overlay,
+        ] {
+            let p = a.rail_powers();
+            assert_eq!(p.gpu_w, 0.0);
+            assert!(p.cpu_w > p.soc_w);
+        }
+    }
+
+    #[test]
+    fn meter_integrates_power_times_time() {
+        let mut m = EnergyMeter::new();
+        m.record(Activity::Tracking, hours(2.0));
+        let b = m.breakdown();
+        let p = Activity::Tracking.rail_powers();
+        assert!((b.cpu_wh - 2.0 * p.cpu_w).abs() < 1e-9);
+        assert!((b.total_wh() - 2.0 * (p.cpu_w + p.soc_w + p.ddr_w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_accumulates_across_activities() {
+        let mut m = EnergyMeter::new();
+        m.record(
+            Activity::Detect {
+                input_size: 608,
+                tiny: false,
+            },
+            hours(1.0),
+        );
+        let after_detect = m.breakdown().total_wh();
+        m.record(Activity::Overlay, hours(1.0));
+        assert!(m.breakdown().total_wh() > after_detect);
+    }
+
+    #[test]
+    fn zero_duration_adds_nothing() {
+        let mut m = EnergyMeter::new();
+        m.record(Activity::ModelSwitch, SimTime::ZERO);
+        assert_eq!(m.breakdown().total_wh(), 0.0);
+    }
+
+    #[test]
+    fn scaled_breakdown() {
+        let b = EnergyBreakdown {
+            gpu_wh: 1.0,
+            cpu_wh: 2.0,
+            soc_wh: 3.0,
+            ddr_wh: 4.0,
+        };
+        let s = b.scaled(0.5);
+        assert_eq!(s.gpu_wh, 0.5);
+        assert_eq!(s.total_wh(), 5.0);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let b = EnergyBreakdown::default();
+        assert!(b.to_string().contains("total"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic platform substrate for the AdaVP reproduction.
+//!
+//! The paper runs on an Nvidia Jetson TX2: detection occupies the GPU,
+//! tracking and overlay drawing occupy the CPU, and the two proceed in
+//! parallel (§IV-B). This crate simulates that platform with:
+//!
+//! * [`time::SimTime`] — virtual milliseconds; all pipeline latencies are
+//!   *modeled* (calibrated to the paper's Table II) rather than measured,
+//!   so experiments are deterministic and run faster than real time.
+//! * [`event::EventQueue`] — a discrete-event queue with FIFO tie-breaking,
+//!   the engine under the pipeline simulators.
+//! * [`resource::Resource`] — serially-reusable compute resources (the GPU,
+//!   the CPU) that track busy intervals.
+//! * [`energy::EnergyMeter`] — a per-rail power model (GPU / CPU / SoC /
+//!   DDR, as measured by the paper's `Power_Monitor.sh`) integrated over
+//!   activity intervals, reproducing Table III's relative energy figures.
+//!
+//! # Example
+//!
+//! ```
+//! use adavp_sim::time::SimTime;
+//! use adavp_sim::event::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_ms(30.0), "b");
+//! q.push(SimTime::from_ms(10.0), "a");
+//! assert_eq!(q.pop(), Some((SimTime::from_ms(10.0), "a")));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod event;
+pub mod resource;
+pub mod time;
+
+pub use energy::{Activity, EnergyBreakdown, EnergyMeter};
+pub use event::EventQueue;
+pub use resource::Resource;
+pub use time::SimTime;

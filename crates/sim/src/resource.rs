@@ -1,0 +1,165 @@
+//! Serially-reusable compute resources.
+//!
+//! The TX2 model has two resources the pipelines contend for: the GPU
+//! (detection) and the CPU (feature extraction, tracking, overlay drawing).
+//! A [`Resource`] admits one task at a time and records every busy interval
+//! for utilization and energy accounting.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One busy interval on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+}
+
+impl BusyInterval {
+    /// Interval duration.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// A serially-reusable resource (GPU, CPU core pool, …).
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    busy_until: SimTime,
+    intervals: Vec<BusyInterval>,
+}
+
+impl Resource {
+    /// Creates an idle resource.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            busy_until: SimTime::ZERO,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Resource name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Earliest time a new task could start.
+    pub fn available_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the resource is idle at `t` — i.e. `t` falls inside none of
+    /// the scheduled busy intervals.
+    pub fn is_idle_at(&self, t: SimTime) -> bool {
+        !self.intervals.iter().any(|iv| t >= iv.start && t < iv.end)
+    }
+
+    /// Schedules a task that wants to start at `earliest` and run for
+    /// `duration`. The task is queued behind any current occupancy.
+    ///
+    /// Returns the `(start, end)` actually assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative.
+    pub fn schedule(&mut self, earliest: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        assert!(duration >= SimTime::ZERO, "negative task duration");
+        let start = earliest.max(self.busy_until);
+        let end = start + duration;
+        self.busy_until = end;
+        if duration > SimTime::ZERO {
+            self.intervals.push(BusyInterval { start, end });
+        }
+        (start, end)
+    }
+
+    /// All busy intervals recorded so far (chronological).
+    pub fn intervals(&self) -> &[BusyInterval] {
+        &self.intervals
+    }
+
+    /// Total busy time.
+    pub fn total_busy(&self) -> SimTime {
+        self.intervals
+            .iter()
+            .fold(SimTime::ZERO, |acc, iv| acc + iv.duration())
+    }
+
+    /// Busy fraction over `[0, horizon]`; 0 when the horizon is zero.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon <= SimTime::ZERO {
+            return 0.0;
+        }
+        (self.total_busy().as_ms() / horizon.as_ms()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_ms(v)
+    }
+
+    #[test]
+    fn schedules_back_to_back() {
+        let mut r = Resource::new("gpu");
+        let (s1, e1) = r.schedule(ms(0.0), ms(100.0));
+        assert_eq!((s1, e1), (ms(0.0), ms(100.0)));
+        // Wants to start at 50 but the resource is busy until 100.
+        let (s2, e2) = r.schedule(ms(50.0), ms(30.0));
+        assert_eq!((s2, e2), (ms(100.0), ms(130.0)));
+        assert_eq!(r.available_at(), ms(130.0));
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let mut r = Resource::new("cpu");
+        r.schedule(ms(0.0), ms(10.0));
+        let (s, e) = r.schedule(ms(100.0), ms(10.0));
+        assert_eq!((s, e), (ms(100.0), ms(110.0)));
+        assert!(r.is_idle_at(ms(50.0)));
+        assert!(!r.is_idle_at(ms(105.0)));
+    }
+
+    #[test]
+    fn intervals_never_overlap() {
+        let mut r = Resource::new("gpu");
+        for i in 0..20 {
+            r.schedule(ms(i as f64 * 3.0), ms(7.0));
+        }
+        let ivs = r.intervals();
+        for pair in ivs.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn utilization_and_total() {
+        let mut r = Resource::new("gpu");
+        r.schedule(ms(0.0), ms(25.0));
+        r.schedule(ms(50.0), ms(25.0));
+        assert_eq!(r.total_busy(), ms(50.0));
+        assert!((r.utilization(ms(100.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_tasks_leave_no_interval() {
+        let mut r = Resource::new("cpu");
+        let (s, e) = r.schedule(ms(5.0), ms(0.0));
+        assert_eq!(s, e);
+        assert!(r.intervals().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative task duration")]
+    fn negative_duration_panics() {
+        Resource::new("gpu").schedule(ms(0.0), ms(-1.0));
+    }
+}

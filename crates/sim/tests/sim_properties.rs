@@ -1,0 +1,74 @@
+//! Property-based tests for the platform substrate.
+
+use adavp_sim::energy::{Activity, EnergyMeter};
+use adavp_sim::event::EventQueue;
+use adavp_sim::resource::Resource;
+use adavp_sim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 0..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ms(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn resource_intervals_disjoint_and_ordered(
+        reqs in prop::collection::vec((0.0f64..1e4, 0.0f64..500.0), 0..40),
+    ) {
+        let mut r = Resource::new("x");
+        for (earliest, dur) in &reqs {
+            let (s, e) = r.schedule(SimTime::from_ms(*earliest), SimTime::from_ms(*dur));
+            prop_assert!(s >= SimTime::from_ms(*earliest));
+            prop_assert!(e == s + SimTime::from_ms(*dur));
+        }
+        for w in r.intervals().windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        // Total busy equals the sum of requested durations.
+        let total: f64 = reqs.iter().map(|(_, d)| d).sum();
+        prop_assert!((r.total_busy().as_ms() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_is_additive(
+        durations in prop::collection::vec(0.0f64..1e5, 1..20),
+    ) {
+        // Recording n activities one by one equals recording their total.
+        let mut one_by_one = EnergyMeter::new();
+        for &d in &durations {
+            one_by_one.record(Activity::Tracking, SimTime::from_ms(d));
+        }
+        let mut at_once = EnergyMeter::new();
+        at_once.record(
+            Activity::Tracking,
+            SimTime::from_ms(durations.iter().sum()),
+        );
+        let a = one_by_one.breakdown();
+        let b = at_once.breakdown();
+        prop_assert!((a.total_wh() - b.total_wh()).abs() < 1e-9);
+        prop_assert!((a.cpu_wh - b.cpu_wh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_time_ordering_consistent_with_ms(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let ta = SimTime::from_ms(a);
+        let tb = SimTime::from_ms(b);
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.max(tb).as_ms(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_ms(), a.min(b));
+    }
+}

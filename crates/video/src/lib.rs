@@ -1,0 +1,55 @@
+//! Synthetic video substrate for the AdaVP reproduction.
+//!
+//! The AdaVP paper evaluates on 45 real videos (ImageNet-VID, Videezy,
+//! YouTube) spanning 14 scenarios — surveillance, car-mounted, handheld —
+//! none of which are available offline. This crate replaces that corpus with
+//! a *world simulator* plus a *software rasterizer*:
+//!
+//! * [`object`] — object classes (cars, trucks, people, animals, …) with
+//!   class families used by the detector's label-confusion model.
+//! * [`world`] — a 2-D world of moving textured objects observed by a camera
+//!   that can be static, panning, handheld or vehicle-mounted.
+//! * [`scenario`] — parameterized presets for the paper's 14 scenarios
+//!   (highway, intersection, city street, train station, meeting room, …),
+//!   each with a characteristic content-change rate.
+//! * [`render`] — renders a world state to a grayscale pixel frame with
+//!   smooth procedural textures that real corner detection and Lucas-Kanade
+//!   optical flow operate on.
+//! * [`clip`] — [`clip::VideoClip`]: rendered frames plus per-frame ground
+//!   truth (labels and bounding boxes).
+//! * [`dataset`] — seeded training/testing datasets mirroring the paper's
+//!   corpus split (105,205 training / 141,213 testing frames, scaled down).
+//! * [`buffer`] — the camera frame buffer abstraction the pipelines consume.
+//! * [`export`] — PGM frame I/O and bounding-box overlay drawing, for
+//!   visual inspection of rendered clips and pipeline outputs.
+//!
+//! Everything is deterministic given a `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use adavp_video::scenario::Scenario;
+//! use adavp_video::clip::VideoClip;
+//!
+//! let spec = Scenario::Highway.spec();
+//! let clip = VideoClip::generate("demo", &spec, 42, 30);
+//! assert_eq!(clip.len(), 30);
+//! assert!(clip.frame(0).ground_truth.len() >= 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod clip;
+pub mod dataset;
+pub mod export;
+pub mod object;
+pub mod render;
+pub mod scenario;
+pub mod world;
+
+pub use clip::{Frame, GroundTruthObject, VideoClip};
+pub use object::{ClassFamily, ObjectClass, ObjectId};
+pub use scenario::{CameraMotion, Scenario, ScenarioSpec};
+pub use world::World;

@@ -1,0 +1,217 @@
+//! Object classes and identities.
+//!
+//! The classes mirror the COCO categories the paper's videos contain
+//! ("cars, trucks, trains, persons, airplanes, animals"). Classes are grouped
+//! into [`ClassFamily`]s: the simulated detector only confuses labels within
+//! a family (the paper's Fig. 5 example confuses cars with trucks).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identity of a world object within one video clip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Object category, as a DNN detector would label it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ObjectClass {
+    Car,
+    Truck,
+    Bus,
+    Motorcycle,
+    Bicycle,
+    Person,
+    Dog,
+    Horse,
+    Bird,
+    Airplane,
+    Boat,
+    Train,
+}
+
+/// Coarse grouping of visually similar classes.
+///
+/// The simulated detector's label-confusion noise stays within a family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ClassFamily {
+    Vehicle,
+    TwoWheeler,
+    Animal,
+    Person,
+    Aircraft,
+    Watercraft,
+    Rail,
+}
+
+impl ObjectClass {
+    /// All supported classes.
+    pub const ALL: [ObjectClass; 12] = [
+        ObjectClass::Car,
+        ObjectClass::Truck,
+        ObjectClass::Bus,
+        ObjectClass::Motorcycle,
+        ObjectClass::Bicycle,
+        ObjectClass::Person,
+        ObjectClass::Dog,
+        ObjectClass::Horse,
+        ObjectClass::Bird,
+        ObjectClass::Airplane,
+        ObjectClass::Boat,
+        ObjectClass::Train,
+    ];
+
+    /// The visual family this class belongs to.
+    pub fn family(&self) -> ClassFamily {
+        match self {
+            ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus => ClassFamily::Vehicle,
+            ObjectClass::Motorcycle | ObjectClass::Bicycle => ClassFamily::TwoWheeler,
+            ObjectClass::Dog | ObjectClass::Horse | ObjectClass::Bird => ClassFamily::Animal,
+            ObjectClass::Person => ClassFamily::Person,
+            ObjectClass::Airplane => ClassFamily::Aircraft,
+            ObjectClass::Boat => ClassFamily::Watercraft,
+            ObjectClass::Train => ClassFamily::Rail,
+        }
+    }
+
+    /// Classes in the same family, excluding `self` (confusion candidates).
+    pub fn confusable(&self) -> Vec<ObjectClass> {
+        ObjectClass::ALL
+            .iter()
+            .copied()
+            .filter(|c| c != self && c.family() == self.family())
+            .collect()
+    }
+
+    /// Stable small integer for seeding per-class texture generators.
+    pub fn texture_seed(&self) -> u32 {
+        match self {
+            ObjectClass::Car => 1,
+            ObjectClass::Truck => 2,
+            ObjectClass::Bus => 3,
+            ObjectClass::Motorcycle => 4,
+            ObjectClass::Bicycle => 5,
+            ObjectClass::Person => 6,
+            ObjectClass::Dog => 7,
+            ObjectClass::Horse => 8,
+            ObjectClass::Bird => 9,
+            ObjectClass::Airplane => 10,
+            ObjectClass::Boat => 11,
+            ObjectClass::Train => 12,
+        }
+    }
+
+    /// Typical rendered aspect ratio (width / height) of the class.
+    pub fn aspect_ratio(&self) -> f32 {
+        match self {
+            ObjectClass::Car => 1.8,
+            ObjectClass::Truck => 2.2,
+            ObjectClass::Bus => 2.6,
+            ObjectClass::Motorcycle => 1.4,
+            ObjectClass::Bicycle => 1.3,
+            ObjectClass::Person => 0.45,
+            ObjectClass::Dog => 1.4,
+            ObjectClass::Horse => 1.5,
+            ObjectClass::Bird => 1.1,
+            ObjectClass::Airplane => 2.8,
+            ObjectClass::Boat => 2.0,
+            ObjectClass::Train => 4.0,
+        }
+    }
+
+    /// Base gray tone for rendering (families get distinct tones so the
+    /// rasterized frames carry class-correlated appearance).
+    pub fn base_tone(&self) -> u8 {
+        match self.family() {
+            ClassFamily::Vehicle => 150,
+            ClassFamily::TwoWheeler => 110,
+            ClassFamily::Animal => 95,
+            ClassFamily::Person => 170,
+            ClassFamily::Aircraft => 200,
+            ClassFamily::Watercraft => 130,
+            ClassFamily::Rail => 85,
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Bus => "bus",
+            ObjectClass::Motorcycle => "motorcycle",
+            ObjectClass::Bicycle => "bicycle",
+            ObjectClass::Person => "person",
+            ObjectClass::Dog => "dog",
+            ObjectClass::Horse => "horse",
+            ObjectClass::Bird => "bird",
+            ObjectClass::Airplane => "airplane",
+            ObjectClass::Boat => "boat",
+            ObjectClass::Train => "train",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_partition_classes() {
+        for c in ObjectClass::ALL {
+            // Every class belongs to exactly one family, trivially true, but
+            // confusable() must never contain the class itself and must stay
+            // within the family.
+            let conf = c.confusable();
+            assert!(!conf.contains(&c));
+            for other in conf {
+                assert_eq!(other.family(), c.family());
+            }
+        }
+    }
+
+    #[test]
+    fn vehicles_confusable_with_each_other() {
+        let conf = ObjectClass::Car.confusable();
+        assert!(conf.contains(&ObjectClass::Truck));
+        assert!(conf.contains(&ObjectClass::Bus));
+        assert!(!conf.contains(&ObjectClass::Person));
+    }
+
+    #[test]
+    fn person_has_no_confusion_candidates() {
+        assert!(ObjectClass::Person.confusable().is_empty());
+    }
+
+    #[test]
+    fn texture_seeds_unique() {
+        let mut seeds: Vec<u32> = ObjectClass::ALL.iter().map(|c| c.texture_seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), ObjectClass::ALL.len());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ObjectClass::Car.to_string(), "car");
+        assert_eq!(ObjectClass::Airplane.to_string(), "airplane");
+        assert_eq!(ObjectId(7).to_string(), "obj#7");
+    }
+
+    #[test]
+    fn aspect_ratios_positive() {
+        for c in ObjectClass::ALL {
+            assert!(c.aspect_ratio() > 0.0);
+            assert!(c.base_tone() > 0);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Scenario presets: parameterized generators for the paper's 14 video
+//! scenarios.
+//!
+//! The AdaVP training corpus covers "surveillance videos at highway,
+//! intersection, city street, train station, bus station, and residential
+//! area; car-mounted videos driving on highway or around downtown; mobile
+//! camera videos about airplanes, boat, animals in the wild, racetrack,
+//! meeting room and skating rink" (§IV-D3). Each [`Scenario`] maps to a
+//! [`ScenarioSpec`] whose object speeds and camera motion reproduce that
+//! scenario's characteristic content-change rate.
+
+use crate::object::ObjectClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the camera moves over the world.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CameraMotion {
+    /// Fixed surveillance camera.
+    Static,
+    /// Constant pan at the given velocity (world px/s).
+    Pan {
+        /// Horizontal pan speed.
+        vx: f32,
+        /// Vertical pan speed.
+        vy: f32,
+    },
+    /// Handheld camera: slow drift plus sinusoidal jitter.
+    Handheld {
+        /// Drift speed (world px/s).
+        drift: f32,
+        /// Jitter amplitude (px).
+        jitter_amp: f32,
+        /// Jitter frequency (Hz).
+        jitter_hz: f32,
+    },
+    /// Vehicle-mounted camera: fast horizontal ego-motion with slight sway.
+    Vehicle {
+        /// Forward (horizontal) speed (world px/s).
+        speed: f32,
+        /// Vertical sway amplitude (px).
+        sway_amp: f32,
+    },
+}
+
+/// How spawned objects move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectionPattern {
+    /// Two-way horizontal traffic (e.g. highway).
+    TwoWayHorizontal,
+    /// One-way horizontal flow.
+    OneWayHorizontal,
+    /// Objects converge on / cross the centre (e.g. intersection).
+    Crossing,
+    /// Arbitrary directions (e.g. animals, skating rink).
+    Random,
+    /// Nearly stationary objects with small wander (e.g. meeting room).
+    Loiter,
+}
+
+/// Full parameterization of a synthetic video scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frames per second of the virtual camera.
+    pub fps: f32,
+    /// Camera motion model.
+    pub camera: CameraMotion,
+    /// Object classes that appear (uniformly sampled).
+    pub classes: Vec<ObjectClass>,
+    /// Number of objects placed in view at frame 0.
+    pub initial_objects: u32,
+    /// Cap on simultaneously live objects.
+    pub max_objects: u32,
+    /// Expected new-object arrivals per second.
+    pub spawn_rate_hz: f32,
+    /// Object speed range in world px/s.
+    pub speed_range: (f32, f32),
+    /// Object rendered-height range in pixels.
+    pub size_range: (f32, f32),
+    /// Motion pattern of the objects.
+    pub direction: DirectionPattern,
+    /// Amplitude of lateral sinusoidal wobble (px), for organic motion.
+    pub wobble_amp: f32,
+    /// Sensor noise amplitude added at render time (gray levels).
+    pub noise_amp: f32,
+    /// Period (seconds) of the scenario's activity cycle — object speeds are
+    /// modulated over time so content-change rate varies *within* a video
+    /// (traffic waves, bursts of motion), which is what exercises AdaVP's
+    /// runtime model switching.
+    pub activity_period_s: f32,
+    /// Modulation depth in `[0, 1]`: object speeds swing between
+    /// `(1 - depth) * v` and `v` over one activity period. 0 = constant rate.
+    pub activity_depth: f32,
+    /// Range of per-object relative scale rates (fraction of size per
+    /// second). Positive = approaching the camera; the tracker never
+    /// rescales boxes, so nonzero rates make IoU decay between detections.
+    pub scale_rate_range: (f32, f32),
+}
+
+impl ScenarioSpec {
+    /// Frame interval in milliseconds.
+    pub fn frame_interval_ms(&self) -> f64 {
+        1000.0 / self.fps as f64
+    }
+
+    /// A rough scalar expectation of how fast this scenario's content
+    /// changes (px/frame): camera speed plus mean object speed, normalized
+    /// by fps. Used only for test assertions and dataset bookkeeping —
+    /// the *system* always measures change rate online from tracking.
+    pub fn nominal_change_rate(&self) -> f32 {
+        let cam = match self.camera {
+            CameraMotion::Static => 0.0,
+            CameraMotion::Pan { vx, vy } => (vx * vx + vy * vy).sqrt(),
+            CameraMotion::Handheld {
+                drift,
+                jitter_amp,
+                jitter_hz,
+            } => drift + jitter_amp * jitter_hz * 2.0,
+            CameraMotion::Vehicle { speed, .. } => speed,
+        };
+        let obj = (self.speed_range.0 + self.speed_range.1) / 2.0;
+        (cam + obj) / self.fps
+    }
+}
+
+/// The 14 scenario presets from the paper's training-corpus description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Scenario {
+    Highway,
+    Intersection,
+    CityStreet,
+    TrainStation,
+    BusStation,
+    ResidentialArea,
+    CarMountedHighway,
+    CarMountedDowntown,
+    Airplanes,
+    Boats,
+    WildAnimals,
+    Racetrack,
+    MeetingRoom,
+    SkatingRink,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec().name)
+    }
+}
+
+impl Scenario {
+    /// All 14 presets.
+    pub const ALL: [Scenario; 14] = [
+        Scenario::Highway,
+        Scenario::Intersection,
+        Scenario::CityStreet,
+        Scenario::TrainStation,
+        Scenario::BusStation,
+        Scenario::ResidentialArea,
+        Scenario::CarMountedHighway,
+        Scenario::CarMountedDowntown,
+        Scenario::Airplanes,
+        Scenario::Boats,
+        Scenario::WildAnimals,
+        Scenario::Racetrack,
+        Scenario::MeetingRoom,
+        Scenario::SkatingRink,
+    ];
+
+    /// The default frame size used throughout the reproduction
+    /// (the paper uses 1280x720; we render at half scale — see DESIGN.md).
+    pub const FRAME_WIDTH: u32 = 640;
+    /// See [`Scenario::FRAME_WIDTH`].
+    pub const FRAME_HEIGHT: u32 = 360;
+
+    /// Builds the parameter set for this scenario.
+    pub fn spec(&self) -> ScenarioSpec {
+        use CameraMotion as Cam;
+        use DirectionPattern as Dir;
+        use ObjectClass as C;
+        let base = |name: &str| ScenarioSpec {
+            name: name.to_string(),
+            width: Self::FRAME_WIDTH,
+            height: Self::FRAME_HEIGHT,
+            fps: 30.0,
+            camera: Cam::Static,
+            classes: vec![C::Car],
+            initial_objects: 3,
+            max_objects: 8,
+            spawn_rate_hz: 0.6,
+            speed_range: (20.0, 60.0),
+            size_range: (30.0, 70.0),
+            direction: Dir::TwoWayHorizontal,
+            wobble_amp: 0.0,
+            noise_amp: 2.0,
+            activity_period_s: 12.0,
+            activity_depth: 0.0,
+            scale_rate_range: (-0.22, 0.22),
+        };
+        match self {
+            Scenario::Highway => ScenarioSpec {
+                classes: vec![C::Car, C::Car, C::Truck, C::Bus],
+                initial_objects: 5,
+                max_objects: 10,
+                spawn_rate_hz: 1.6,
+                speed_range: (140.0, 300.0),
+                size_range: (28.0, 64.0),
+                activity_depth: 0.6,
+                activity_period_s: 10.0,
+                ..base("highway")
+            },
+            Scenario::Intersection => ScenarioSpec {
+                classes: vec![C::Car, C::Truck, C::Person, C::Bicycle],
+                initial_objects: 4,
+                max_objects: 9,
+                spawn_rate_hz: 1.1,
+                speed_range: (60.0, 170.0),
+                direction: Dir::Crossing,
+                wobble_amp: 2.0,
+                activity_depth: 0.6,
+                activity_period_s: 10.0,
+                scale_rate_range: (-0.32, 0.32),
+                ..base("intersection")
+            },
+            Scenario::CityStreet => ScenarioSpec {
+                classes: vec![C::Car, C::Person, C::Person, C::Bicycle, C::Motorcycle],
+                initial_objects: 5,
+                max_objects: 10,
+                spawn_rate_hz: 1.0,
+                speed_range: (40.0, 130.0),
+                wobble_amp: 3.0,
+                activity_depth: 0.5,
+                scale_rate_range: (-0.30, 0.30),
+                ..base("city-street")
+            },
+            Scenario::TrainStation => ScenarioSpec {
+                classes: vec![C::Person, C::Person, C::Train],
+                initial_objects: 4,
+                max_objects: 8,
+                spawn_rate_hz: 0.5,
+                speed_range: (15.0, 70.0),
+                size_range: (26.0, 80.0),
+                wobble_amp: 2.5,
+                activity_depth: 0.6,
+                activity_period_s: 15.0,
+                ..base("train-station")
+            },
+            Scenario::BusStation => ScenarioSpec {
+                classes: vec![C::Person, C::Person, C::Bus],
+                initial_objects: 4,
+                max_objects: 8,
+                spawn_rate_hz: 0.5,
+                speed_range: (10.0, 55.0),
+                wobble_amp: 2.5,
+                activity_depth: 0.6,
+                activity_period_s: 14.0,
+                ..base("bus-station")
+            },
+            Scenario::ResidentialArea => ScenarioSpec {
+                classes: vec![C::Person, C::Car, C::Dog, C::Bicycle],
+                initial_objects: 3,
+                max_objects: 6,
+                spawn_rate_hz: 0.25,
+                speed_range: (8.0, 40.0),
+                wobble_amp: 2.0,
+                ..base("residential-area")
+            },
+            Scenario::CarMountedHighway => ScenarioSpec {
+                camera: Cam::Vehicle {
+                    speed: 180.0,
+                    sway_amp: 3.0,
+                },
+                classes: vec![C::Car, C::Truck, C::Bus],
+                initial_objects: 4,
+                max_objects: 8,
+                spawn_rate_hz: 1.0,
+                speed_range: (30.0, 120.0),
+                direction: Dir::OneWayHorizontal,
+                scale_rate_range: (-0.10, 0.35),
+                activity_depth: 0.55,
+                activity_period_s: 9.0,
+                ..base("car-mounted-highway")
+            },
+            Scenario::CarMountedDowntown => ScenarioSpec {
+                camera: Cam::Vehicle {
+                    speed: 90.0,
+                    sway_amp: 4.0,
+                },
+                classes: vec![C::Car, C::Person, C::Bicycle, C::Truck],
+                initial_objects: 5,
+                max_objects: 9,
+                spawn_rate_hz: 0.9,
+                speed_range: (15.0, 80.0),
+                wobble_amp: 2.0,
+                activity_depth: 0.5,
+                activity_period_s: 9.0,
+                scale_rate_range: (-0.15, 0.38),
+                ..base("car-mounted-downtown")
+            },
+            Scenario::Airplanes => ScenarioSpec {
+                camera: Cam::Handheld {
+                    drift: 25.0,
+                    jitter_amp: 3.0,
+                    jitter_hz: 0.8,
+                },
+                classes: vec![C::Airplane],
+                initial_objects: 1,
+                max_objects: 3,
+                spawn_rate_hz: 0.15,
+                speed_range: (60.0, 160.0),
+                size_range: (40.0, 90.0),
+                direction: Dir::OneWayHorizontal,
+                ..base("airplanes")
+            },
+            Scenario::Boats => ScenarioSpec {
+                camera: Cam::Handheld {
+                    drift: 10.0,
+                    jitter_amp: 2.5,
+                    jitter_hz: 0.6,
+                },
+                classes: vec![C::Boat],
+                initial_objects: 2,
+                max_objects: 4,
+                spawn_rate_hz: 0.2,
+                speed_range: (10.0, 45.0),
+                size_range: (36.0, 90.0),
+                ..base("boats")
+            },
+            Scenario::WildAnimals => ScenarioSpec {
+                camera: Cam::Handheld {
+                    drift: 20.0,
+                    jitter_amp: 4.0,
+                    jitter_hz: 1.0,
+                },
+                classes: vec![C::Dog, C::Horse, C::Bird],
+                initial_objects: 3,
+                max_objects: 7,
+                spawn_rate_hz: 0.4,
+                speed_range: (20.0, 140.0),
+                direction: Dir::Random,
+                wobble_amp: 5.0,
+                activity_depth: 0.7,
+                activity_period_s: 8.0,
+                scale_rate_range: (-0.22, 0.22),
+                ..base("wild-animals")
+            },
+            Scenario::Racetrack => ScenarioSpec {
+                camera: Cam::Pan { vx: 120.0, vy: 0.0 },
+                classes: vec![C::Car, C::Motorcycle],
+                initial_objects: 4,
+                max_objects: 8,
+                spawn_rate_hz: 1.0,
+                speed_range: (180.0, 320.0),
+                direction: Dir::OneWayHorizontal,
+                scale_rate_range: (-0.15, 0.15),
+                activity_depth: 0.5,
+                activity_period_s: 8.0,
+                ..base("racetrack")
+            },
+            Scenario::MeetingRoom => ScenarioSpec {
+                classes: vec![C::Person],
+                initial_objects: 4,
+                max_objects: 6,
+                spawn_rate_hz: 0.05,
+                speed_range: (1.0, 8.0),
+                size_range: (50.0, 110.0),
+                direction: Dir::Loiter,
+                wobble_amp: 1.5,
+                scale_rate_range: (0.0, 0.0),
+                ..base("meeting-room")
+            },
+            Scenario::SkatingRink => ScenarioSpec {
+                classes: vec![C::Person],
+                initial_objects: 5,
+                max_objects: 9,
+                spawn_rate_hz: 0.8,
+                speed_range: (70.0, 190.0),
+                direction: Dir::Random,
+                wobble_amp: 6.0,
+                activity_depth: 0.7,
+                activity_period_s: 7.0,
+                ..base("skating-rink")
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_build() {
+        for s in Scenario::ALL {
+            let spec = s.spec();
+            assert!(!spec.name.is_empty());
+            assert!(spec.fps > 0.0);
+            assert!(spec.speed_range.0 <= spec.speed_range.1);
+            assert!(spec.size_range.0 <= spec.size_range.1);
+            assert!(spec.initial_objects <= spec.max_objects);
+            assert!(!spec.classes.is_empty());
+        }
+    }
+
+    #[test]
+    fn fourteen_scenarios() {
+        assert_eq!(Scenario::ALL.len(), 14);
+        let mut names: Vec<String> = Scenario::ALL.iter().map(|s| s.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14, "scenario names must be unique");
+    }
+
+    #[test]
+    fn change_rate_ordering_matches_intuition() {
+        // Meeting room is the slowest scenario, racetrack among the fastest.
+        let slow = Scenario::MeetingRoom.spec().nominal_change_rate();
+        let fast = Scenario::Racetrack.spec().nominal_change_rate();
+        let highway = Scenario::Highway.spec().nominal_change_rate();
+        assert!(slow < highway);
+        assert!(highway < fast + 5.0);
+        assert!(
+            slow < 1.0,
+            "meeting room should change <1 px/frame, got {slow}"
+        );
+        assert!(
+            fast > 5.0,
+            "racetrack should change >5 px/frame, got {fast}"
+        );
+    }
+
+    #[test]
+    fn frame_interval() {
+        let spec = Scenario::Highway.spec();
+        assert!((spec.frame_interval_ms() - 33.333).abs() < 0.01);
+    }
+}

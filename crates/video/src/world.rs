@@ -1,0 +1,524 @@
+//! The 2-D world simulator: moving objects observed by a moving camera.
+//!
+//! A [`World`] owns a set of textured objects that translate (with optional
+//! wobble) through an unbounded 2-D plane, and a camera whose viewport pans,
+//! jitters or races over that plane per the scenario's
+//! [`CameraMotion`]. Objects spawn at the
+//! viewport edges, cross it and despawn — which is exactly what makes
+//! tracking accuracy decay in fast scenarios (new objects the tracker has
+//! never seen, old objects leaving).
+//!
+//! The world advances in fixed steps of one frame interval; all randomness
+//! comes from a seeded [`StdRng`], so a `(spec, seed)` pair always produces
+//! the same video.
+
+use crate::object::{ObjectClass, ObjectId};
+use crate::scenario::{CameraMotion, DirectionPattern, ScenarioSpec};
+use adavp_vision::geometry::{BoundingBox, Point2, Vec2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A live object in the world (world coordinates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldObject {
+    /// Stable identity within the clip.
+    pub id: ObjectId,
+    /// Class label.
+    pub class: ObjectClass,
+    /// Centre position in world coordinates (excluding wobble).
+    pub center: Point2,
+    /// Rendered width in pixels.
+    pub width: f32,
+    /// Rendered height in pixels.
+    pub height: f32,
+    /// Linear velocity in world px/s.
+    pub velocity: Vec2,
+    /// Wobble amplitude (px) applied perpendicular to velocity.
+    pub wobble_amp: f32,
+    /// Wobble phase offset (radians).
+    pub wobble_phase: f32,
+    /// Per-object texture seed (differs even within a class).
+    pub texture_seed: u32,
+    /// Relative size growth per second (positive = approaching the camera).
+    pub scale_rate: f32,
+}
+
+impl WorldObject {
+    /// Wobble angular frequency (rad/s); ~1.2 Hz organic sway.
+    const WOBBLE_OMEGA: f32 = 7.5;
+
+    /// Centre including the sinusoidal wobble at world time `t` (seconds).
+    pub fn effective_center(&self, t: f64) -> Point2 {
+        if self.wobble_amp == 0.0 {
+            return self.center;
+        }
+        let phase = Self::WOBBLE_OMEGA * t as f32 + self.wobble_phase;
+        // Perpendicular to motion; for near-stationary objects wobble in y.
+        let dir = if self.velocity.norm() > 1e-3 {
+            let v = self.velocity / self.velocity.norm();
+            Vec2::new(-v.y, v.x)
+        } else {
+            Vec2::new(0.0, 1.0)
+        };
+        self.center + dir * (self.wobble_amp * phase.sin())
+    }
+
+    /// Axis-aligned bounds in world coordinates at time `t`.
+    pub fn world_box(&self, t: f64) -> BoundingBox {
+        BoundingBox::from_center(self.effective_center(t), self.width, self.height)
+    }
+}
+
+/// An object as seen through the camera at one instant (screen coordinates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedObject {
+    /// Identity of the underlying world object.
+    pub id: ObjectId,
+    /// Class label.
+    pub class: ObjectClass,
+    /// Unclipped bounding box in screen coordinates.
+    pub screen_box: BoundingBox,
+    /// Texture seed, for the rasterizer.
+    pub texture_seed: u32,
+    /// Base gray tone, for the rasterizer.
+    pub base_tone: u8,
+    /// Screen-space velocity (px/s) of the object relative to the camera —
+    /// the rasterizer uses it to apply exposure motion blur.
+    pub screen_velocity: Vec2,
+}
+
+/// The world simulator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct World {
+    spec: ScenarioSpec,
+    rng: StdRng,
+    time_s: f64,
+    frame_index: u64,
+    next_id: u32,
+    objects: Vec<WorldObject>,
+}
+
+/// Margin (px) beyond the viewport at which leaving objects are despawned
+/// and inside which new objects are spawned.
+const DESPAWN_MARGIN: f32 = 90.0;
+
+impl World {
+    /// Creates a world at time zero with the scenario's initial objects
+    /// already placed inside the viewport.
+    pub fn new(spec: ScenarioSpec, seed: u64) -> Self {
+        let mut w = Self {
+            rng: StdRng::seed_from_u64(seed ^ 0xada0_f00d),
+            spec,
+            time_s: 0.0,
+            frame_index: 0,
+            next_id: 0,
+            objects: Vec::new(),
+        };
+        for _ in 0..w.spec.initial_objects {
+            let obj = w.make_object(true);
+            w.objects.push(obj);
+        }
+        w
+    }
+
+    /// The scenario driving this world.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Index of the frame that [`World::observe`] would currently produce.
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// The live objects (world coordinates).
+    pub fn objects(&self) -> &[WorldObject] {
+        &self.objects
+    }
+
+    /// Camera viewport origin (world coordinates of the screen's top-left
+    /// pixel) at time `t`.
+    pub fn camera_offset(&self, t: f64) -> Vec2 {
+        let tf = t as f32;
+        match self.spec.camera {
+            CameraMotion::Static => Vec2::ZERO,
+            CameraMotion::Pan { vx, vy } => Vec2::new(vx * tf, vy * tf),
+            CameraMotion::Handheld {
+                drift,
+                jitter_amp,
+                jitter_hz,
+            } => {
+                let w = std::f32::consts::TAU * jitter_hz;
+                Vec2::new(
+                    drift * tf + jitter_amp * (w * tf).sin(),
+                    jitter_amp * 0.7 * (w * 1.3 * tf + 1.1).cos(),
+                )
+            }
+            CameraMotion::Vehicle { speed, sway_amp } => {
+                Vec2::new(speed * tf, sway_amp * (1.9 * tf).sin())
+            }
+        }
+    }
+
+    /// Camera velocity (world px/s) at time `t`, by central difference.
+    pub fn camera_velocity(&self, t: f64) -> Vec2 {
+        let eps = 1e-3;
+        let a = self.camera_offset(t - eps);
+        let b = self.camera_offset(t + eps);
+        (b - a) / (2.0 * eps as f32)
+    }
+
+    /// Viewport rectangle in world coordinates at time `t`.
+    pub fn viewport(&self, t: f64) -> BoundingBox {
+        let o = self.camera_offset(t);
+        BoundingBox::new(o.x, o.y, self.spec.width as f32, self.spec.height as f32)
+    }
+
+    /// Observes the current world state: every live object projected to
+    /// screen coordinates (unclipped; callers clip for visibility).
+    pub fn observe(&self) -> Vec<ObservedObject> {
+        let o = self.camera_offset(self.time_s);
+        let cam_v = self.camera_velocity(self.time_s);
+        self.objects
+            .iter()
+            .map(|obj| {
+                let wb = obj.world_box(self.time_s);
+                ObservedObject {
+                    id: obj.id,
+                    class: obj.class,
+                    screen_box: BoundingBox::new(wb.left - o.x, wb.top - o.y, wb.width, wb.height),
+                    texture_seed: obj.texture_seed,
+                    base_tone: obj.class.base_tone(),
+                    screen_velocity: obj.velocity - cam_v,
+                }
+            })
+            .collect()
+    }
+
+    /// Instantaneous activity factor in `[1 - depth, 1]` — scenarios with a
+    /// nonzero activity depth speed up and slow down over their activity
+    /// period, varying content-change rate within the video.
+    pub fn activity_factor(&self, t: f64) -> f32 {
+        let depth = self.spec.activity_depth;
+        if depth <= 0.0 {
+            return 1.0;
+        }
+        let phase = std::f32::consts::TAU * (t as f32) / self.spec.activity_period_s.max(0.1);
+        1.0 - depth * 0.5 * (1.0 + phase.sin())
+    }
+
+    /// Advances the world by one frame interval: moves objects, despawns
+    /// leavers, spawns arrivals.
+    pub fn step(&mut self) {
+        let dt = 1.0 / self.spec.fps as f64;
+        let factor = self.activity_factor(self.time_s);
+        self.time_s += dt;
+        self.frame_index += 1;
+        let dtf = dt as f32 * factor;
+        for obj in &mut self.objects {
+            obj.center = obj.center + obj.velocity * dtf;
+            if obj.scale_rate != 0.0 {
+                let g = 1.0 + obj.scale_rate * dtf;
+                obj.width = (obj.width * g).clamp(8.0, 240.0);
+                obj.height = (obj.height * g).clamp(8.0, 240.0);
+            }
+        }
+        self.despawn_leavers();
+        self.maybe_spawn(dt as f32);
+    }
+
+    fn despawn_leavers(&mut self) {
+        let vp = self.viewport(self.time_s).scaled(1.0).union_bounds(&{
+            let v = self.viewport(self.time_s);
+            BoundingBox::new(
+                v.left - DESPAWN_MARGIN,
+                v.top - DESPAWN_MARGIN,
+                v.width + 2.0 * DESPAWN_MARGIN,
+                v.height + 2.0 * DESPAWN_MARGIN,
+            )
+        });
+        let t = self.time_s;
+        self.objects.retain(|o| {
+            let b = o.world_box(t);
+            if b.intersection(&vp).is_some() {
+                return true;
+            }
+            // Fully outside the margin: keep only objects still approaching
+            // the viewport (fresh spawns may begin outside it).
+            let c = b.center();
+            let vc = vp.center();
+            let towards = (vc - c).x * o.velocity.x + (vc - c).y * o.velocity.y;
+            towards > 0.0
+        });
+    }
+
+    fn maybe_spawn(&mut self, dtf: f32) {
+        if self.objects.len() as u32 >= self.spec.max_objects {
+            return;
+        }
+        let p = (self.spec.spawn_rate_hz * dtf).min(1.0);
+        if self.rng.gen::<f32>() < p {
+            let obj = self.make_object(false);
+            self.objects.push(obj);
+        }
+    }
+
+    fn sample_velocity(&mut self) -> Vec2 {
+        let (lo, hi) = self.spec.speed_range;
+        let speed = self.rng.gen_range(lo..=hi.max(lo + f32::EPSILON));
+        match self.spec.direction {
+            DirectionPattern::TwoWayHorizontal => {
+                let sign = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
+                Vec2::new(sign * speed, self.rng.gen_range(-0.05..0.05) * speed)
+            }
+            DirectionPattern::OneWayHorizontal => {
+                Vec2::new(speed, self.rng.gen_range(-0.05..0.05) * speed)
+            }
+            DirectionPattern::Crossing => {
+                let angle = self.rng.gen_range(0.0..std::f32::consts::TAU);
+                Vec2::new(angle.cos() * speed, angle.sin() * speed * 0.6)
+            }
+            DirectionPattern::Random => {
+                let angle = self.rng.gen_range(0.0..std::f32::consts::TAU);
+                Vec2::new(angle.cos() * speed, angle.sin() * speed)
+            }
+            DirectionPattern::Loiter => {
+                let angle = self.rng.gen_range(0.0..std::f32::consts::TAU);
+                Vec2::new(angle.cos() * speed, angle.sin() * speed)
+            }
+        }
+    }
+
+    fn make_object(&mut self, inside: bool) -> WorldObject {
+        let class = self.spec.classes[self.rng.gen_range(0..self.spec.classes.len())];
+        let (slo, shi) = self.spec.size_range;
+        let height = self.rng.gen_range(slo..=shi.max(slo + f32::EPSILON));
+        let width = height * class.aspect_ratio();
+        let velocity = self.sample_velocity();
+        let vp = self.viewport(self.time_s);
+
+        let center = if inside || self.spec.direction == DirectionPattern::Loiter {
+            // Place fully inside the viewport (best effort for big objects).
+            let mx = (width / 2.0 + 4.0).min(vp.width / 2.0 - 1.0);
+            let my = (height / 2.0 + 4.0).min(vp.height / 2.0 - 1.0);
+            Point2::new(
+                vp.left
+                    + self
+                        .rng
+                        .gen_range(mx..=(vp.width - mx).max(mx + f32::EPSILON)),
+                vp.top
+                    + self
+                        .rng
+                        .gen_range(my..=(vp.height - my).max(my + f32::EPSILON)),
+            )
+        } else {
+            // Enter from the edge the velocity points away from.
+            let y = vp.top + self.rng.gen_range(0.15..0.85) * vp.height;
+            let x = vp.left + self.rng.gen_range(0.15..0.85) * vp.width;
+            if velocity.x.abs() >= velocity.y.abs() {
+                if velocity.x >= 0.0 {
+                    Point2::new(vp.left - width / 2.0 - 1.0, y)
+                } else {
+                    Point2::new(vp.right() + width / 2.0 + 1.0, y)
+                }
+            } else if velocity.y >= 0.0 {
+                Point2::new(x, vp.top - height / 2.0 - 1.0)
+            } else {
+                Point2::new(x, vp.bottom() + height / 2.0 + 1.0)
+            }
+        };
+
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        WorldObject {
+            id,
+            class,
+            center,
+            width,
+            height,
+            velocity,
+            wobble_amp: if self.spec.wobble_amp > 0.0 {
+                self.rng.gen_range(0.0..self.spec.wobble_amp)
+            } else {
+                0.0
+            },
+            wobble_phase: self.rng.gen_range(0.0..std::f32::consts::TAU),
+            texture_seed: self.rng.gen(),
+            scale_rate: {
+                let (lo, hi) = self.spec.scale_rate_range;
+                if hi > lo {
+                    self.rng.gen_range(lo..=hi)
+                } else {
+                    lo
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = Scenario::Highway.spec();
+        let mut a = World::new(spec.clone(), 7);
+        let mut b = World::new(spec, 7);
+        for _ in 0..50 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.objects(), b.objects());
+        assert_eq!(a.observe(), b.observe());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = Scenario::Highway.spec();
+        let a = World::new(spec.clone(), 1);
+        let b = World::new(spec, 2);
+        assert_ne!(a.objects(), b.objects());
+    }
+
+    #[test]
+    fn initial_objects_visible() {
+        for s in [
+            Scenario::Highway,
+            Scenario::MeetingRoom,
+            Scenario::WildAnimals,
+        ] {
+            let spec = s.spec();
+            let w = World::new(spec.clone(), 11);
+            let vp = w.viewport(0.0);
+            let visible = w
+                .objects()
+                .iter()
+                .filter(|o| o.world_box(0.0).intersection(&vp).is_some())
+                .count();
+            assert_eq!(
+                visible as u32, spec.initial_objects,
+                "scenario {s:?}: all initial objects should intersect the viewport"
+            );
+        }
+    }
+
+    #[test]
+    fn objects_move() {
+        let spec = Scenario::Highway.spec();
+        let mut w = World::new(spec, 3);
+        let before: Vec<Point2> = w.objects().iter().map(|o| o.center).collect();
+        for _ in 0..10 {
+            w.step();
+        }
+        let after: Vec<Point2> = w.objects().iter().map(|o| o.center).collect();
+        // At least the surviving prefix has moved.
+        let moved = before
+            .iter()
+            .zip(after.iter())
+            .filter(|(a, b)| a.distance(**b) > 1.0)
+            .count();
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn population_stays_bounded() {
+        let spec = Scenario::Highway.spec();
+        let max = spec.max_objects;
+        let mut w = World::new(spec, 5);
+        for _ in 0..600 {
+            w.step();
+            assert!(w.objects().len() as u32 <= max);
+        }
+    }
+
+    #[test]
+    fn fast_scenario_turns_over_objects() {
+        // On the racetrack objects cross and leave; ids should advance well
+        // past the initial population within 10 seconds.
+        let mut w = World::new(Scenario::Racetrack.spec(), 13);
+        for _ in 0..300 {
+            w.step();
+        }
+        let max_id = w.objects().iter().map(|o| o.id.0).max().unwrap_or(0);
+        assert!(max_id > 6, "expected object turnover, max id = {max_id}");
+    }
+
+    #[test]
+    fn meeting_room_retains_objects() {
+        let mut w = World::new(Scenario::MeetingRoom.spec(), 17);
+        let initial: Vec<ObjectId> = w.objects().iter().map(|o| o.id).collect();
+        for _ in 0..300 {
+            w.step();
+        }
+        let now: Vec<ObjectId> = w.objects().iter().map(|o| o.id).collect();
+        let kept = initial.iter().filter(|id| now.contains(id)).count();
+        assert!(
+            kept >= initial.len() - 1,
+            "loitering objects should persist ({kept}/{} kept)",
+            initial.len()
+        );
+    }
+
+    #[test]
+    fn camera_models_move_as_specified() {
+        let mut spec = Scenario::Highway.spec();
+        spec.camera = CameraMotion::Pan { vx: 100.0, vy: 0.0 };
+        let w = World::new(spec, 1);
+        let o1 = w.camera_offset(1.0);
+        assert!((o1.x - 100.0).abs() < 1e-3);
+        let vp = w.viewport(2.0);
+        assert!((vp.left - 200.0).abs() < 1e-3);
+
+        let mut spec2 = Scenario::Highway.spec();
+        spec2.camera = CameraMotion::Static;
+        let w2 = World::new(spec2, 1);
+        assert_eq!(w2.camera_offset(5.0), Vec2::ZERO);
+    }
+
+    #[test]
+    fn wobble_is_bounded_and_periodic() {
+        let obj = WorldObject {
+            id: ObjectId(0),
+            class: ObjectClass::Person,
+            center: Point2::new(100.0, 100.0),
+            width: 20.0,
+            height: 40.0,
+            velocity: Vec2::new(10.0, 0.0),
+            wobble_amp: 3.0,
+            wobble_phase: 0.0,
+            texture_seed: 1,
+            scale_rate: 0.0,
+        };
+        for i in 0..100 {
+            let t = i as f64 * 0.033;
+            let c = obj.effective_center(t);
+            assert!((c.y - 100.0).abs() <= 3.0 + 1e-4);
+            assert!(
+                (c.x - 100.0).abs() < 1e-4,
+                "wobble must be perpendicular to velocity"
+            );
+        }
+    }
+
+    #[test]
+    fn observation_is_screen_relative() {
+        let mut spec = Scenario::Highway.spec();
+        spec.camera = CameraMotion::Pan { vx: 50.0, vy: 0.0 };
+        let mut w = World::new(spec, 9);
+        w.step();
+        let o = w.camera_offset(w.time_s());
+        for (obs, obj) in w.observe().iter().zip(w.objects()) {
+            let wb = obj.world_box(w.time_s());
+            assert!((obs.screen_box.left - (wb.left - o.x)).abs() < 1e-3);
+            assert!((obs.screen_box.top - (wb.top - o.y)).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the video substrate: world simulation, ground
+//! truth and rendering invariants under randomized scenario parameters.
+
+use adavp_video::clip::VideoClip;
+use adavp_video::scenario::{CameraMotion, Scenario};
+use adavp_video::world::World;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn world_population_bounded_for_any_scenario(
+        scenario_idx in 0usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let mut spec = Scenario::ALL[scenario_idx].spec();
+        spec.width = 200;
+        spec.height = 120;
+        spec.size_range = (14.0, 26.0);
+        let max = spec.max_objects;
+        let mut w = World::new(spec, seed);
+        for _ in 0..150 {
+            w.step();
+            prop_assert!(w.objects().len() as u32 <= max);
+            // Scale rates never explode or collapse object sizes (growth is
+            // clamped in World::step; spawn size follows the scenario spec).
+            for o in w.objects() {
+                prop_assert!(o.width > 0.0 && o.width <= 240.0 + 1e-3);
+                prop_assert!(o.height > 0.0 && o.height <= 240.0 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_always_inside_frame(
+        scenario_idx in 0usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let mut spec = Scenario::ALL[scenario_idx].spec();
+        spec.width = 200;
+        spec.height = 120;
+        spec.size_range = (14.0, 26.0);
+        let clip = VideoClip::generate("prop", &spec, seed, 40);
+        for f in &clip {
+            for gt in &f.ground_truth {
+                prop_assert!(gt.bbox.left >= 0.0);
+                prop_assert!(gt.bbox.top >= 0.0);
+                prop_assert!(gt.bbox.right() <= 200.0 + 1e-3);
+                prop_assert!(gt.bbox.bottom() <= 120.0 + 1e-3);
+                prop_assert!(gt.visible_fraction > 0.0 && gt.visible_fraction <= 1.0);
+            }
+            // Object ids unique within a frame.
+            let mut ids: Vec<_> = f.ground_truth.iter().map(|g| g.id).collect();
+            ids.sort();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before);
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_for_any_seed(seed in 0u64..10_000) {
+        let mut spec = Scenario::Intersection.spec();
+        spec.width = 120;
+        spec.height = 80;
+        spec.size_range = (12.0, 20.0);
+        let a = VideoClip::generate("a", &spec, seed, 10);
+        let b = VideoClip::generate("b", &spec, seed, 10);
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(&fa.image, &fb.image);
+            prop_assert_eq!(&fa.ground_truth, &fb.ground_truth);
+        }
+    }
+
+    #[test]
+    fn camera_offset_continuous(
+        t in 0.0f64..20.0,
+        pan in -200.0f32..200.0,
+    ) {
+        let mut spec = Scenario::Highway.spec();
+        spec.camera = CameraMotion::Pan { vx: pan, vy: 0.0 };
+        let w = World::new(spec, 1);
+        let dt = 1.0 / 30.0;
+        let a = w.camera_offset(t);
+        let b = w.camera_offset(t + dt);
+        // One frame of camera motion is bounded by |pan| * dt (+ jitter 0).
+        prop_assert!((b.x - a.x).abs() <= pan.abs() * dt as f32 + 1e-3);
+    }
+
+    #[test]
+    fn activity_factor_in_declared_range(
+        scenario_idx in 0usize..14,
+        t in 0.0f64..60.0,
+    ) {
+        let spec = Scenario::ALL[scenario_idx].spec();
+        let depth = spec.activity_depth;
+        let w = World::new(spec, 3);
+        let f = w.activity_factor(t);
+        prop_assert!(f <= 1.0 + 1e-6);
+        prop_assert!(f >= 1.0 - depth - 1e-6);
+    }
+}

@@ -1,0 +1,301 @@
+//! Shi-Tomasi "good features to track" corner detection.
+//!
+//! Implements the detector from Shi & Tomasi (1993) that the AdaVP paper uses
+//! to pick trackable points inside each detected bounding box: the minimum
+//! eigenvalue of the 2x2 structure tensor over a window, thresholded
+//! relative to the strongest response, followed by greedy non-maximum
+//! suppression with a minimum inter-corner distance — the same contract as
+//! OpenCV's `goodFeaturesToTrack`.
+
+use crate::geometry::{BoundingBox, Point2};
+use crate::gradient::scharr_gradients;
+use crate::image::GrayImage;
+
+/// A detected corner: location plus its Shi-Tomasi response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Pixel location of the corner (integer grid, stored as float so it can
+    /// be fed straight into sub-pixel flow tracking).
+    pub point: Point2,
+    /// Minimum eigenvalue of the structure tensor at this pixel — larger
+    /// means a stronger, more trackable corner.
+    pub response: f32,
+}
+
+/// Parameters for [`good_features_to_track`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodFeaturesParams {
+    /// Maximum number of corners to return (strongest first). 0 means no limit.
+    pub max_corners: usize,
+    /// Corners weaker than `quality_level * strongest_response` are rejected.
+    pub quality_level: f32,
+    /// Minimum Euclidean distance between returned corners, in pixels.
+    pub min_distance: f32,
+    /// Half-width of the structure-tensor window (window side = 2*block+1).
+    pub block_radius: u32,
+}
+
+impl Default for GoodFeaturesParams {
+    fn default() -> Self {
+        Self {
+            max_corners: 100,
+            quality_level: 0.05,
+            min_distance: 4.0,
+            block_radius: 1,
+        }
+    }
+}
+
+/// Detects Shi-Tomasi corners in `img`.
+///
+/// When `mask` is given, only pixels inside at least one of the mask boxes
+/// are considered — the AdaVP tracker passes the YOLO-detected bounding boxes
+/// here so features are only extracted on objects (§V of the paper).
+///
+/// Returns corners sorted by descending response, after quality filtering
+/// and minimum-distance suppression.
+///
+/// # Example
+///
+/// ```
+/// use adavp_vision::image::GrayImage;
+/// use adavp_vision::features::{good_features_to_track, GoodFeaturesParams};
+/// let img = GrayImage::from_fn(64, 64, |x, y| if x > 30 && y > 30 { 220 } else { 10 });
+/// let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), None);
+/// // The single corner of the bright square is found.
+/// assert!(corners.iter().any(|c| (c.point.x - 30.0).abs() < 3.0 && (c.point.y - 30.0).abs() < 3.0));
+/// ```
+pub fn good_features_to_track(
+    img: &GrayImage,
+    params: &GoodFeaturesParams,
+    mask: Option<&[BoundingBox]>,
+) -> Vec<Corner> {
+    let w = img.width();
+    let h = img.height();
+    if w < 3 || h < 3 {
+        return Vec::new();
+    }
+    let grad = scharr_gradients(img);
+    let r = params.block_radius as i64;
+    let margin = params.block_radius + 1;
+
+    let inside_mask = |x: u32, y: u32| -> bool {
+        match mask {
+            None => true,
+            Some(boxes) => {
+                let p = Point2::new(x as f32, y as f32);
+                boxes.iter().any(|b| b.contains(p))
+            }
+        }
+    };
+
+    // Min-eigenvalue response map.
+    let mut responses: Vec<(f32, u32, u32)> = Vec::new();
+    let mut max_response = 0.0f32;
+    for y in margin..h.saturating_sub(margin) {
+        for x in margin..w.saturating_sub(margin) {
+            if !inside_mask(x, y) {
+                continue;
+            }
+            let mut sxx = 0.0f32;
+            let mut sxy = 0.0f32;
+            let mut syy = 0.0f32;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let gx = grad.gx((x as i64 + dx) as u32, (y as i64 + dy) as u32);
+                    let gy = grad.gy((x as i64 + dx) as u32, (y as i64 + dy) as u32);
+                    sxx += gx * gx;
+                    sxy += gx * gy;
+                    syy += gy * gy;
+                }
+            }
+            // Minimum eigenvalue of [[sxx, sxy], [sxy, syy]].
+            let trace_half = (sxx + syy) / 2.0;
+            let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
+            let min_eig = trace_half - det_term.sqrt();
+            if min_eig > 0.0 {
+                max_response = max_response.max(min_eig);
+                responses.push((min_eig, x, y));
+            }
+        }
+    }
+    if responses.is_empty() {
+        return Vec::new();
+    }
+
+    let threshold = max_response * params.quality_level;
+    responses.retain(|&(resp, _, _)| resp >= threshold);
+    // Strongest first; ties broken by raster order for determinism.
+    responses.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.2, a.1).cmp(&(b.2, b.1)))
+    });
+
+    // Greedy min-distance suppression on a coarse grid for O(n) neighbor checks.
+    let cell = params.min_distance.max(1.0);
+    let grid_w = (w as f32 / cell).ceil() as usize + 1;
+    let grid_h = (h as f32 / cell).ceil() as usize + 1;
+    let mut grid: Vec<Vec<Point2>> = vec![Vec::new(); grid_w * grid_h];
+    let min_d2 = params.min_distance * params.min_distance;
+
+    let mut out = Vec::new();
+    for (resp, x, y) in responses {
+        let p = Point2::new(x as f32, y as f32);
+        let cx = (p.x / cell) as usize;
+        let cy = (p.y / cell) as usize;
+        let mut ok = true;
+        'outer: for ny in cy.saturating_sub(1)..=(cy + 1).min(grid_h - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(grid_w - 1) {
+                for q in &grid[ny * grid_w + nx] {
+                    if p.distance_sq(*q) < min_d2 {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if ok {
+            grid[cy * grid_w + cx].push(p);
+            out.push(Corner {
+                point: p,
+                response: resp,
+            });
+            if params.max_corners != 0 && out.len() >= params.max_corners {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: u32, h: u32, cell: u32) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                220
+            } else {
+                30
+            }
+        })
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::from_fn(32, 32, |_, _| 120);
+        let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), None);
+        assert!(corners.is_empty());
+    }
+
+    #[test]
+    fn tiny_image_is_safe() {
+        let img = GrayImage::new(2, 2);
+        assert!(good_features_to_track(&img, &GoodFeaturesParams::default(), None).is_empty());
+    }
+
+    #[test]
+    fn checkerboard_yields_many_corners() {
+        let img = checker(64, 64, 8);
+        let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), None);
+        assert!(corners.len() >= 20, "got {} corners", corners.len());
+        // Sorted by descending response.
+        for pair in corners.windows(2) {
+            assert!(pair[0].response >= pair[1].response);
+        }
+    }
+
+    #[test]
+    fn max_corners_respected() {
+        let img = checker(64, 64, 8);
+        let params = GoodFeaturesParams {
+            max_corners: 5,
+            ..Default::default()
+        };
+        let corners = good_features_to_track(&img, &params, None);
+        assert_eq!(corners.len(), 5);
+    }
+
+    #[test]
+    fn min_distance_enforced() {
+        let img = checker(64, 64, 8);
+        let params = GoodFeaturesParams {
+            max_corners: 0,
+            min_distance: 7.0,
+            ..Default::default()
+        };
+        let corners = good_features_to_track(&img, &params, None);
+        for i in 0..corners.len() {
+            for j in (i + 1)..corners.len() {
+                assert!(
+                    corners[i].point.distance(corners[j].point) >= 7.0,
+                    "corners {i} and {j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_restricts_detection() {
+        let img = checker(64, 64, 8);
+        let mask = [BoundingBox::new(0.0, 0.0, 24.0, 24.0)];
+        let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), Some(&mask));
+        assert!(!corners.is_empty());
+        for c in &corners {
+            assert!(mask[0].contains(c.point), "corner {} outside mask", c.point);
+        }
+    }
+
+    #[test]
+    fn empty_mask_yields_nothing() {
+        let img = checker(64, 64, 8);
+        let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), Some(&[]));
+        assert!(corners.is_empty());
+    }
+
+    #[test]
+    fn single_corner_localised() {
+        // One bright square corner at (40, 40).
+        let img = GrayImage::from_fn(80, 80, |x, y| if x >= 40 && y >= 40 { 200 } else { 20 });
+        let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), None);
+        assert!(!corners.is_empty());
+        let best = corners[0];
+        assert!((best.point.x - 40.0).abs() <= 2.0, "x = {}", best.point.x);
+        assert!((best.point.y - 40.0).abs() <= 2.0, "y = {}", best.point.y);
+    }
+
+    #[test]
+    fn quality_level_filters_weak_corners() {
+        // One strong corner (high contrast) and one weak corner (low contrast).
+        let img = GrayImage::from_fn(96, 48, |x, y| {
+            if x < 48 {
+                if x >= 20 && y >= 20 {
+                    255
+                } else {
+                    0
+                }
+            } else if x >= 68 && y >= 20 {
+                60
+            } else {
+                50
+            }
+        });
+        let loose = GoodFeaturesParams {
+            quality_level: 0.001,
+            ..Default::default()
+        };
+        let strict = GoodFeaturesParams {
+            quality_level: 0.5,
+            ..Default::default()
+        };
+        let all = good_features_to_track(&img, &loose, None);
+        let strong = good_features_to_track(&img, &strict, None);
+        assert!(all.len() > strong.len());
+        // The strict set only contains corners near the strong square.
+        for c in &strong {
+            assert!(c.point.x < 60.0, "weak corner survived: {}", c.point);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Pyramidal Lucas-Kanade sparse optical flow.
+//!
+//! Implements the iterative Lucas-Kanade method (Lucas & Kanade 1981; Bouguet
+//! 2000 pyramidal formulation) used by the AdaVP object tracker to follow
+//! Shi-Tomasi features between frames. For each feature the solver:
+//!
+//! 1. builds Gaussian pyramids of both frames,
+//! 2. starting at the coarsest level, solves the 2x2 normal equations
+//!    `G d = b` over a window around the feature, iterating Newton steps
+//!    until the update is below [`LkParams::epsilon`],
+//! 3. propagates the displacement (doubled) to the next finer level.
+//!
+//! A track is reported lost (`found == false`) when the structure tensor is
+//! degenerate (flat/aperture region), when the point leaves the image, or
+//! when the final per-pixel residual exceeds [`LkParams::max_residual`].
+
+use crate::geometry::{Point2, Vec2};
+use crate::gradient::scharr_gradients;
+use crate::image::GrayImage;
+use crate::pyramid::Pyramid;
+
+/// Parameters for [`PyramidalLk`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LkParams {
+    /// Half-width of the tracking window (window side = 2*radius+1 pixels).
+    pub window_radius: u32,
+    /// Number of pyramid levels (1 = plain single-level LK).
+    pub pyramid_levels: u32,
+    /// Maximum Newton iterations per pyramid level.
+    pub max_iterations: u32,
+    /// Stop iterating once the update step is shorter than this (pixels).
+    pub epsilon: f32,
+    /// Minimum acceptable smaller eigenvalue of the structure tensor,
+    /// normalized per window pixel; below this the track is declared lost.
+    pub min_eigen_threshold: f32,
+    /// Maximum mean absolute intensity residual per window pixel at level 0
+    /// for the track to be reported as found.
+    pub max_residual: f32,
+}
+
+impl Default for LkParams {
+    fn default() -> Self {
+        Self {
+            window_radius: 7,
+            pyramid_levels: 3,
+            max_iterations: 20,
+            epsilon: 0.01,
+            min_eigen_threshold: 1e-3,
+            max_residual: 25.0,
+        }
+    }
+}
+
+/// Result of tracking one feature with [`PyramidalLk::track`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowResult {
+    /// Feature position in the previous frame (as passed in).
+    pub previous: Point2,
+    /// Estimated position in the next frame.
+    pub current: Point2,
+    /// Whether the track is considered reliable.
+    pub found: bool,
+    /// Mean absolute intensity residual per window pixel at the finest level.
+    pub residual: f32,
+}
+
+impl FlowResult {
+    /// Displacement from the previous to the current position.
+    pub fn displacement(&self) -> Vec2 {
+        self.current - self.previous
+    }
+}
+
+/// Pyramidal Lucas-Kanade tracker (the analogue of OpenCV's
+/// `calcOpticalFlowPyrLK`).
+///
+/// # Example
+///
+/// ```
+/// use adavp_vision::image::GrayImage;
+/// use adavp_vision::flow::{PyramidalLk, LkParams};
+/// use adavp_vision::geometry::Point2;
+///
+/// let prev = GrayImage::from_fn(64, 64, |x, y| ((x * 17 + y * 29) % 256) as u8);
+/// let next = GrayImage::from_fn(64, 64, |x, y| {
+///     prev.get_clamped(x as i64 - 1, y as i64) // shift right by 1px
+/// });
+/// let lk = PyramidalLk::new(LkParams::default());
+/// let res = lk.track(&prev, &next, &[Point2::new(32.0, 32.0)]);
+/// assert!(res[0].found);
+/// let d = res[0].displacement();
+/// assert!((d.x - 1.0).abs() < 0.5 && d.y.abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PyramidalLk {
+    params: LkParams,
+}
+
+impl Default for PyramidalLk {
+    fn default() -> Self {
+        Self::new(LkParams::default())
+    }
+}
+
+impl PyramidalLk {
+    /// Creates a tracker with the given parameters.
+    pub fn new(params: LkParams) -> Self {
+        Self { params }
+    }
+
+    /// The tracker's parameters.
+    pub fn params(&self) -> &LkParams {
+        &self.params
+    }
+
+    /// Tracks `points` from `prev` into `next`.
+    ///
+    /// Builds pyramids internally; when tracking many point sets between the
+    /// same frame pair, prefer [`PyramidalLk::track_pyramids`] to reuse them.
+    pub fn track(&self, prev: &GrayImage, next: &GrayImage, points: &[Point2]) -> Vec<FlowResult> {
+        let prev_pyr = Pyramid::build(prev, self.params.pyramid_levels);
+        let next_pyr = Pyramid::build(next, self.params.pyramid_levels);
+        self.track_pyramids(&prev_pyr, &next_pyr, points)
+    }
+
+    /// Tracks `points` between two prebuilt pyramids.
+    ///
+    /// The pyramids must have been built from images of identical size.
+    pub fn track_pyramids(
+        &self,
+        prev: &Pyramid,
+        next: &Pyramid,
+        points: &[Point2],
+    ) -> Vec<FlowResult> {
+        let levels = prev.levels().min(next.levels());
+        // Per-level gradients of the previous image.
+        let grads: Vec<_> = (0..levels)
+            .map(|l| scharr_gradients(prev.level(l)))
+            .collect();
+        points
+            .iter()
+            .map(|&p| self.track_one(prev, next, &grads, levels, p))
+            .collect()
+    }
+
+    fn track_one(
+        &self,
+        prev: &Pyramid,
+        next: &Pyramid,
+        grads: &[crate::gradient::GradientField],
+        levels: usize,
+        point: Point2,
+    ) -> FlowResult {
+        let r = self.params.window_radius as i32;
+        let win_pixels = ((2 * r + 1) * (2 * r + 1)) as f32;
+        let mut lost = false;
+
+        // Displacement estimate at the coarsest level.
+        let mut d = Vec2::ZERO;
+        let mut final_residual = f32::MAX;
+
+        for (level, prev_img) in prev.iter_coarse_to_fine() {
+            if level >= levels {
+                continue;
+            }
+            let next_img = next.level(level);
+            let grad = &grads[level];
+            let scale = 1.0 / (1 << level) as f32;
+            let pl = Point2::new(point.x * scale, point.y * scale);
+
+            if !prev_img.in_bounds_with_margin(pl.x, pl.y, (r + 1) as f32) {
+                // Feature too close to the border at this level; skip the level
+                // (coarse levels may legitimately clip near-border features).
+                if level == 0 {
+                    lost = true;
+                }
+                continue;
+            }
+
+            // Structure tensor over the window (constant per level).
+            let mut gxx = 0.0f32;
+            let mut gxy = 0.0f32;
+            let mut gyy = 0.0f32;
+            for wy in -r..=r {
+                for wx in -r..=r {
+                    let gx = grad.sample_gx(pl.x + wx as f32, pl.y + wy as f32);
+                    let gy = grad.sample_gy(pl.x + wx as f32, pl.y + wy as f32);
+                    gxx += gx * gx;
+                    gxy += gx * gy;
+                    gyy += gy * gy;
+                }
+            }
+            let trace_half = (gxx + gyy) / 2.0;
+            let det_term = (((gxx - gyy) / 2.0).powi(2) + gxy * gxy).sqrt();
+            let min_eig = (trace_half - det_term) / win_pixels;
+            if min_eig < self.params.min_eigen_threshold {
+                lost = true;
+                break;
+            }
+            let det = gxx * gyy - gxy * gxy;
+            if det.abs() < 1e-12 {
+                lost = true;
+                break;
+            }
+
+            // Newton iterations.
+            for _ in 0..self.params.max_iterations {
+                let target = pl + d;
+                if !next_img.in_bounds_with_margin(target.x, target.y, (r + 1) as f32) {
+                    lost = true;
+                    break;
+                }
+                let mut bx = 0.0f32;
+                let mut by = 0.0f32;
+                for wy in -r..=r {
+                    for wx in -r..=r {
+                        let px = pl.x + wx as f32;
+                        let py = pl.y + wy as f32;
+                        let diff = prev_img.sample(px, py) - next_img.sample(px + d.x, py + d.y);
+                        bx += diff * grad.sample_gx(px, py);
+                        by += diff * grad.sample_gy(px, py);
+                    }
+                }
+                let step = Vec2::new((gyy * bx - gxy * by) / det, (gxx * by - gxy * bx) / det);
+                d += step;
+                if step.norm() < self.params.epsilon {
+                    break;
+                }
+            }
+            if lost {
+                break;
+            }
+
+            if level == 0 {
+                // Final residual check at full resolution.
+                let target = pl + d;
+                if !next
+                    .level(0)
+                    .in_bounds_with_margin(target.x, target.y, (r + 1) as f32)
+                {
+                    lost = true;
+                } else {
+                    let mut res = 0.0f32;
+                    for wy in -r..=r {
+                        for wx in -r..=r {
+                            let px = pl.x + wx as f32;
+                            let py = pl.y + wy as f32;
+                            res += (prev_img.sample(px, py)
+                                - next.level(0).sample(px + d.x, py + d.y))
+                            .abs();
+                        }
+                    }
+                    final_residual = res / win_pixels;
+                    if final_residual > self.params.max_residual {
+                        lost = true;
+                    }
+                }
+            } else {
+                // Propagate to the next finer level.
+                d = d * 2.0;
+            }
+        }
+
+        let current = point + d;
+        FlowResult {
+            previous: point,
+            current,
+            found: !lost && final_residual <= self.params.max_residual,
+            residual: if final_residual == f32::MAX {
+                0.0
+            } else {
+                final_residual
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic smooth texture (sum of oriented sinusoids) — smooth
+    /// enough for the LK linearization yet rich in 2-D structure.
+    fn textured(w: u32, h: u32) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            let xf = x as f32;
+            let yf = y as f32;
+            let v = 128.0
+                + 50.0 * (xf * 0.35).sin() * (yf * 0.27).cos()
+                + 40.0 * ((xf * 0.12 + yf * 0.23).sin())
+                + 20.0 * ((xf * 0.05).cos() * (yf * 0.4).sin());
+            v.clamp(0.0, 255.0) as u8
+        })
+    }
+
+    fn shifted(img: &GrayImage, dx: i64, dy: i64) -> GrayImage {
+        GrayImage::from_fn(img.width(), img.height(), |x, y| {
+            img.get_clamped(x as i64 - dx, y as i64 - dy)
+        })
+    }
+
+    #[test]
+    fn zero_motion_recovered() {
+        let img = textured(96, 96);
+        let lk = PyramidalLk::default();
+        let res = lk.track(&img, &img, &[Point2::new(48.0, 48.0)]);
+        assert!(res[0].found);
+        assert!(res[0].displacement().norm() < 0.1);
+        assert!(res[0].residual < 1.0);
+    }
+
+    #[test]
+    fn small_translation_recovered() {
+        let prev = textured(96, 96);
+        let next = shifted(&prev, 2, 1);
+        let lk = PyramidalLk::default();
+        let pts = [
+            Point2::new(30.0, 30.0),
+            Point2::new(48.0, 60.0),
+            Point2::new(70.0, 40.0),
+        ];
+        let res = lk.track(&prev, &next, &pts);
+        for r in &res {
+            assert!(r.found, "track lost at {}", r.previous);
+            let d = r.displacement();
+            assert!((d.x - 2.0).abs() < 0.5, "dx = {}", d.x);
+            assert!((d.y - 1.0).abs() < 0.5, "dy = {}", d.y);
+        }
+    }
+
+    #[test]
+    fn large_translation_needs_pyramid() {
+        let prev = textured(128, 128);
+        let next = shifted(&prev, 9, 0);
+        let single = PyramidalLk::new(LkParams {
+            pyramid_levels: 1,
+            ..Default::default()
+        });
+        let pyr = PyramidalLk::new(LkParams {
+            pyramid_levels: 4,
+            ..Default::default()
+        });
+        let p = [Point2::new(64.0, 64.0)];
+        let r1 = single.track(&prev, &next, &p);
+        let r4 = pyr.track(&prev, &next, &p);
+        let err1 = (r1[0].displacement() - Vec2::new(9.0, 0.0)).norm();
+        let err4 = (r4[0].displacement() - Vec2::new(9.0, 0.0)).norm();
+        assert!(err4 < 1.0, "pyramidal error {err4}");
+        assert!(
+            err4 <= err1 + 1e-3,
+            "pyramid ({err4}) should not be worse than single level ({err1})"
+        );
+    }
+
+    #[test]
+    fn flat_region_is_lost() {
+        let prev = GrayImage::from_fn(64, 64, |_, _| 100);
+        let next = prev.clone();
+        let lk = PyramidalLk::default();
+        let res = lk.track(&prev, &next, &[Point2::new(32.0, 32.0)]);
+        assert!(!res[0].found, "flat region must be untrackable");
+    }
+
+    #[test]
+    fn point_near_border_is_lost() {
+        let prev = textured(64, 64);
+        let lk = PyramidalLk::default();
+        let res = lk.track(&prev, &prev, &[Point2::new(1.0, 1.0)]);
+        assert!(!res[0].found);
+    }
+
+    #[test]
+    fn appearance_change_raises_residual() {
+        let prev = textured(96, 96);
+        // Unrelated next frame: tracking must fail the residual check.
+        let next = GrayImage::from_fn(96, 96, |x, y| {
+            let n = x.wrapping_mul(97).wrapping_add(y.wrapping_mul(31));
+            (n % 251) as u8
+        });
+        let lk = PyramidalLk::default();
+        let res = lk.track(&prev, &next, &[Point2::new(48.0, 48.0)]);
+        assert!(!res[0].found || res[0].residual > 10.0);
+    }
+
+    #[test]
+    fn multiple_points_tracked_independently() {
+        let prev = textured(96, 96);
+        let next = shifted(&prev, 1, 2);
+        let lk = PyramidalLk::default();
+        let pts: Vec<Point2> = (0..10)
+            .map(|i| Point2::new(20.0 + 6.0 * i as f32, 30.0 + 3.0 * i as f32))
+            .collect();
+        let res = lk.track(&prev, &next, &pts);
+        assert_eq!(res.len(), pts.len());
+        for (r, p) in res.iter().zip(&pts) {
+            assert_eq!(r.previous, *p);
+        }
+        let found = res.iter().filter(|r| r.found).count();
+        assert!(found >= 8, "only {found} of 10 found");
+    }
+
+    #[test]
+    fn empty_point_list() {
+        let img = textured(32, 32);
+        let lk = PyramidalLk::default();
+        assert!(lk.track(&img, &img, &[]).is_empty());
+    }
+
+    #[test]
+    fn track_pyramids_reuse_matches_track() {
+        let prev = textured(96, 96);
+        let next = shifted(&prev, 2, 0);
+        let lk = PyramidalLk::default();
+        let pts = [Point2::new(40.0, 40.0), Point2::new(60.0, 50.0)];
+        let a = lk.track(&prev, &next, &pts);
+        let pp = Pyramid::build(&prev, lk.params().pyramid_levels);
+        let np = Pyramid::build(&next, lk.params().pyramid_levels);
+        let b = lk.track_pyramids(&pp, &np, &pts);
+        assert_eq!(a, b);
+    }
+}

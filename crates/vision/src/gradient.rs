@@ -1,0 +1,246 @@
+//! Spatial-gradient and smoothing kernels.
+//!
+//! Provides Scharr gradients (the derivative filter both the Shi-Tomasi
+//! corner response and the Lucas-Kanade normal equations are built from) and
+//! a separable Gaussian blur used when constructing image pyramids.
+
+use crate::image::GrayImage;
+
+/// Horizontal and vertical image derivatives as `f32` planes.
+///
+/// Produced by [`scharr_gradients`]; row-major, same dimensions as the
+/// source image.
+#[derive(Debug, Clone)]
+pub struct GradientField {
+    width: u32,
+    height: u32,
+    gx: Vec<f32>,
+    gy: Vec<f32>,
+}
+
+impl GradientField {
+    /// Field width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Field height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn index(&self, x: u32, y: u32) -> usize {
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Horizontal derivative at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn gx(&self, x: u32, y: u32) -> f32 {
+        self.gx[self.index(x, y)]
+    }
+
+    /// Vertical derivative at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn gy(&self, x: u32, y: u32) -> f32 {
+        self.gy[self.index(x, y)]
+    }
+
+    /// Bilinearly-interpolated horizontal derivative at fractional coordinates.
+    pub fn sample_gx(&self, x: f32, y: f32) -> f32 {
+        sample_plane(&self.gx, self.width, self.height, x, y)
+    }
+
+    /// Bilinearly-interpolated vertical derivative at fractional coordinates.
+    pub fn sample_gy(&self, x: f32, y: f32) -> f32 {
+        sample_plane(&self.gy, self.width, self.height, x, y)
+    }
+}
+
+fn sample_plane(plane: &[f32], w: u32, h: u32, x: f32, y: f32) -> f32 {
+    let clamp = |v: i64, hi: u32| v.clamp(0, hi as i64 - 1) as usize;
+    let xf = x.floor();
+    let yf = y.floor();
+    let tx = x - xf;
+    let ty = y - yf;
+    let x0 = clamp(xf as i64, w);
+    let x1 = clamp(xf as i64 + 1, w);
+    let y0 = clamp(yf as i64, h);
+    let y1 = clamp(yf as i64 + 1, h);
+    let at = |xx: usize, yy: usize| plane[yy * w as usize + xx];
+    let top = at(x0, y0) + (at(x1, y0) - at(x0, y0)) * tx;
+    let bottom = at(x0, y1) + (at(x1, y1) - at(x0, y1)) * tx;
+    top + (bottom - top) * ty
+}
+
+/// Computes Scharr derivatives of `img` (normalized by 1/32 so that a unit
+/// intensity ramp yields a unit gradient).
+///
+/// Border pixels use replicate addressing.
+pub fn scharr_gradients(img: &GrayImage) -> GradientField {
+    let w = img.width();
+    let h = img.height();
+    let mut gx = vec![0.0f32; w as usize * h as usize];
+    let mut gy = vec![0.0f32; w as usize * h as usize];
+    // Scharr kernels:
+    //   Gx = [-3 0 3; -10 0 10; -3 0 3] / 32
+    //   Gy = transpose(Gx)
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let p = |dx: i64, dy: i64| img.get_clamped(x + dx, y + dy) as f32;
+            let sx = -3.0 * p(-1, -1) + 3.0 * p(1, -1) - 10.0 * p(-1, 0) + 10.0 * p(1, 0)
+                - 3.0 * p(-1, 1)
+                + 3.0 * p(1, 1);
+            let sy = -3.0 * p(-1, -1) - 10.0 * p(0, -1) - 3.0 * p(1, -1)
+                + 3.0 * p(-1, 1)
+                + 10.0 * p(0, 1)
+                + 3.0 * p(1, 1);
+            let i = y as usize * w as usize + x as usize;
+            gx[i] = sx / 32.0;
+            gy[i] = sy / 32.0;
+        }
+    }
+    GradientField {
+        width: w,
+        height: h,
+        gx,
+        gy,
+    }
+}
+
+/// Separable Gaussian blur with a 5-tap binomial kernel `[1 4 6 4 1] / 16`.
+///
+/// Used to pre-smooth images before pyramid downsampling so the Lucas-Kanade
+/// linearization holds at coarse levels.
+pub fn gaussian_blur(img: &GrayImage) -> GrayImage {
+    const K: [u32; 5] = [1, 4, 6, 4, 1];
+    let w = img.width();
+    let h = img.height();
+    // Horizontal pass into u16 buffer (max 255*16 fits in u16? 4080 < 65535 yes).
+    let mut tmp = vec![0u16; w as usize * h as usize];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let mut acc = 0u32;
+            for (k, &kv) in K.iter().enumerate() {
+                acc += kv * img.get_clamped(x + k as i64 - 2, y) as u32;
+            }
+            tmp[y as usize * w as usize + x as usize] = (acc / 16) as u16;
+        }
+    }
+    let tmp_at = |x: i64, y: i64| -> u32 {
+        let cx = x.clamp(0, w as i64 - 1) as usize;
+        let cy = y.clamp(0, h as i64 - 1) as usize;
+        tmp[cy * w as usize + cx] as u32
+    };
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let mut acc = 0u32;
+            for (k, &kv) in K.iter().enumerate() {
+                acc += kv * tmp_at(x, y + k as i64 - 2);
+            }
+            out.set(x as u32, y as u32, (acc / 16).min(255) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_flat_image_is_zero() {
+        let img = GrayImage::from_fn(8, 8, |_, _| 77);
+        let g = scharr_gradients(&img);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(g.gx(x, y), 0.0);
+                assert_eq!(g.gy(x, y), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_of_horizontal_ramp() {
+        // intensity = 10 * x -> gx = 10, gy = 0 (away from borders).
+        let img = GrayImage::from_fn(16, 16, |x, _| (x * 10).min(255) as u8);
+        let g = scharr_gradients(&img);
+        for y in 2..14 {
+            for x in 2..14 {
+                if (x * 10) < 245 && ((x + 1) * 10) < 245 {
+                    assert!(
+                        (g.gx(x, y) - 10.0).abs() < 1e-3,
+                        "gx at ({x},{y}) = {}",
+                        g.gx(x, y)
+                    );
+                    assert!(g.gy(x, y).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_of_vertical_ramp() {
+        let img = GrayImage::from_fn(16, 16, |_, y| (y * 8) as u8);
+        let g = scharr_gradients(&img);
+        for y in 2..14 {
+            for x in 2..14 {
+                assert!((g.gy(x, y) - 8.0).abs() < 1e-3);
+                assert!(g.gx(x, y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_sampling_interpolates() {
+        let img = GrayImage::from_fn(16, 16, |x, _| (x * 10).min(255) as u8);
+        let g = scharr_gradients(&img);
+        let v = g.sample_gx(5.5, 5.5);
+        assert!((v - 10.0).abs() < 1e-3);
+        // Out-of-bounds sampling clamps, never panics.
+        let _ = g.sample_gx(-10.0, -10.0);
+        let _ = g.sample_gy(100.0, 100.0);
+    }
+
+    #[test]
+    fn dimensions_preserved() {
+        let img = GrayImage::new(7, 5);
+        let g = scharr_gradients(&img);
+        assert_eq!((g.width(), g.height()), (7, 5));
+        let b = gaussian_blur(&img);
+        assert_eq!((b.width(), b.height()), (7, 5));
+    }
+
+    #[test]
+    fn blur_preserves_flat_regions() {
+        let img = GrayImage::from_fn(10, 10, |_, _| 128);
+        let b = gaussian_blur(&img);
+        for y in 0..10 {
+            for x in 0..10 {
+                assert!((b.get(x, y) as i32 - 128).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn blur_smooths_impulse() {
+        let mut img = GrayImage::new(9, 9);
+        img.set(4, 4, 255);
+        let b = gaussian_blur(&img);
+        // Impulse energy spreads: centre is reduced, neighbours nonzero.
+        assert!(b.get(4, 4) < 255);
+        assert!(b.get(3, 4) > 0);
+        assert!(b.get(4, 3) > 0);
+        // Far corner untouched.
+        assert_eq!(b.get(0, 0), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Classic computer-vision kernels used by the AdaVP object tracker.
+//!
+//! This crate is a from-scratch implementation of the two algorithms the
+//! AdaVP paper (ICDCS 2020) relies on for its lightweight object tracker:
+//!
+//! * **Shi-Tomasi "good features to track"** ([`features::good_features_to_track`]) —
+//!   minimum-eigenvalue corner response with non-maximum suppression and an
+//!   optional region mask, mirroring OpenCV's `goodFeaturesToTrack`.
+//! * **Pyramidal Lucas-Kanade optical flow** ([`flow::PyramidalLk`]) —
+//!   iterative LK refined coarse-to-fine over a Gaussian image pyramid,
+//!   mirroring OpenCV's `calcOpticalFlowPyrLK`.
+//!
+//! Supporting modules provide grayscale images ([`image::GrayImage`]),
+//! spatial-gradient and blur kernels ([`gradient`]), Gaussian pyramids
+//! ([`pyramid`]) and rectangle geometry ([`geometry`]).
+//!
+//! # Example
+//!
+//! ```
+//! use adavp_vision::image::GrayImage;
+//! use adavp_vision::features::{good_features_to_track, GoodFeaturesParams};
+//! use adavp_vision::flow::{PyramidalLk, LkParams};
+//! use adavp_vision::geometry::Point2;
+//!
+//! // A synthetic textured image and a copy shifted right by 2 pixels.
+//! let img = GrayImage::from_fn(96, 96, |x, y| {
+//!     (((x / 8 + y / 8) % 2) as u8) * 180 + ((x * 7 + y * 13) % 31) as u8
+//! });
+//! let shifted = GrayImage::from_fn(96, 96, |x, y| {
+//!     let sx = x.saturating_sub(2);
+//!     img.get(sx, y)
+//! });
+//!
+//! let corners = good_features_to_track(&img, &GoodFeaturesParams::default(), None);
+//! assert!(!corners.is_empty());
+//!
+//! let lk = PyramidalLk::new(LkParams::default());
+//! let pts: Vec<Point2> = corners.iter().map(|c| c.point).collect();
+//! let tracked = lk.track(&img, &shifted, &pts);
+//! let ok = tracked.iter().filter(|t| t.found).count();
+//! assert!(ok > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fast;
+pub mod features;
+pub mod flow;
+pub mod geometry;
+pub mod gradient;
+pub mod image;
+pub mod pyramid;
+
+pub use fast::{fast_corners, FastParams};
+pub use features::{good_features_to_track, Corner, GoodFeaturesParams};
+pub use flow::{FlowResult, LkParams, PyramidalLk};
+pub use geometry::{BoundingBox, Point2, Vec2};
+pub use image::GrayImage;
+pub use pyramid::Pyramid;

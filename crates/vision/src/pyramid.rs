@@ -1,0 +1,127 @@
+//! Gaussian image pyramids for coarse-to-fine optical flow.
+//!
+//! A [`Pyramid`] holds the original image at level 0 and successively
+//! blurred-and-halved versions at higher levels. Pyramidal Lucas-Kanade
+//! ([`crate::flow::PyramidalLk`]) starts at the coarsest level, where large
+//! motions shrink to sub-pixel displacements, and refines the estimate down
+//! to level 0.
+
+use crate::gradient::gaussian_blur;
+use crate::image::GrayImage;
+
+/// A Gaussian image pyramid (level 0 = full resolution).
+///
+/// # Example
+///
+/// ```
+/// use adavp_vision::image::GrayImage;
+/// use adavp_vision::pyramid::Pyramid;
+/// let img = GrayImage::new(64, 48);
+/// let pyr = Pyramid::build(&img, 3);
+/// assert_eq!(pyr.levels(), 3);
+/// assert_eq!(pyr.level(1).width(), 32);
+/// assert_eq!(pyr.level(2).width(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    levels: Vec<GrayImage>,
+}
+
+impl Pyramid {
+    /// Minimum side length below which no further levels are built.
+    pub const MIN_SIDE: u32 = 8;
+
+    /// Builds a pyramid with at most `max_levels` levels (at least 1).
+    ///
+    /// Level construction stops early when the next level would have a side
+    /// shorter than [`Pyramid::MIN_SIDE`] pixels.
+    pub fn build(base: &GrayImage, max_levels: u32) -> Self {
+        let max_levels = max_levels.max(1);
+        let mut levels = Vec::with_capacity(max_levels as usize);
+        levels.push(base.clone());
+        while (levels.len() as u32) < max_levels {
+            let last = levels.last().expect("pyramid has at least one level");
+            if last.width() / 2 < Self::MIN_SIDE || last.height() / 2 < Self::MIN_SIDE {
+                break;
+            }
+            let smoothed = gaussian_blur(last);
+            levels.push(smoothed.downsample());
+        }
+        Self { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The image at `level` (0 = full resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    pub fn level(&self, level: usize) -> &GrayImage {
+        &self.levels[level]
+    }
+
+    /// The full-resolution base image.
+    pub fn base(&self) -> &GrayImage {
+        &self.levels[0]
+    }
+
+    /// Iterator over levels from coarsest to finest (the order in which
+    /// pyramidal LK visits them).
+    pub fn iter_coarse_to_fine(&self) -> impl Iterator<Item = (usize, &GrayImage)> {
+        self.levels.iter().enumerate().rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_levels() {
+        let img = GrayImage::new(128, 128);
+        let pyr = Pyramid::build(&img, 4);
+        assert_eq!(pyr.levels(), 4);
+        assert_eq!(pyr.level(0).width(), 128);
+        assert_eq!(pyr.level(3).width(), 16);
+        assert_eq!(pyr.base().width(), 128);
+    }
+
+    #[test]
+    fn stops_when_too_small() {
+        let img = GrayImage::new(20, 20);
+        let pyr = Pyramid::build(&img, 8);
+        // 20 -> 10 -> (5 < MIN_SIDE, stop): 2 levels.
+        assert_eq!(pyr.levels(), 2);
+    }
+
+    #[test]
+    fn at_least_one_level() {
+        let img = GrayImage::new(4, 4);
+        let pyr = Pyramid::build(&img, 0);
+        assert_eq!(pyr.levels(), 1);
+    }
+
+    #[test]
+    fn coarse_to_fine_order() {
+        let img = GrayImage::new(64, 64);
+        let pyr = Pyramid::build(&img, 3);
+        let order: Vec<usize> = pyr.iter_coarse_to_fine().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn downsampled_content_tracks_base() {
+        // A bright left half stays bright-left at every level.
+        let img = GrayImage::from_fn(64, 64, |x, _| if x < 32 { 200 } else { 20 });
+        let pyr = Pyramid::build(&img, 3);
+        for l in 0..pyr.levels() {
+            let im = pyr.level(l);
+            let w = im.width();
+            assert!(im.get(w / 8, im.height() / 2) > im.get(w - 1 - w / 8, im.height() / 2));
+        }
+    }
+}

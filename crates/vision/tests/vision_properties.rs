@@ -1,0 +1,122 @@
+//! Property-based tests for the vision kernels.
+
+use adavp_vision::fast::{fast_corners, FastParams};
+use adavp_vision::features::{good_features_to_track, GoodFeaturesParams};
+use adavp_vision::flow::{LkParams, PyramidalLk};
+use adavp_vision::geometry::Point2;
+use adavp_vision::gradient::{gaussian_blur, scharr_gradients};
+use adavp_vision::image::GrayImage;
+use adavp_vision::pyramid::Pyramid;
+use proptest::prelude::*;
+
+/// Smooth textured image parameterized by three phases — every instance is
+/// LK-trackable but different.
+fn textured(w: u32, h: u32, p1: f32, p2: f32, p3: f32) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let xf = x as f32;
+        let yf = y as f32;
+        let v = 128.0
+            + 48.0 * (xf * 0.31 + p1).sin() * (yf * 0.23 + p2).cos()
+            + 36.0 * ((xf * 0.11 + yf * 0.19 + p3).sin())
+            + 18.0 * ((xf * 0.05).cos() * (yf * 0.37).sin());
+        v.clamp(0.0, 255.0) as u8
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lk_recovers_integer_translation(
+        dx in -4i64..=4,
+        dy in -4i64..=4,
+        p1 in 0.0f32..6.28,
+        p2 in 0.0f32..6.28,
+    ) {
+        let prev = textured(96, 96, p1, p2, 1.0);
+        let next = GrayImage::from_fn(96, 96, |x, y| {
+            prev.get_clamped(x as i64 - dx, y as i64 - dy)
+        });
+        let lk = PyramidalLk::new(LkParams { pyramid_levels: 4, ..LkParams::default() });
+        let res = lk.track(&prev, &next, &[Point2::new(48.0, 48.0)]);
+        prop_assert!(res[0].found, "track lost for d=({dx},{dy})");
+        let d = res[0].displacement();
+        prop_assert!((d.x - dx as f32).abs() < 0.6, "dx {} vs {}", d.x, dx);
+        prop_assert!((d.y - dy as f32).abs() < 0.6, "dy {} vs {}", d.y, dy);
+    }
+
+    #[test]
+    fn corners_always_inside_image(
+        p1 in 0.0f32..6.28,
+        w in 24u32..80,
+        h in 24u32..80,
+    ) {
+        let img = textured(w, h, p1, 2.0, 3.0);
+        for c in good_features_to_track(&img, &GoodFeaturesParams::default(), None) {
+            prop_assert!(c.point.x >= 0.0 && c.point.x < w as f32);
+            prop_assert!(c.point.y >= 0.0 && c.point.y < h as f32);
+            prop_assert!(c.response > 0.0);
+        }
+        for c in fast_corners(&img, &FastParams::default(), None) {
+            prop_assert!(c.point.x >= 3.0 && c.point.x < w as f32 - 3.0);
+            prop_assert!(c.point.y >= 3.0 && c.point.y < h as f32 - 3.0);
+        }
+    }
+
+    #[test]
+    fn pyramid_levels_halve_dimensions(w in 32u32..200, h in 32u32..200) {
+        let img = GrayImage::new(w, h);
+        let pyr = Pyramid::build(&img, 5);
+        for l in 1..pyr.levels() {
+            prop_assert_eq!(pyr.level(l).width(), (pyr.level(l - 1).width() / 2).max(1));
+            prop_assert_eq!(pyr.level(l).height(), (pyr.level(l - 1).height() / 2).max(1));
+        }
+        // No level smaller than the minimum side.
+        let last = pyr.level(pyr.levels() - 1);
+        prop_assert!(last.width() >= Pyramid::MIN_SIDE / 2);
+    }
+
+    #[test]
+    fn blur_preserves_mean_intensity(p1 in 0.0f32..6.28) {
+        let img = textured(64, 64, p1, 1.0, 2.0);
+        let blurred = gaussian_blur(&img);
+        // Smoothing redistributes but does not create/destroy intensity
+        // (up to rounding and border effects).
+        prop_assert!((img.mean() - blurred.mean()).abs() < 3.0);
+    }
+
+    #[test]
+    fn gradients_bounded_by_intensity_range(p1 in 0.0f32..6.28) {
+        let img = textured(48, 48, p1, 0.5, 1.5);
+        let g = scharr_gradients(&img);
+        for y in 0..48 {
+            for x in 0..48 {
+                // Normalized Scharr of an 8-bit image can never exceed 255.
+                prop_assert!(g.gx(x, y).abs() <= 255.0);
+                prop_assert!(g.gy(x, y).abs() <= 255.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_interpolates_within_neighbours(
+        x in 0.0f32..30.0,
+        y in 0.0f32..30.0,
+        p1 in 0.0f32..6.28,
+    ) {
+        let img = textured(32, 32, p1, 0.3, 0.9);
+        let v = img.sample(x, y);
+        let x0 = x.floor() as i64;
+        let y0 = y.floor() as i64;
+        let mut lo = 255u8;
+        let mut hi = 0u8;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let p = img.get_clamped(x0 + dx, y0 + dy);
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        prop_assert!(v >= lo as f32 - 1e-3 && v <= hi as f32 + 1e-3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Traffic monitoring: the paper's motivating application (§I) — a camera
+//! over a highway that must flag vehicles continuously, in real time,
+//! without offloading video to the cloud.
+//!
+//! Compares AdaVP with the sequential MARLIN baseline and detection-only
+//! processing on the same footage, then prints a per-scheme report: who
+//! keeps up with the camera, who stays accurate, who burns the battery.
+//!
+//! ```text
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use adavp::core::adaptation::AdaptationModel;
+use adavp::core::eval::{evaluate_on_clip, EvalConfig};
+use adavp::core::pipeline::{
+    DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
+    SettingPolicy, VideoProcessor,
+};
+use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp::video::clip::VideoClip;
+use adavp::video::scenario::Scenario;
+
+fn main() {
+    // 10 seconds of two-way highway traffic with activity waves.
+    let spec = Scenario::Highway.spec();
+    let clip = VideoClip::generate("traffic", &spec, 7, 300);
+    println!(
+        "monitoring {} frames of highway traffic ({} objects visible in frame 0)\n",
+        clip.len(),
+        clip.frame(0).ground_truth.len()
+    );
+
+    let eval = EvalConfig::default();
+    let det = || SimulatedDetector::new(DetectorConfig::default());
+
+    let mut systems: Vec<Box<dyn VideoProcessor>> = vec![
+        Box::new(MpdtPipeline::new(
+            det(),
+            SettingPolicy::Adaptive(AdaptationModel::default_model()),
+            PipelineConfig::default(),
+        )),
+        Box::new(MpdtPipeline::new(
+            det(),
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            PipelineConfig::default(),
+        )),
+        Box::new(MarlinPipeline::new(
+            det(),
+            ModelSetting::Yolo512,
+            PipelineConfig::default(),
+            MarlinConfig::default(),
+        )),
+        Box::new(DetectorOnlyPipeline::new(
+            det(),
+            ModelSetting::Yolo512,
+            PipelineConfig::default(),
+        )),
+    ];
+
+    println!(
+        "{:<22} {:>9} {:>8} {:>8} {:>10} {:>12}",
+        "system", "accuracy", "cycles", "held %", "energy wh", "realtime?"
+    );
+    for sys in &mut systems {
+        let name = sys.name();
+        let r = evaluate_on_clip(sys.as_mut(), &clip, &eval);
+        let (_, _, held) = r.trace.source_fractions();
+        let mult = r.trace.latency_multiplier(&clip);
+        println!(
+            "{:<22} {:>8.1}% {:>8} {:>7.0}% {:>10.4} {:>11}",
+            name,
+            r.accuracy * 100.0,
+            r.trace.cycles.len(),
+            held * 100.0,
+            r.trace.energy.total_wh(),
+            if mult < 1.15 { "yes" } else { "no" },
+        );
+    }
+
+    println!(
+        "\nAdaVP keeps detection cycles short when traffic surges and lets\n\
+         them stretch when the road clears — the adaptation the paper's\n\
+         Fig. 6 quantifies."
+    );
+}

@@ -1,0 +1,220 @@
+//! The `adavp` command-line tool: generate synthetic videos, run any of the
+//! pipelines over them, and export annotated frames.
+//!
+//! ```text
+//! adavp scenarios
+//! adavp generate --scenario highway --seed 7 --frames 90 --out frames/
+//! adavp run --scenario city-street --seed 3 --frames 300 --system adavp
+//! adavp run --scenario highway --system mpdt-608 --gt true
+//! ```
+
+use adavp::core::adaptation::AdaptationModel;
+use adavp::core::analysis;
+use adavp::core::eval::{evaluate_on_clip, EvalConfig, GroundTruthMode};
+use adavp::core::export::write_trace_json;
+use adavp::core::pipeline::{
+    ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
+    PipelineConfig, SettingPolicy, VideoProcessor,
+};
+use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp::video::clip::VideoClip;
+use adavp::video::export::export_clip;
+use adavp::video::scenario::Scenario;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         adavp scenarios\n  \
+         adavp generate --scenario <name> [--seed N] [--frames N] [--stride N] --out <dir>\n  \
+         adavp run --scenario <name> [--seed N] [--frames N] [--system <sys>] [--gt oracle|true]\n              \
+                 [--trace-out <file.json>]\n\n\
+         systems: adavp (default), mpdt-320/416/512/608, marlin-320/416/512/608,\n          \
+         without-tracking-512, continuous-320, continuous-608, tiny"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if let Some(v) = it.next() {
+                flags.insert(key.to_string(), v.clone());
+            }
+        }
+    }
+    flags
+}
+
+fn find_scenario(name: &str) -> Option<Scenario> {
+    Scenario::ALL.into_iter().find(|s| s.spec().name == name)
+}
+
+fn build_system(name: &str) -> Option<Box<dyn VideoProcessor>> {
+    let det = SimulatedDetector::new(DetectorConfig::default());
+    let cfg = PipelineConfig::default();
+    let fixed = |s: &str| -> Option<ModelSetting> {
+        Some(match s {
+            "320" => ModelSetting::Yolo320,
+            "416" => ModelSetting::Yolo416,
+            "512" => ModelSetting::Yolo512,
+            "608" => ModelSetting::Yolo608,
+            _ => return None,
+        })
+    };
+    Some(match name {
+        "adavp" => Box::new(MpdtPipeline::new(
+            det,
+            SettingPolicy::Adaptive(AdaptationModel::default_model()),
+            cfg,
+        )),
+        "tiny" => Box::new(ContinuousPipeline::new(det, ModelSetting::Tiny320, cfg)),
+        n if n.starts_with("mpdt-") => {
+            let s = fixed(&n[5..])?;
+            Box::new(MpdtPipeline::new(det, SettingPolicy::Fixed(s), cfg))
+        }
+        n if n.starts_with("marlin-") => {
+            let s = fixed(&n[7..])?;
+            Box::new(MarlinPipeline::new(det, s, cfg, MarlinConfig::default()))
+        }
+        n if n.starts_with("without-tracking-") => {
+            let s = fixed(&n[17..])?;
+            Box::new(DetectorOnlyPipeline::new(det, s, cfg))
+        }
+        n if n.starts_with("continuous-") => {
+            let s = fixed(&n[11..])?;
+            Box::new(ContinuousPipeline::new(det, s, cfg))
+        }
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let frames: u32 = flags
+        .get("frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+
+    match cmd.as_str() {
+        "scenarios" => {
+            println!("{:<22} {:>10} {:>12}", "name", "camera", "change px/f");
+            for s in Scenario::ALL {
+                let spec = s.spec();
+                let cam = match spec.camera {
+                    adavp::video::scenario::CameraMotion::Static => "static",
+                    adavp::video::scenario::CameraMotion::Pan { .. } => "pan",
+                    adavp::video::scenario::CameraMotion::Handheld { .. } => "handheld",
+                    adavp::video::scenario::CameraMotion::Vehicle { .. } => "vehicle",
+                };
+                println!(
+                    "{:<22} {:>10} {:>12.2}",
+                    spec.name,
+                    cam,
+                    spec.nominal_change_rate()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "generate" => {
+            let Some(name) = flags.get("scenario") else {
+                return usage();
+            };
+            let Some(scenario) = find_scenario(name) else {
+                eprintln!("unknown scenario: {name} (try `adavp scenarios`)");
+                return ExitCode::from(2);
+            };
+            let Some(out) = flags.get("out").map(PathBuf::from) else {
+                return usage();
+            };
+            let stride: usize = flags
+                .get("stride")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            let clip = VideoClip::generate(name, &scenario.spec(), seed, frames);
+            match export_clip(&clip, &out, stride) {
+                Ok(n) => {
+                    println!(
+                        "wrote {n} annotated frames of {name} (seed {seed}) to {}",
+                        out.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("export failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "run" => {
+            let Some(name) = flags.get("scenario") else {
+                return usage();
+            };
+            let Some(scenario) = find_scenario(name) else {
+                eprintln!("unknown scenario: {name} (try `adavp scenarios`)");
+                return ExitCode::from(2);
+            };
+            let system = flags.get("system").map(String::as_str).unwrap_or("adavp");
+            let Some(mut pipeline) = build_system(system) else {
+                eprintln!("unknown system: {system}");
+                return usage();
+            };
+            let gt = match flags.get("gt").map(String::as_str) {
+                Some("true") => GroundTruthMode::True,
+                _ => GroundTruthMode::default(),
+            };
+            let clip = VideoClip::generate(name, &scenario.spec(), seed, frames);
+            let eval = EvalConfig {
+                ground_truth: gt,
+                ..EvalConfig::default()
+            };
+            let result = evaluate_on_clip(pipeline.as_mut(), &clip, &eval);
+            let stats = analysis::analyze(&result.trace);
+            println!("system:    {}", result.trace.pipeline);
+            println!("video:     {name} (seed {seed}, {frames} frames)");
+            println!(
+                "accuracy:  {:.1}% of frames with F1 >= 0.7",
+                result.accuracy * 100.0
+            );
+            println!(
+                "cycles:    {} ({} switches, mean {:.0} ms)",
+                stats.cycles, stats.switches, stats.mean_cycle_ms
+            );
+            let (d, t, h) = stats.frame_sources;
+            println!(
+                "frames:    {:.0}% detected / {:.0}% tracked / {:.0}% held",
+                d * 100.0,
+                t * 100.0,
+                h * 100.0
+            );
+            if let Some(v) = stats.mean_velocity {
+                println!("velocity:  {v:.2} px/frame mean");
+            }
+            println!("energy:    {}", result.trace.energy);
+            println!(
+                "realtime:  {:.2}x video duration",
+                result.trace.latency_multiplier(&clip)
+            );
+            if let Some(path) = flags.get("trace-out").map(PathBuf::from) {
+                match write_trace_json(&result.trace, Some(&result.frame_f1), &path) {
+                    Ok(()) => println!("trace:     written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write trace: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) on the core data structures and on
+//! whole-pipeline invariants under randomized scenario parameters.
+
+use adavp::core::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy, VideoProcessor};
+use adavp::core::tracker::FrameSelector;
+use adavp::detector::{Detector, DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp::metrics::f1::{evaluate_frame, LabeledBox};
+use adavp::metrics::matching::{match_boxes, Matcher};
+use adavp::video::clip::VideoClip;
+use adavp::video::object::ObjectClass;
+use adavp::video::scenario::{CameraMotion, Scenario};
+use adavp::vision::geometry::{BoundingBox, Point2, Vec2};
+use proptest::prelude::*;
+
+fn arb_box() -> impl Strategy<Value = BoundingBox> {
+    (0.0f32..300.0, 0.0f32..300.0, 1.0f32..120.0, 1.0f32..120.0)
+        .prop_map(|(l, t, w, h)| BoundingBox::new(l, t, w, h))
+}
+
+fn arb_class() -> impl Strategy<Value = ObjectClass> {
+    prop::sample::select(ObjectClass::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- Geometry -----------------------------------------------------
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_box(), b in arb_box()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+    }
+
+    #[test]
+    fn iou_with_self_is_one(a in arb_box()) {
+        // f32 coordinate arithmetic: (left + width) - left can deviate from
+        // width by ~1e-4 relative at coordinates around 300.
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn translation_preserves_area_and_iou_decreases(
+        a in arb_box(),
+        dx in -50.0f32..50.0,
+        dy in -50.0f32..50.0,
+    ) {
+        let t = a.translated(Vec2::new(dx, dy));
+        prop_assert!((t.area() - a.area()).abs() < 1e-3);
+        // Moving a box away from itself can never increase IoU above 1.
+        prop_assert!(a.iou(&t) <= 1.0 + 1e-4);
+        // Zero translation keeps IoU at 1 (up to f32 precision).
+        let z = a.translated(Vec2::ZERO);
+        prop_assert!((a.iou(&z) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn intersection_is_contained(a in arb_box(), b in arb_box()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.area() <= a.area() + 1e-3);
+            prop_assert!(i.area() <= b.area() + 1e-3);
+            prop_assert!(i.left >= a.left - 1e-4 && i.left >= b.left - 1e-4);
+        }
+    }
+
+    #[test]
+    fn clipping_never_grows(a in arb_box(), w in 10.0f32..400.0, h in 10.0f32..400.0) {
+        if let Some(c) = a.clipped(w, h) {
+            prop_assert!(c.area() <= a.area() + 1e-3);
+            prop_assert!(c.left >= 0.0 && c.top >= 0.0);
+            prop_assert!(c.right() <= w + 1e-4 && c.bottom() <= h + 1e-4);
+        }
+    }
+
+    #[test]
+    fn point_distance_triangle_inequality(
+        ax in -100.0f32..100.0, ay in -100.0f32..100.0,
+        bx in -100.0f32..100.0, by in -100.0f32..100.0,
+        cx in -100.0f32..100.0, cy in -100.0f32..100.0,
+    ) {
+        let a = Point2::new(ax, ay);
+        let b = Point2::new(bx, by);
+        let c = Point2::new(cx, cy);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-3);
+    }
+
+    // ---- Matching & scoring -------------------------------------------
+
+    #[test]
+    fn matching_partitions_inputs(
+        preds in prop::collection::vec((arb_class(), arb_box()), 0..8),
+        gts in prop::collection::vec((arb_class(), arb_box()), 0..8),
+    ) {
+        for matcher in [Matcher::Greedy, Matcher::Hungarian] {
+            let out = match_boxes(&preds, &gts, 0.3, matcher);
+            prop_assert_eq!(out.matches.len() + out.unmatched_predictions.len(), preds.len());
+            prop_assert_eq!(out.matches.len() + out.unmatched_ground_truth.len(), gts.len());
+            // No index appears twice.
+            let mut ps: Vec<usize> = out.matches.iter().map(|m| m.0).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            prop_assert_eq!(ps.len(), out.matches.len());
+            for (pi, gi, iou) in &out.matches {
+                prop_assert!(*iou >= 0.3);
+                prop_assert_eq!(preds[*pi].0, gts[*gi].0);
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_total_iou_at_least_greedy(
+        preds in prop::collection::vec((Just(ObjectClass::Car), arb_box()), 0..7),
+        gts in prop::collection::vec((Just(ObjectClass::Car), arb_box()), 0..7),
+    ) {
+        // The Hungarian assignment maximizes total IoU over ALL one-to-one
+        // matchings, so at a (near-)zero threshold its total dominates any
+        // greedy matching's total. (At a nonzero threshold the property does
+        // not hold in general: the unconstrained optimum may route through
+        // sub-threshold pairs that the filter then drops.)
+        let g = match_boxes(&preds, &gts, 0.1, Matcher::Greedy);
+        let h = match_boxes(&preds, &gts, 1e-6, Matcher::Hungarian);
+        let sum = |o: &adavp::metrics::matching::MatchOutcome| -> f32 {
+            o.matches.iter().map(|m| m.2).sum()
+        };
+        prop_assert!(sum(&h) >= sum(&g) - 1e-4);
+    }
+
+    #[test]
+    fn f1_bounded_and_perfect_on_echo(
+        gts in prop::collection::vec((arb_class(), arb_box()), 0..8),
+    ) {
+        let labeled: Vec<LabeledBox> = gts.iter().map(|(c, b)| LabeledBox::new(*c, *b)).collect();
+        let s = evaluate_frame(&labeled, &labeled, 0.5, Matcher::Hungarian);
+        prop_assert_eq!(s.f1, 1.0);
+        let empty = evaluate_frame(&[], &labeled, 0.5, Matcher::Hungarian);
+        prop_assert!(empty.f1 <= 1.0 && empty.f1 >= 0.0);
+    }
+
+    // ---- Frame selector --------------------------------------------------
+
+    #[test]
+    fn selector_plan_valid_for_any_fraction(p in 0.01f64..1.5, f in 1usize..200) {
+        let s = FrameSelector::new(p);
+        let plan = s.plan(f);
+        prop_assert!(!plan.is_empty());
+        prop_assert!(*plan.last().unwrap() == f - 1);
+        for w in plan.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(plan.len() <= f);
+    }
+}
+
+proptest! {
+    // Pipeline-level properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pipeline_covers_all_frames_for_random_scenarios(
+        scenario_idx in 0usize..14,
+        seed in 0u64..1000,
+        frames in 40u32..90,
+        setting_idx in 0usize..4,
+    ) {
+        let mut spec = Scenario::ALL[scenario_idx].spec();
+        spec.width = 240;
+        spec.height = 140;
+        spec.size_range = (18.0, 32.0);
+        let clip = VideoClip::generate("prop", &spec, seed, frames);
+        let mut p = MpdtPipeline::new(
+            SimulatedDetector::new(DetectorConfig::default().with_seed(seed)),
+            SettingPolicy::Fixed(ModelSetting::ADAPTIVE[setting_idx]),
+            PipelineConfig::default(),
+        );
+        let trace = p.process(&clip);
+        prop_assert_eq!(trace.outputs.len(), frames as usize);
+        // Frame outputs are index-aligned and cycles are time-ordered.
+        for (i, o) in trace.outputs.iter().enumerate() {
+            prop_assert_eq!(o.frame_index as usize, i);
+        }
+        for w in trace.cycles.windows(2) {
+            prop_assert!(w[0].end_ms <= w[1].end_ms + 1e-9);
+            prop_assert!(w[0].detected_frame < w[1].detected_frame);
+        }
+        // Detection never outpaces the camera: cycle end >= frame arrival.
+        for cy in &trace.cycles {
+            let arrival = cy.detected_frame as f64 * clip.frame_interval_ms();
+            prop_assert!(cy.end_ms >= arrival);
+        }
+    }
+
+    #[test]
+    fn detector_recall_monotone_in_visibility(
+        seed in 0u64..100,
+    ) {
+        // The same scene detected at 608 finds at least as many objects as
+        // tiny-320, averaged over frames.
+        let mut spec = Scenario::CityStreet.spec();
+        spec.width = 240;
+        spec.height = 140;
+        spec.camera = CameraMotion::Static;
+        let clip = VideoClip::generate("prop-det", &spec, seed, 12);
+        let mut det = SimulatedDetector::new(DetectorConfig::default().with_seed(seed));
+        let count = |det: &mut SimulatedDetector, s: ModelSetting| -> usize {
+            clip.iter().map(|f| det.detect(f, s).detections.len()).sum()
+        };
+        let tiny = count(&mut det, ModelSetting::Tiny320);
+        let big = count(&mut det, ModelSetting::Yolo608);
+        prop_assert!(big + 2 >= tiny, "tiny {tiny} vs 608 {big}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration tests for the tooling layers: trace analysis, JSON/CSV
+//! export, PGM frame export — everything a user consumes downstream of a
+//! pipeline run.
+
+use adavp::core::analysis::{analyze, f1_by_source, switch_gaps, usage_shares};
+use adavp::core::eval::{evaluate_on_clip, EvalConfig};
+use adavp::core::export::{trace_to_json, write_frame_csv, write_trace_json};
+use adavp::core::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy};
+use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp::video::clip::VideoClip;
+use adavp::video::export::{draw_boxes, export_clip, read_pgm, write_pgm};
+use adavp::video::scenario::Scenario;
+use std::fs;
+
+fn run_once() -> (VideoClip, adavp::core::eval::VideoEvaluation) {
+    let mut spec = Scenario::CityStreet.spec();
+    spec.width = 240;
+    spec.height = 140;
+    spec.size_range = (20.0, 36.0);
+    let clip = VideoClip::generate("tooling", &spec, 19, 120);
+    let mut p = MpdtPipeline::new(
+        SimulatedDetector::new(DetectorConfig::default()),
+        SettingPolicy::Fixed(ModelSetting::Yolo512),
+        PipelineConfig::default(),
+    );
+    let ev = evaluate_on_clip(&mut p, &clip, &EvalConfig::default());
+    (clip, ev)
+}
+
+#[test]
+fn analysis_of_real_trace_is_consistent() {
+    let (_, ev) = run_once();
+    let stats = analyze(&ev.trace);
+    assert!(stats.cycles > 2);
+    assert_eq!(stats.switches, 0, "fixed policy never switches");
+    assert!(stats.mean_cycle_ms > 300.0 && stats.mean_cycle_ms < 500.0);
+    assert!(stats.mean_buffered >= stats.mean_tracked);
+    assert!(stats.tracking_completion() > 0.0 && stats.tracking_completion() <= 1.0);
+    let (d, t, h) = stats.frame_sources;
+    assert!((d + t + h - 1.0).abs() < 1e-9);
+    assert!(stats.usage[2] == stats.cycles, "all cycles at 512");
+
+    // Per-source F1 split covers all frames.
+    let (fd, ft, fh) = f1_by_source(&ev.trace, &ev.frame_f1);
+    assert!(fd.is_some());
+    assert!(ft.is_some() || fh.is_some());
+
+    // No switches → no switch gaps.
+    assert!(switch_gaps([&ev.trace]).is_empty());
+    let shares = usage_shares([&ev.trace]);
+    assert!((shares[2].1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn json_export_of_real_trace_round_trips_key_fields() {
+    let (_, ev) = run_once();
+    let json = trace_to_json(&ev.trace, Some(&ev.frame_f1));
+    assert!(json.contains("\"pipeline\": \"MPDT-YOLOv3-512\""));
+    assert_eq!(
+        json.matches("\"index\":").count(),
+        ev.trace.outputs.len() + ev.trace.cycles.len()
+    );
+    // Balanced structure.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    let dir = std::env::temp_dir().join("adavp_tooling_test");
+    let _ = fs::remove_dir_all(&dir);
+    write_trace_json(&ev.trace, Some(&ev.frame_f1), &dir.join("trace.json")).unwrap();
+    write_frame_csv(&ev.trace, &ev.frame_f1, &dir.join("frames.csv")).unwrap();
+    let csv = fs::read_to_string(dir.join("frames.csv")).unwrap();
+    assert_eq!(csv.lines().count(), ev.trace.outputs.len() + 1);
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn frame_export_with_pipeline_boxes() {
+    let (clip, ev) = run_once();
+    // Draw the pipeline's displayed boxes for frame 30 and round-trip it.
+    let out = &ev.trace.outputs[30];
+    let boxes: Vec<_> = out.boxes.iter().map(|l| (l.bbox, 255u8)).collect();
+    let annotated = draw_boxes(&clip.frame(30).image, &boxes);
+    let dir = std::env::temp_dir().join("adavp_tooling_pgm");
+    let _ = fs::remove_dir_all(&dir);
+    let path = dir.join("f30.pgm");
+    write_pgm(&annotated, &path).unwrap();
+    let back = read_pgm(&path).unwrap();
+    assert_eq!(back, annotated);
+
+    // Bulk export runs too.
+    let n = export_clip(&clip, &dir, 40).unwrap();
+    assert_eq!(n, 3);
+    let _ = fs::remove_dir_all(dir);
+}

@@ -11,10 +11,12 @@ use adavp_video::object::ObjectClass;
 use adavp_video::render::Renderer;
 use adavp_video::scenario::Scenario;
 use adavp_video::world::World;
-use adavp_vision::features::{good_features_to_track, GoodFeaturesParams};
+use adavp_vision::features::{good_features_from_gradients, good_features_to_track, GoodFeaturesParams};
 use adavp_vision::flow::{LkParams, PyramidalLk};
 use adavp_vision::geometry::{BoundingBox, Point2};
+use adavp_vision::gradient::scharr_gradients;
 use adavp_vision::pyramid::Pyramid;
+use adavp_vision::scratch::ScratchPool;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -35,8 +37,22 @@ fn kernels(c: &mut Criterion) {
         b.iter(|| good_features_to_track(black_box(img0), &params, Some(&boxes)))
     });
 
+    c.bench_function("shi_tomasi_cached_gradients", |b| {
+        let params = GoodFeaturesParams::default();
+        let grad = scharr_gradients(img0);
+        b.iter(|| good_features_from_gradients(black_box(&grad), &params, Some(&boxes)))
+    });
+
     c.bench_function("pyramid_build_640x360_4_levels", |b| {
         b.iter(|| Pyramid::build(black_box(img0), 4))
+    });
+
+    c.bench_function("pyramid_build_pooled_640x360_4_levels", |b| {
+        let mut pool = ScratchPool::new();
+        b.iter(|| {
+            let p = Pyramid::build_with(black_box(img0), 4, &mut pool);
+            p.recycle(&mut pool);
+        })
     });
 
     c.bench_function("lucas_kanade_30_points", |b| {
@@ -50,6 +66,19 @@ fn kernels(c: &mut Criterion) {
         let p0 = Pyramid::build(img0, 4);
         let p1 = Pyramid::build(img1, 4);
         b.iter(|| lk.track_pyramids(black_box(&p0), black_box(&p1), &pts))
+    });
+
+    c.bench_function("lucas_kanade_30_points_baseline", |b| {
+        let lk = PyramidalLk::new(LkParams {
+            pyramid_levels: 4,
+            ..LkParams::default()
+        });
+        let pts: Vec<Point2> = (0..30)
+            .map(|i| Point2::new(60.0 + (i % 6) as f32 * 80.0, 60.0 + (i / 6) as f32 * 50.0))
+            .collect();
+        let p0 = Pyramid::build(img0, 4);
+        let p1 = Pyramid::build(img1, 4);
+        b.iter(|| lk.track_pyramids_baseline(black_box(&p0), black_box(&p1), &pts))
     });
 
     c.bench_function("tracker_step_real_frame", |b| {

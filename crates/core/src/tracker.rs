@@ -19,11 +19,13 @@
 
 use adavp_video::object::ObjectClass;
 use adavp_vision::fast::{fast_corners, FastParams};
-use adavp_vision::features::{good_features_to_track, Corner, GoodFeaturesParams};
+use adavp_vision::features::{good_features_from_gradients, Corner, GoodFeaturesParams};
 use adavp_vision::flow::{LkParams, PyramidalLk};
 use adavp_vision::geometry::{BoundingBox, Point2, Vec2};
 use adavp_vision::image::GrayImage;
+use adavp_vision::perf::{self, KernelCounters};
 use adavp_vision::pyramid::Pyramid;
+use adavp_vision::scratch::ScratchPool;
 use serde::{Deserialize, Serialize};
 
 /// How a box's motion vector is derived from its features' flow.
@@ -126,6 +128,42 @@ struct TrackedFeature {
     alive: bool,
 }
 
+/// Per-kernel work performed during one tracking step, extracted from the
+/// vision crate's [`perf`] counters. Lets the pipeline report exactly what a
+/// step cost (and lets tests pin structural properties such as "one pyramid
+/// build per new frame").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StepWork {
+    /// Image pyramids built (expected: exactly 1, for the new frame).
+    pub pyramid_builds: u64,
+    /// Scharr gradient fields computed (cached fields are not recounted).
+    pub gradient_fields: u64,
+    /// Lucas-Kanade Newton iterations executed.
+    pub lk_iterations: u64,
+    /// Buffers freshly heap-allocated by vision kernels.
+    pub buffers_allocated: u64,
+    /// Buffers recycled from the tracker's scratch pool.
+    pub buffers_reused: u64,
+    /// Nanoseconds spent building pyramids.
+    pub pyramid_ns: u64,
+    /// Nanoseconds spent in Lucas-Kanade tracking.
+    pub flow_ns: u64,
+}
+
+impl From<&KernelCounters> for StepWork {
+    fn from(c: &KernelCounters) -> Self {
+        Self {
+            pyramid_builds: c.pyramid_builds,
+            gradient_fields: c.gradient_fields,
+            lk_iterations: c.lk_iterations,
+            buffers_allocated: c.buffers_allocated,
+            buffers_reused: c.buffers_reused,
+            pyramid_ns: c.pyramid_ns,
+            flow_ns: c.flow_ns,
+        }
+    }
+}
+
 /// Statistics of one tracking step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StepStats {
@@ -137,6 +175,8 @@ pub struct StepStats {
     pub features_tracked: usize,
     /// Features lost in this step.
     pub features_lost: usize,
+    /// Kernel-level work breakdown for this step.
+    pub work: StepWork,
 }
 
 /// The object tracker. See the module docs.
@@ -147,6 +187,9 @@ pub struct ObjectTracker {
     boxes: Vec<TrackedBox>,
     features: Vec<TrackedFeature>,
     reference: Option<Pyramid>,
+    /// Reusable kernel buffers: pyramids and gradient planes are recycled
+    /// here when replaced, so steady-state stepping allocates nothing.
+    scratch: ScratchPool,
 }
 
 impl ObjectTracker {
@@ -159,6 +202,7 @@ impl ObjectTracker {
             boxes: Vec::new(),
             features: Vec::new(),
             reference: None,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -185,8 +229,34 @@ impl ObjectTracker {
     /// Re-initializes the tracker from a detected reference frame: stores
     /// the detections and extracts good features inside each box.
     ///
+    /// When `image` is the frame the tracker already carries as its
+    /// reference (the common case: the detector ran on the frame the last
+    /// [`step`](Self::step) ended on), the carried-forward pyramid — and its
+    /// cached gradients — are reused instead of being rebuilt.
+    ///
     /// Returns the number of features extracted.
     pub fn reset(&mut self, image: &GrayImage, detections: &[(ObjectClass, BoundingBox)]) -> usize {
+        let pyramid = match self.reference.take() {
+            Some(p) if p.base() == image => p,
+            other => {
+                if let Some(p) = other {
+                    p.recycle(&mut self.scratch);
+                }
+                Pyramid::build_with(image, self.config.lk.pyramid_levels, &mut self.scratch)
+            }
+        };
+        self.reset_with_pyramid(pyramid, detections)
+    }
+
+    /// Like [`reset`](Self::reset), but takes an already-built pyramid of the
+    /// reference frame — for callers that have one in hand (e.g. a pipeline
+    /// that pyramided the frame for its own purposes) and want to avoid any
+    /// rebuild.
+    pub fn reset_with_pyramid(
+        &mut self,
+        pyramid: Pyramid,
+        detections: &[(ObjectClass, BoundingBox)],
+    ) -> usize {
         self.boxes = detections
             .iter()
             .map(|(class, bbox)| TrackedBox {
@@ -201,13 +271,21 @@ impl ObjectTracker {
         params.max_corners = self.config.max_features_per_box;
         let mut fast_params = self.config.fast.clone();
         fast_params.max_corners = self.config.max_features_per_box;
+        // Shi-Tomasi scores corners straight off the pyramid's cached base
+        // gradients — computed once here and reused by every LK step that
+        // tracks out of this reference frame.
+        if self.config.detector == FeatureDetectorKind::ShiTomasi && !self.boxes.is_empty() {
+            pyramid.gradients_with(&mut self.scratch);
+        }
         for (idx, tb) in self.boxes.iter_mut().enumerate() {
             let mask = [tb.bbox];
             let corners: Vec<Corner> = match self.config.detector {
                 FeatureDetectorKind::ShiTomasi => {
-                    good_features_to_track(image, &params, Some(&mask))
+                    good_features_from_gradients(&pyramid.gradients()[0], &params, Some(&mask))
                 }
-                FeatureDetectorKind::Fast => fast_corners(image, &fast_params, Some(&mask)),
+                FeatureDetectorKind::Fast => {
+                    fast_corners(pyramid.base(), &fast_params, Some(&mask))
+                }
             };
             if corners.is_empty() {
                 tb.stale = true;
@@ -222,7 +300,7 @@ impl ObjectTracker {
                 });
             }
         }
-        self.reference = Some(Pyramid::build(image, self.config.lk.pyramid_levels));
+        self.reference = Some(pyramid);
         self.features.len()
     }
 
@@ -232,9 +310,14 @@ impl ObjectTracker {
     /// Returns `None` if the tracker has no reference yet (call
     /// [`reset`](Self::reset) first).
     pub fn step(&mut self, next: &GrayImage, frame_gap: u32) -> Option<StepStats> {
-        let reference = self.reference.as_ref()?;
+        self.reference.as_ref()?;
+        let before = perf::snapshot();
         let gap = frame_gap.max(1) as f64;
-        let next_pyr = Pyramid::build(next, self.config.lk.pyramid_levels);
+        let next_pyr = Pyramid::build_with(next, self.config.lk.pyramid_levels, &mut self.scratch);
+        // Warm the reference's gradient cache through the scratch pool; a
+        // no-op when reset/a previous step already computed it.
+        let reference = self.reference.as_ref().expect("checked above");
+        reference.gradients_with(&mut self.scratch);
 
         let alive_idx: Vec<usize> = (0..self.features.len())
             .filter(|&i| self.features[i].alive)
@@ -312,7 +395,9 @@ impl ObjectTracker {
             }
         }
 
-        self.reference = Some(next_pyr);
+        if let Some(old) = self.reference.replace(next_pyr) {
+            old.recycle(&mut self.scratch);
+        }
         Some(StepStats {
             mean_velocity: if tracked > 0 {
                 Some(sum_motion / tracked as f64 / gap)
@@ -321,6 +406,7 @@ impl ObjectTracker {
             },
             features_tracked: tracked,
             features_lost: lost,
+            work: StepWork::from(&perf::snapshot().since(&before)),
         })
     }
 
@@ -692,6 +778,69 @@ mod tests {
             coasted.left,
             frozen.left
         );
+    }
+
+    #[test]
+    fn step_builds_exactly_one_pyramid_per_frame() {
+        let clip = slow_clip(5);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        for i in 1..5 {
+            let stats = tracker.step(&clip.frame(i).image, 1).unwrap();
+            assert_eq!(
+                stats.work.pyramid_builds, 1,
+                "frame {i}: the carried-forward reference must not be rebuilt"
+            );
+            assert!(stats.work.flow_ns > 0, "frame {i}: LK must have run");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_carried_forward_pyramid() {
+        let clip = slow_clip(3);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        tracker.step(&clip.frame(1).image, 1).unwrap();
+        // The detector "ran" on frame 1 — the frame the tracker ended on.
+        // Resetting with it must reuse the carried-forward pyramid (and its
+        // cached gradients), not rebuild anything.
+        let before = perf::snapshot();
+        let n = tracker.reset(&clip.frame(1).image, &gt_pairs(&clip, 1));
+        let work = perf::snapshot().since(&before);
+        assert!(n > 0);
+        assert_eq!(work.pyramid_builds, 0, "carried-forward pyramid reused");
+        // Resetting again on the same frame finds both the pyramid and its
+        // gradients already in place.
+        let before = perf::snapshot();
+        tracker.reset(&clip.frame(1).image, &gt_pairs(&clip, 1));
+        let work = perf::snapshot().since(&before);
+        assert_eq!(work.pyramid_builds, 0);
+        assert_eq!(work.gradient_fields, 0, "cached gradients reused");
+        // A genuinely new frame does require exactly one build.
+        let before = perf::snapshot();
+        tracker.reset(&clip.frame(2).image, &gt_pairs(&clip, 2));
+        let work = perf::snapshot().since(&before);
+        assert_eq!(work.pyramid_builds, 1);
+    }
+
+    #[test]
+    fn steady_state_steps_are_allocation_free() {
+        let clip = slow_clip(8);
+        let mut tracker = ObjectTracker::new(TrackerConfig::default());
+        tracker.reset(&clip.frame(0).image, &gt_pairs(&clip, 0));
+        // Warm the scratch pool: the first few steps stock it with pyramid
+        // levels, gradient planes and convolution intermediates.
+        for i in 1..4 {
+            tracker.step(&clip.frame(i).image, 1).unwrap();
+        }
+        for i in 4..8 {
+            let stats = tracker.step(&clip.frame(i).image, 1).unwrap();
+            assert_eq!(
+                stats.work.buffers_allocated, 0,
+                "frame {i}: steady-state step must allocate no kernel buffers"
+            );
+            assert!(stats.work.buffers_reused > 0, "frame {i}");
+        }
     }
 
     // ---- FrameSelector ------------------------------------------------

@@ -13,6 +13,7 @@
 use crate::features::Corner;
 use crate::geometry::{BoundingBox, Point2};
 use crate::image::GrayImage;
+use crate::perf;
 
 /// The 16 Bresenham circle offsets (radius 3), clockwise from 12 o'clock.
 const CIRCLE: [(i64, i64); 16] = [
@@ -146,19 +147,42 @@ pub fn fast_corners(
         }
     };
 
-    // Score map for NMS.
+    let _timer = perf::ScopedTimer::new(|c| &mut c.corner_ns);
+    perf::record(|c| c.corner_scans += 1);
+
+    // Score map for NMS, computed in parallel row bands (each band owns a
+    // disjoint row range, stitched back in order: identical to the
+    // sequential scan for any band count).
+    let y_end = h.saturating_sub(3);
+    let scan_rows = y_end.saturating_sub(3) as usize;
+    let per_band = crate::parallel::map_bands(
+        scan_rows,
+        crate::parallel::scan_bands(scan_rows),
+        |s, e| {
+            let mut band = vec![0.0f32; (e - s) * w as usize];
+            let mut band_any = false;
+            for (bi, y) in (3 + s as u32..3 + e as u32).enumerate() {
+                for x in 3..w.saturating_sub(3) {
+                    if !inside_mask(x, y) {
+                        continue;
+                    }
+                    if let Some(sc) = segment_score(img, x as i64, y as i64, params) {
+                        band[bi * w as usize + x as usize] = sc;
+                        band_any = true;
+                    }
+                }
+            }
+            (band, band_any)
+        },
+    );
     let mut scores = vec![0.0f32; w as usize * h as usize];
     let mut any = false;
-    for y in 3..h.saturating_sub(3) {
-        for x in 3..w.saturating_sub(3) {
-            if !inside_mask(x, y) {
-                continue;
-            }
-            if let Some(s) = segment_score(img, x as i64, y as i64, params) {
-                scores[(y * w + x) as usize] = s;
-                any = true;
-            }
-        }
+    let mut row = 3usize;
+    for (band, band_any) in per_band {
+        let rows = band.len() / w as usize;
+        scores[row * w as usize..(row + rows) * w as usize].copy_from_slice(&band);
+        row += rows;
+        any |= band_any;
     }
     if !any {
         return Vec::new();

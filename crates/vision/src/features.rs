@@ -8,8 +8,9 @@
 //! OpenCV's `goodFeaturesToTrack`.
 
 use crate::geometry::{BoundingBox, Point2};
-use crate::gradient::scharr_gradients;
+use crate::gradient::{scharr_gradients, GradientField};
 use crate::image::GrayImage;
+use crate::perf;
 
 /// A detected corner: location plus its Shi-Tomasi response.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,12 +71,32 @@ pub fn good_features_to_track(
     params: &GoodFeaturesParams,
     mask: Option<&[BoundingBox]>,
 ) -> Vec<Corner> {
-    let w = img.width();
-    let h = img.height();
-    if w < 3 || h < 3 {
+    if img.width() < 3 || img.height() < 3 {
         return Vec::new();
     }
     let grad = scharr_gradients(img);
+    good_features_from_gradients(&grad, params, mask)
+}
+
+/// [`good_features_to_track`] over a precomputed Scharr [`GradientField`].
+///
+/// The object tracker extracts features from the same frame whose pyramid
+/// it keeps as the Lucas-Kanade reference; passing the pyramid's cached
+/// level-0 gradients ([`crate::pyramid::Pyramid::gradients`]) here avoids a
+/// second full-frame Scharr pass per detection. Results are identical to
+/// [`good_features_to_track`] on the image the field was computed from.
+pub fn good_features_from_gradients(
+    grad: &GradientField,
+    params: &GoodFeaturesParams,
+    mask: Option<&[BoundingBox]>,
+) -> Vec<Corner> {
+    let _timer = perf::ScopedTimer::new(|c| &mut c.corner_ns);
+    perf::record(|c| c.corner_scans += 1);
+    let w = grad.width();
+    let h = grad.height();
+    if w < 3 || h < 3 {
+        return Vec::new();
+    }
     let r = params.block_radius as i64;
     let margin = params.block_radius + 1;
 
@@ -89,39 +110,55 @@ pub fn good_features_to_track(
         }
     };
 
-    // Min-eigenvalue response map.
-    let mut responses: Vec<(f32, u32, u32)> = Vec::new();
-    let mut max_response = 0.0f32;
-    for y in margin..h.saturating_sub(margin) {
-        for x in margin..w.saturating_sub(margin) {
-            if !inside_mask(x, y) {
-                continue;
-            }
-            let mut sxx = 0.0f32;
-            let mut sxy = 0.0f32;
-            let mut syy = 0.0f32;
-            for dy in -r..=r {
-                for dx in -r..=r {
-                    let gx = grad.gx((x as i64 + dx) as u32, (y as i64 + dy) as u32);
-                    let gy = grad.gy((x as i64 + dx) as u32, (y as i64 + dy) as u32);
-                    sxx += gx * gx;
-                    sxy += gx * gy;
-                    syy += gy * gy;
+    // Min-eigenvalue response map, scanned in parallel row bands (band
+    // results concatenate back to exact raster order, so output is
+    // independent of the band count).
+    let y_end = h.saturating_sub(margin);
+    let scan_rows = y_end.saturating_sub(margin) as usize;
+    let per_band = crate::parallel::map_bands(
+        scan_rows,
+        crate::parallel::scan_bands(scan_rows),
+        |s, e| {
+            let mut band: Vec<(f32, u32, u32)> = Vec::new();
+            for y in margin + s as u32..margin + e as u32 {
+                for x in margin..w.saturating_sub(margin) {
+                    if !inside_mask(x, y) {
+                        continue;
+                    }
+                    let mut sxx = 0.0f32;
+                    let mut sxy = 0.0f32;
+                    let mut syy = 0.0f32;
+                    for dy in -r..=r {
+                        for dx in -r..=r {
+                            let gx = grad.gx((x as i64 + dx) as u32, (y as i64 + dy) as u32);
+                            let gy = grad.gy((x as i64 + dx) as u32, (y as i64 + dy) as u32);
+                            sxx += gx * gx;
+                            sxy += gx * gy;
+                            syy += gy * gy;
+                        }
+                    }
+                    // Minimum eigenvalue of [[sxx, sxy], [sxy, syy]].
+                    let trace_half = (sxx + syy) / 2.0;
+                    let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
+                    let min_eig = trace_half - det_term.sqrt();
+                    if min_eig > 0.0 {
+                        band.push((min_eig, x, y));
+                    }
                 }
             }
-            // Minimum eigenvalue of [[sxx, sxy], [sxy, syy]].
-            let trace_half = (sxx + syy) / 2.0;
-            let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
-            let min_eig = trace_half - det_term.sqrt();
-            if min_eig > 0.0 {
-                max_response = max_response.max(min_eig);
-                responses.push((min_eig, x, y));
-            }
-        }
+            band
+        },
+    );
+    let mut responses: Vec<(f32, u32, u32)> = Vec::new();
+    for band in per_band {
+        responses.extend(band);
     }
     if responses.is_empty() {
         return Vec::new();
     }
+    let max_response = responses
+        .iter()
+        .fold(0.0f32, |acc, &(resp, _, _)| acc.max(resp));
 
     let threshold = max_response * params.quality_level;
     responses.retain(|&(resp, _, _)| resp >= threshold);
@@ -264,6 +301,29 @@ mod tests {
         let best = corners[0];
         assert!((best.point.x - 40.0).abs() <= 2.0, "x = {}", best.point.x);
         assert!((best.point.y - 40.0).abs() <= 2.0, "y = {}", best.point.y);
+    }
+
+    #[test]
+    fn from_gradients_matches_full_detection() {
+        let img = checker(64, 64, 8);
+        let grad = scharr_gradients(&img);
+        let params = GoodFeaturesParams::default();
+        let mask = [BoundingBox::new(4.0, 4.0, 52.0, 52.0)];
+        for m in [None, Some(&mask[..])] {
+            let a = good_features_to_track(&img, &params, m);
+            let b = good_features_from_gradients(&grad, &params, m);
+            assert_eq!(a, b, "gradient-reusing path must match exactly");
+        }
+    }
+
+    #[test]
+    fn corner_scan_counted() {
+        let img = checker(32, 32, 8);
+        crate::perf::reset();
+        let _ = good_features_to_track(&img, &GoodFeaturesParams::default(), None);
+        let s = crate::perf::snapshot();
+        assert_eq!(s.corner_scans, 1);
+        assert_eq!(s.gradient_fields, 1);
     }
 
     #[test]

@@ -13,11 +13,26 @@
 //! A track is reported lost (`found == false`) when the structure tensor is
 //! degenerate (flat/aperture region), when the point leaves the image, or
 //! when the final per-pixel residual exceeds [`LkParams::max_residual`].
+//!
+//! # Hot-path structure
+//!
+//! [`PyramidalLk::track_pyramids`] reuses the Scharr gradients cached on the
+//! *previous* pyramid ([`Pyramid::gradients`]) — they are computed once per
+//! pyramid, not once per call — and each point samples its window of
+//! previous-frame intensities and gradients exactly once per level
+//! (they are constant across Newton iterations; only the next-frame window
+//! moves). With the `parallel` feature (default) point sets of at least
+//! [`PyramidalLk::PARALLEL_MIN_POINTS`] fan out across threads; results are
+//! **bit-identical** to the sequential path because each point's computation
+//! is independent and results are collected in input order (see
+//! [`crate::parallel`] and the `lk_parity` tests).
 
 use crate::geometry::{Point2, Vec2};
-use crate::gradient::scharr_gradients;
+use crate::gradient::GradientField;
 use crate::image::GrayImage;
+use crate::perf;
 use crate::pyramid::Pyramid;
+use std::fmt;
 
 /// Parameters for [`PyramidalLk`].
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +51,73 @@ pub struct LkParams {
     /// Maximum mean absolute intensity residual per window pixel at level 0
     /// for the track to be reported as found.
     pub max_residual: f32,
+}
+
+/// Reason a set of [`LkParams`] was rejected by [`LkParams::validated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LkParamsError {
+    /// `pyramid_levels` was zero (at least one level is required).
+    ZeroPyramidLevels,
+    /// `window_radius` was zero (the window would be a single pixel and the
+    /// structure tensor always degenerate).
+    ZeroWindowRadius,
+    /// `max_iterations` was zero (no Newton step could ever run).
+    ZeroIterations,
+    /// The named threshold field was non-finite or outside its valid range.
+    InvalidThreshold(&'static str),
+}
+
+impl fmt::Display for LkParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroPyramidLevels => write!(f, "pyramid_levels must be at least 1"),
+            Self::ZeroWindowRadius => write!(f, "window_radius must be at least 1"),
+            Self::ZeroIterations => write!(f, "max_iterations must be at least 1"),
+            Self::InvalidThreshold(field) => {
+                write!(f, "{field} must be finite and within its valid range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LkParamsError {}
+
+impl LkParams {
+    /// Validates the parameters, returning them unchanged on success.
+    ///
+    /// Rejects zero `pyramid_levels`, zero `window_radius`, zero
+    /// `max_iterations`, and non-finite (or non-positive where positivity
+    /// is required) threshold fields.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use adavp_vision::flow::{LkParams, LkParamsError};
+    /// assert!(LkParams::default().validated().is_ok());
+    /// let bad = LkParams { pyramid_levels: 0, ..Default::default() };
+    /// assert_eq!(bad.validated(), Err(LkParamsError::ZeroPyramidLevels));
+    /// ```
+    pub fn validated(self) -> Result<Self, LkParamsError> {
+        if self.pyramid_levels == 0 {
+            return Err(LkParamsError::ZeroPyramidLevels);
+        }
+        if self.window_radius == 0 {
+            return Err(LkParamsError::ZeroWindowRadius);
+        }
+        if self.max_iterations == 0 {
+            return Err(LkParamsError::ZeroIterations);
+        }
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(LkParamsError::InvalidThreshold("epsilon"));
+        }
+        if !self.min_eigen_threshold.is_finite() || self.min_eigen_threshold < 0.0 {
+            return Err(LkParamsError::InvalidThreshold("min_eigen_threshold"));
+        }
+        if !self.max_residual.is_finite() || self.max_residual <= 0.0 {
+            return Err(LkParamsError::InvalidThreshold("max_residual"));
+        }
+        Ok(self)
+    }
 }
 
 impl Default for LkParams {
@@ -71,6 +153,27 @@ impl FlowResult {
     }
 }
 
+/// Per-point window samples, captured once per pyramid level and reused by
+/// every Newton iteration (previous-frame intensities and gradients do not
+/// change while the displacement estimate is refined).
+#[derive(Default)]
+struct WindowCache {
+    prev: Vec<f32>,
+    gx: Vec<f32>,
+    gy: Vec<f32>,
+}
+
+impl WindowCache {
+    fn clear_with_capacity(&mut self, n: usize) {
+        self.prev.clear();
+        self.prev.reserve(n);
+        self.gx.clear();
+        self.gx.reserve(n);
+        self.gy.clear();
+        self.gy.reserve(n);
+    }
+}
+
 /// Pyramidal Lucas-Kanade tracker (the analogue of OpenCV's
 /// `calcOpticalFlowPyrLK`).
 ///
@@ -103,9 +206,22 @@ impl Default for PyramidalLk {
 }
 
 impl PyramidalLk {
+    /// Point-set size at which [`PyramidalLk::track_pyramids`] switches to
+    /// the parallel path (when the `parallel` feature is enabled and more
+    /// than one core is available).
+    pub const PARALLEL_MIN_POINTS: usize = 16;
+
     /// Creates a tracker with the given parameters.
     pub fn new(params: LkParams) -> Self {
         Self { params }
+    }
+
+    /// Creates a tracker after validating `params` (see
+    /// [`LkParams::validated`]).
+    pub fn try_new(params: LkParams) -> Result<Self, LkParamsError> {
+        Ok(Self {
+            params: params.validated()?,
+        })
     }
 
     /// The tracker's parameters.
@@ -116,7 +232,9 @@ impl PyramidalLk {
     /// Tracks `points` from `prev` into `next`.
     ///
     /// Builds pyramids internally; when tracking many point sets between the
-    /// same frame pair, prefer [`PyramidalLk::track_pyramids`] to reuse them.
+    /// same frame pair — or when carrying a frame's pyramid forward as the
+    /// next step's reference — prefer [`PyramidalLk::track_pyramids`] to
+    /// reuse pyramids and their cached gradients.
     pub fn track(&self, prev: &GrayImage, next: &GrayImage, points: &[Point2]) -> Vec<FlowResult> {
         let prev_pyr = Pyramid::build(prev, self.params.pyramid_levels);
         let next_pyr = Pyramid::build(next, self.params.pyramid_levels);
@@ -126,30 +244,95 @@ impl PyramidalLk {
     /// Tracks `points` between two prebuilt pyramids.
     ///
     /// The pyramids must have been built from images of identical size.
+    /// Uses the Scharr gradients cached on `prev` (computing them on first
+    /// use), and automatically parallelizes across points for sets of at
+    /// least [`PyramidalLk::PARALLEL_MIN_POINTS`] when the `parallel`
+    /// feature is on. The parallel and sequential paths return bit-identical
+    /// results.
     pub fn track_pyramids(
         &self,
         prev: &Pyramid,
         next: &Pyramid,
         points: &[Point2],
     ) -> Vec<FlowResult> {
+        #[cfg(feature = "parallel")]
+        {
+            if points.len() >= Self::PARALLEL_MIN_POINTS && crate::parallel::max_threads() > 1 {
+                return self.track_pyramids_parallel(prev, next, points);
+            }
+        }
+        self.track_pyramids_sequential(prev, next, points)
+    }
+
+    /// [`PyramidalLk::track_pyramids`] forced down the sequential path
+    /// (no thread fan-out regardless of point count or features).
+    pub fn track_pyramids_sequential(
+        &self,
+        prev: &Pyramid,
+        next: &Pyramid,
+        points: &[Point2],
+    ) -> Vec<FlowResult> {
+        let _timer = perf::ScopedTimer::new(|c| &mut c.flow_ns);
+        perf::record(|c| {
+            c.lk_calls += 1;
+            c.lk_points += points.len() as u64;
+        });
         let levels = prev.levels().min(next.levels());
-        // Per-level gradients of the previous image.
-        let grads: Vec<_> = (0..levels)
-            .map(|l| scharr_gradients(prev.level(l)))
-            .collect();
+        let grads = prev.gradients();
+        let mut cache = WindowCache::default();
         points
             .iter()
-            .map(|&p| self.track_one(prev, next, &grads, levels, p))
+            .map(|&p| self.track_one(prev, next, grads, levels, p, &mut cache))
             .collect()
+    }
+
+    /// [`PyramidalLk::track_pyramids`] forced down the parallel path:
+    /// points fan out over up to [`crate::parallel::max_threads`] threads.
+    ///
+    /// Results are bit-identical to
+    /// [`PyramidalLk::track_pyramids_sequential`]: every point's solve is
+    /// independent and performs the same floating-point operations in the
+    /// same order; only the assignment of points to threads differs, and
+    /// results are collected in input order.
+    #[cfg(feature = "parallel")]
+    pub fn track_pyramids_parallel(
+        &self,
+        prev: &Pyramid,
+        next: &Pyramid,
+        points: &[Point2],
+    ) -> Vec<FlowResult> {
+        let _timer = perf::ScopedTimer::new(|c| &mut c.flow_ns);
+        perf::record(|c| {
+            c.lk_calls += 1;
+            c.lk_points += points.len() as u64;
+        });
+        let levels = prev.levels().min(next.levels());
+        // Force the gradient cache on the calling thread so workers share it
+        // instead of racing to compute it.
+        let grads = prev.gradients();
+        let bands = crate::parallel::max_threads();
+        let per_band = crate::parallel::map_bands(points.len(), bands, |s, e| {
+            let mut cache = WindowCache::default();
+            points[s..e]
+                .iter()
+                .map(|&p| self.track_one(prev, next, grads, levels, p, &mut cache))
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(points.len());
+        for band in per_band {
+            out.extend(band);
+        }
+        out
     }
 
     fn track_one(
         &self,
         prev: &Pyramid,
         next: &Pyramid,
-        grads: &[crate::gradient::GradientField],
+        grads: &[GradientField],
         levels: usize,
         point: Point2,
+        cache: &mut WindowCache,
     ) -> FlowResult {
         let r = self.params.window_radius as i32;
         let win_pixels = ((2 * r + 1) * (2 * r + 1)) as f32;
@@ -177,7 +360,169 @@ impl PyramidalLk {
                 continue;
             }
 
-            // Structure tensor over the window (constant per level).
+            // One pass over the window: capture the previous-frame intensity
+            // and gradient samples (constant across iterations at this
+            // level) and accumulate the structure tensor.
+            cache.clear_with_capacity(win_pixels as usize);
+            let mut gxx = 0.0f32;
+            let mut gxy = 0.0f32;
+            let mut gyy = 0.0f32;
+            for wy in -r..=r {
+                for wx in -r..=r {
+                    let px = pl.x + wx as f32;
+                    let py = pl.y + wy as f32;
+                    let gx = grad.sample_gx_fast(px, py);
+                    let gy = grad.sample_gy_fast(px, py);
+                    gxx += gx * gx;
+                    gxy += gx * gy;
+                    gyy += gy * gy;
+                    cache.gx.push(gx);
+                    cache.gy.push(gy);
+                    cache.prev.push(prev_img.sample_fast(px, py));
+                }
+            }
+            let trace_half = (gxx + gyy) / 2.0;
+            let det_term = (((gxx - gyy) / 2.0).powi(2) + gxy * gxy).sqrt();
+            let min_eig = (trace_half - det_term) / win_pixels;
+            if min_eig < self.params.min_eigen_threshold {
+                lost = true;
+                break;
+            }
+            let det = gxx * gyy - gxy * gxy;
+            if det.abs() < 1e-12 {
+                lost = true;
+                break;
+            }
+
+            // Newton iterations: only the next-frame window is resampled.
+            let mut iterations = 0u64;
+            for _ in 0..self.params.max_iterations {
+                let target = pl + d;
+                if !next_img.in_bounds_with_margin(target.x, target.y, (r + 1) as f32) {
+                    lost = true;
+                    break;
+                }
+                iterations += 1;
+                let mut bx = 0.0f32;
+                let mut by = 0.0f32;
+                let mut i = 0usize;
+                for wy in -r..=r {
+                    for wx in -r..=r {
+                        let px = pl.x + wx as f32;
+                        let py = pl.y + wy as f32;
+                        let diff = cache.prev[i] - next_img.sample_fast(px + d.x, py + d.y);
+                        bx += diff * cache.gx[i];
+                        by += diff * cache.gy[i];
+                        i += 1;
+                    }
+                }
+                let step = Vec2::new((gyy * bx - gxy * by) / det, (gxx * by - gxy * bx) / det);
+                d += step;
+                if step.norm() < self.params.epsilon {
+                    break;
+                }
+            }
+            perf::record(|c| c.lk_iterations += iterations);
+            if lost {
+                break;
+            }
+
+            if level == 0 {
+                // Final residual check at full resolution.
+                let target = pl + d;
+                if !next
+                    .level(0)
+                    .in_bounds_with_margin(target.x, target.y, (r + 1) as f32)
+                {
+                    lost = true;
+                } else {
+                    let mut res = 0.0f32;
+                    let mut i = 0usize;
+                    for wy in -r..=r {
+                        for wx in -r..=r {
+                            let px = pl.x + wx as f32;
+                            let py = pl.y + wy as f32;
+                            res += (cache.prev[i] - next.level(0).sample_fast(px + d.x, py + d.y)).abs();
+                            i += 1;
+                        }
+                    }
+                    final_residual = res / win_pixels;
+                    if final_residual > self.params.max_residual {
+                        lost = true;
+                    }
+                }
+            } else {
+                // Propagate to the next finer level.
+                d = d * 2.0;
+            }
+        }
+
+        let current = point + d;
+        FlowResult {
+            previous: point,
+            current,
+            found: !lost && final_residual <= self.params.max_residual,
+            residual: if final_residual == f32::MAX {
+                0.0
+            } else {
+                final_residual
+            },
+        }
+    }
+
+    /// The pre-optimization implementation, retained verbatim as the
+    /// differential-testing oracle and the benchmark baseline: it recomputes
+    /// Scharr gradients on every call and resamples the previous-frame
+    /// window on every Newton iteration. Produces bit-identical results to
+    /// [`PyramidalLk::track_pyramids`].
+    #[doc(hidden)]
+    pub fn track_pyramids_baseline(
+        &self,
+        prev: &Pyramid,
+        next: &Pyramid,
+        points: &[Point2],
+    ) -> Vec<FlowResult> {
+        let levels = prev.levels().min(next.levels());
+        let grads: Vec<_> = (0..levels)
+            .map(|l| crate::gradient::scharr_gradients(prev.level(l)))
+            .collect();
+        points
+            .iter()
+            .map(|&p| self.track_one_baseline(prev, next, &grads, levels, p))
+            .collect()
+    }
+
+    fn track_one_baseline(
+        &self,
+        prev: &Pyramid,
+        next: &Pyramid,
+        grads: &[GradientField],
+        levels: usize,
+        point: Point2,
+    ) -> FlowResult {
+        let r = self.params.window_radius as i32;
+        let win_pixels = ((2 * r + 1) * (2 * r + 1)) as f32;
+        let mut lost = false;
+
+        let mut d = Vec2::ZERO;
+        let mut final_residual = f32::MAX;
+
+        for (level, prev_img) in prev.iter_coarse_to_fine() {
+            if level >= levels {
+                continue;
+            }
+            let next_img = next.level(level);
+            let grad = &grads[level];
+            let scale = 1.0 / (1 << level) as f32;
+            let pl = Point2::new(point.x * scale, point.y * scale);
+
+            if !prev_img.in_bounds_with_margin(pl.x, pl.y, (r + 1) as f32) {
+                if level == 0 {
+                    lost = true;
+                }
+                continue;
+            }
+
             let mut gxx = 0.0f32;
             let mut gxy = 0.0f32;
             let mut gyy = 0.0f32;
@@ -203,7 +548,6 @@ impl PyramidalLk {
                 break;
             }
 
-            // Newton iterations.
             for _ in 0..self.params.max_iterations {
                 let target = pl + d;
                 if !next_img.in_bounds_with_margin(target.x, target.y, (r + 1) as f32) {
@@ -232,7 +576,6 @@ impl PyramidalLk {
             }
 
             if level == 0 {
-                // Final residual check at full resolution.
                 let target = pl + d;
                 if !next
                     .level(0)
@@ -256,7 +599,6 @@ impl PyramidalLk {
                     }
                 }
             } else {
-                // Propagate to the next finer level.
                 d = d * 2.0;
             }
         }
@@ -417,5 +759,155 @@ mod tests {
         let np = Pyramid::build(&next, lk.params().pyramid_levels);
         let b = lk.track_pyramids(&pp, &np, &pts);
         assert_eq!(a, b);
+    }
+
+    fn grid_points(w: u32, h: u32, step: u32) -> Vec<Point2> {
+        let mut pts = Vec::new();
+        let mut y = step;
+        while y < h - step {
+            let mut x = step;
+            while x < w - step {
+                pts.push(Point2::new(x as f32, y as f32));
+                x += step;
+            }
+            y += step;
+        }
+        pts
+    }
+
+    #[test]
+    fn optimized_matches_baseline_exactly() {
+        let prev = textured(128, 96);
+        let next = shifted(&prev, 3, -2);
+        let lk = PyramidalLk::default();
+        let pts = grid_points(128, 96, 12);
+        assert!(pts.len() > 20);
+        let pp = Pyramid::build(&prev, lk.params().pyramid_levels);
+        let np = Pyramid::build(&next, lk.params().pyramid_levels);
+        let base = lk.track_pyramids_baseline(&pp, &np, &pts);
+        let opt = lk.track_pyramids_sequential(&pp, &np, &pts);
+        assert_eq!(base, opt, "window caching must be bit-identical");
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let prev = textured(128, 96);
+        let next = shifted(&prev, -2, 1);
+        let lk = PyramidalLk::default();
+        let pts = grid_points(128, 96, 10);
+        assert!(pts.len() >= PyramidalLk::PARALLEL_MIN_POINTS);
+        let pp = Pyramid::build(&prev, lk.params().pyramid_levels);
+        let np = Pyramid::build(&next, lk.params().pyramid_levels);
+        let seq = lk.track_pyramids_sequential(&pp, &np, &pts);
+        let par = lk.track_pyramids_parallel(&pp, &np, &pts);
+        let auto = lk.track_pyramids(&pp, &np, &pts);
+        assert_eq!(seq, par, "parallel LK must be bit-identical");
+        assert_eq!(seq, auto);
+    }
+
+    #[test]
+    fn validated_accepts_default_rejects_bad() {
+        assert!(LkParams::default().validated().is_ok());
+        assert_eq!(
+            LkParams {
+                pyramid_levels: 0,
+                ..Default::default()
+            }
+            .validated(),
+            Err(LkParamsError::ZeroPyramidLevels)
+        );
+        assert_eq!(
+            LkParams {
+                window_radius: 0,
+                ..Default::default()
+            }
+            .validated(),
+            Err(LkParamsError::ZeroWindowRadius)
+        );
+        assert_eq!(
+            LkParams {
+                max_iterations: 0,
+                ..Default::default()
+            }
+            .validated(),
+            Err(LkParamsError::ZeroIterations)
+        );
+        for (params, field) in [
+            (
+                LkParams {
+                    epsilon: f32::NAN,
+                    ..Default::default()
+                },
+                "epsilon",
+            ),
+            (
+                LkParams {
+                    epsilon: 0.0,
+                    ..Default::default()
+                },
+                "epsilon",
+            ),
+            (
+                LkParams {
+                    min_eigen_threshold: f32::INFINITY,
+                    ..Default::default()
+                },
+                "min_eigen_threshold",
+            ),
+            (
+                LkParams {
+                    max_residual: f32::NAN,
+                    ..Default::default()
+                },
+                "max_residual",
+            ),
+            (
+                LkParams {
+                    max_residual: -1.0,
+                    ..Default::default()
+                },
+                "max_residual",
+            ),
+        ] {
+            assert_eq!(
+                params.validated(),
+                Err(LkParamsError::InvalidThreshold(field))
+            );
+        }
+        assert!(PyramidalLk::try_new(LkParams::default()).is_ok());
+        assert!(PyramidalLk::try_new(LkParams {
+            window_radius: 0,
+            ..Default::default()
+        })
+        .is_err());
+        // Errors render something human-readable.
+        assert!(LkParamsError::ZeroPyramidLevels.to_string().contains("pyramid"));
+    }
+
+    #[test]
+    fn perf_counters_observe_tracking() {
+        let prev = textured(96, 96);
+        let next = shifted(&prev, 1, 1);
+        let lk = PyramidalLk::default();
+        let pp = Pyramid::build(&prev, lk.params().pyramid_levels);
+        let np = Pyramid::build(&next, lk.params().pyramid_levels);
+        let pts = [Point2::new(40.0, 40.0), Point2::new(60.0, 30.0)];
+        crate::perf::reset();
+        let _ = lk.track_pyramids(&pp, &np, &pts);
+        let s1 = crate::perf::snapshot();
+        assert_eq!(s1.lk_calls, 1);
+        assert_eq!(s1.lk_points, 2);
+        assert!(s1.lk_iterations > 0);
+        assert_eq!(
+            s1.gradient_fields,
+            pp.levels() as u64,
+            "gradients computed once per level"
+        );
+        // A second call over the same reference pyramid reuses the cache.
+        let _ = lk.track_pyramids(&pp, &np, &pts);
+        let s2 = crate::perf::snapshot();
+        assert_eq!(s2.lk_calls, 2);
+        assert_eq!(s2.gradient_fields, s1.gradient_fields);
     }
 }

@@ -4,6 +4,7 @@
 //! `x` growing rightwards and `y` growing downwards, matching the raster
 //! layout used by [`crate::image::GrayImage`].
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
@@ -18,7 +19,8 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 /// let q = p + Vec2::new(1.0, -1.0);
 /// assert_eq!(q, Point2::new(4.0, 3.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Point2 {
     /// Horizontal coordinate (pixels, grows rightwards).
     pub x: f32,
@@ -59,7 +61,8 @@ impl From<(f32, f32)> for Point2 {
 /// A 2-D displacement vector in pixel coordinates.
 ///
 /// Used for optical-flow displacements and object motion vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Vec2 {
     /// Horizontal component.
     pub x: f32,
@@ -164,7 +167,8 @@ impl Sub<Point2> for Point2 {
 /// let iou = a.iou(&b);
 /// assert!((iou - 25.0 / 175.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BoundingBox {
     /// Left edge (x of top-left corner).
     pub left: f32,

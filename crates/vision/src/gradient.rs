@@ -3,8 +3,19 @@
 //! Provides Scharr gradients (the derivative filter both the Shi-Tomasi
 //! corner response and the Lucas-Kanade normal equations are built from) and
 //! a separable Gaussian blur used when constructing image pyramids.
+//!
+//! Both kernels are implemented as **separable row-slice passes** writing
+//! into caller-provided buffers (`*_into` variants) so the per-frame hot
+//! path allocates nothing: intermediate planes come from a
+//! [`crate::scratch::ScratchPool`] and outputs are reused across frames.
+//! The convenience wrappers ([`scharr_gradients`], [`gaussian_blur`]) keep
+//! the original allocating signatures and produce bit-identical results —
+//! all intermediate values are small integers, exactly representable in
+//! `f32`, and the final division is by a power of two.
 
 use crate::image::GrayImage;
+use crate::perf;
+use crate::scratch::ScratchPool;
 
 /// Horizontal and vertical image derivatives as `f32` planes.
 ///
@@ -19,6 +30,34 @@ pub struct GradientField {
 }
 
 impl GradientField {
+    /// An empty 0x0 field, ready to be filled by
+    /// [`scharr_gradients_into`] (which resizes it as needed).
+    pub fn empty() -> Self {
+        Self {
+            width: 0,
+            height: 0,
+            gx: Vec::new(),
+            gy: Vec::new(),
+        }
+    }
+
+    /// Consumes the field, returning its `(gx, gy)` planes for recycling.
+    pub fn into_planes(self) -> (Vec<f32>, Vec<f32>) {
+        (self.gx, self.gy)
+    }
+
+    /// Rebuilds a field around recycled planes (e.g. from a
+    /// [`ScratchPool`]); the field reports `0x0` until filled by
+    /// [`scharr_gradients_into`], which reuses the planes' capacity.
+    pub fn from_recycled_planes(gx: Vec<f32>, gy: Vec<f32>) -> Self {
+        Self {
+            width: 0,
+            height: 0,
+            gx,
+            gy,
+        }
+    }
+
     /// Field width in pixels.
     pub fn width(&self) -> u32 {
         self.width
@@ -54,6 +93,20 @@ impl GradientField {
         self.gy[self.index(x, y)]
     }
 
+    /// One row of the horizontal-derivative plane.
+    #[inline]
+    pub fn gx_row(&self, y: u32) -> &[f32] {
+        let w = self.width as usize;
+        &self.gx[y as usize * w..(y as usize + 1) * w]
+    }
+
+    /// One row of the vertical-derivative plane.
+    #[inline]
+    pub fn gy_row(&self, y: u32) -> &[f32] {
+        let w = self.width as usize;
+        &self.gy[y as usize * w..(y as usize + 1) * w]
+    }
+
     /// Bilinearly-interpolated horizontal derivative at fractional coordinates.
     pub fn sample_gx(&self, x: f32, y: f32) -> f32 {
         sample_plane(&self.gx, self.width, self.height, x, y)
@@ -62,6 +115,43 @@ impl GradientField {
     /// Bilinearly-interpolated vertical derivative at fractional coordinates.
     pub fn sample_gy(&self, x: f32, y: f32) -> f32 {
         sample_plane(&self.gy, self.width, self.height, x, y)
+    }
+
+    /// [`GradientField::sample_gx`] with an interior fast path (single
+    /// bounds test, direct indexing). Bit-identical values for every input.
+    #[inline]
+    pub fn sample_gx_fast(&self, x: f32, y: f32) -> f32 {
+        sample_plane_fast(&self.gx, self.width, self.height, x, y)
+    }
+
+    /// [`GradientField::sample_gy`] with an interior fast path (single
+    /// bounds test, direct indexing). Bit-identical values for every input.
+    #[inline]
+    pub fn sample_gy_fast(&self, x: f32, y: f32) -> f32 {
+        sample_plane_fast(&self.gy, self.width, self.height, x, y)
+    }
+}
+
+#[inline]
+fn sample_plane_fast(plane: &[f32], w: u32, h: u32, x: f32, y: f32) -> f32 {
+    let xf = x.floor();
+    let yf = y.floor();
+    let x0 = xf as i64;
+    let y0 = yf as i64;
+    if x0 >= 0 && y0 >= 0 && x0 + 1 < w as i64 && y0 + 1 < h as i64 {
+        let tx = x - xf;
+        let ty = y - yf;
+        let ww = w as usize;
+        let i = y0 as usize * ww + x0 as usize;
+        let p00 = plane[i];
+        let p10 = plane[i + 1];
+        let p01 = plane[i + ww];
+        let p11 = plane[i + ww + 1];
+        let top = p00 + (p10 - p00) * tx;
+        let bottom = p01 + (p11 - p01) * tx;
+        top + (bottom - top) * ty
+    } else {
+        sample_plane(plane, w, h, x, y)
     }
 }
 
@@ -84,73 +174,183 @@ fn sample_plane(plane: &[f32], w: u32, h: u32, x: f32, y: f32) -> f32 {
 /// Computes Scharr derivatives of `img` (normalized by 1/32 so that a unit
 /// intensity ramp yields a unit gradient).
 ///
-/// Border pixels use replicate addressing.
+/// Border pixels use replicate addressing. Allocating wrapper around
+/// [`scharr_gradients_into`].
 pub fn scharr_gradients(img: &GrayImage) -> GradientField {
-    let w = img.width();
-    let h = img.height();
-    let mut gx = vec![0.0f32; w as usize * h as usize];
-    let mut gy = vec![0.0f32; w as usize * h as usize];
-    // Scharr kernels:
-    //   Gx = [-3 0 3; -10 0 10; -3 0 3] / 32
-    //   Gy = transpose(Gx)
-    for y in 0..h as i64 {
-        for x in 0..w as i64 {
-            let p = |dx: i64, dy: i64| img.get_clamped(x + dx, y + dy) as f32;
-            let sx = -3.0 * p(-1, -1) + 3.0 * p(1, -1) - 10.0 * p(-1, 0) + 10.0 * p(1, 0)
-                - 3.0 * p(-1, 1)
-                + 3.0 * p(1, 1);
-            let sy = -3.0 * p(-1, -1) - 10.0 * p(0, -1) - 3.0 * p(1, -1)
-                + 3.0 * p(-1, 1)
-                + 10.0 * p(0, 1)
-                + 3.0 * p(1, 1);
-            let i = y as usize * w as usize + x as usize;
-            gx[i] = sx / 32.0;
-            gy[i] = sy / 32.0;
+    let mut field = GradientField::empty();
+    let mut pool = ScratchPool::new();
+    scharr_gradients_into(img, &mut field, &mut pool);
+    field
+}
+
+/// Computes Scharr derivatives of `img` into a reusable `field`, taking
+/// intermediate planes from `pool`.
+///
+/// The Scharr kernels
+///
+/// ```text
+/// Gx = [-3 0 3; -10 0 10; -3 0 3] / 32,   Gy = Gx^T
+/// ```
+///
+/// are separable: `Gx` is a vertical `[3 10 3]` smooth followed by a
+/// horizontal central difference (and transposed for `Gy`). Each pass runs
+/// on row slices with no per-pixel bounds checks away from the borders.
+/// Results are bit-identical to the direct 3x3 evaluation because every
+/// intermediate value is an integer below 2^24.
+pub fn scharr_gradients_into(img: &GrayImage, field: &mut GradientField, pool: &mut ScratchPool) {
+    let _timer = perf::ScopedTimer::new(|c| &mut c.gradient_ns);
+    perf::record(|c| c.gradient_fields += 1);
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    let len = w * h;
+    field.width = img.width();
+    field.height = img.height();
+    field.gx.clear();
+    field.gx.resize(len, 0.0);
+    field.gy.clear();
+    field.gy.resize(len, 0.0);
+
+    // Smoothed planes (max value 16 * 255 = 4080, fits u16):
+    //   vsmooth[y][x] = 3 p(x, y-1) + 10 p(x, y) + 3 p(x, y+1)
+    //   hsmooth[y][x] = 3 p(x-1, y) + 10 p(x, y) + 3 p(x+1, y)
+    let mut vsmooth = pool.take_u16(len);
+    let mut hsmooth = pool.take_u16(len);
+    let data = img.as_bytes();
+    for y in 0..h {
+        let up = &data[y.saturating_sub(1) * w..y.saturating_sub(1) * w + w];
+        let mid = &data[y * w..y * w + w];
+        let dn_y = (y + 1).min(h - 1);
+        let dn = &data[dn_y * w..dn_y * w + w];
+        let vrow = &mut vsmooth[y * w..(y + 1) * w];
+        for x in 0..w {
+            vrow[x] = 3 * up[x] as u16 + 10 * mid[x] as u16 + 3 * dn[x] as u16;
+        }
+        let hrow = &mut hsmooth[y * w..(y + 1) * w];
+        hrow[0] = 13 * mid[0] as u16 + 3 * mid[1.min(w - 1)] as u16;
+        for x in 1..w.saturating_sub(1) {
+            hrow[x] = 3 * mid[x - 1] as u16 + 10 * mid[x] as u16 + 3 * mid[x + 1] as u16;
+        }
+        if w > 1 {
+            hrow[w - 1] = 3 * mid[w - 2] as u16 + 13 * mid[w - 1] as u16;
         }
     }
-    GradientField {
-        width: w,
-        height: h,
-        gx,
-        gy,
+
+    // Differentiation passes: gx = (vsmooth(x+1) - vsmooth(x-1)) / 32,
+    // gy = (hsmooth(y+1) - hsmooth(y-1)) / 32, replicate borders.
+    const NORM: f32 = 1.0 / 32.0;
+    for y in 0..h {
+        let vrow = &vsmooth[y * w..(y + 1) * w];
+        let gxr = &mut field.gx[y * w..(y + 1) * w];
+        if w >= 2 {
+            gxr[0] = (vrow[1] as i32 - vrow[0] as i32) as f32 * NORM;
+            for x in 1..w - 1 {
+                gxr[x] = (vrow[x + 1] as i32 - vrow[x - 1] as i32) as f32 * NORM;
+            }
+            gxr[w - 1] = (vrow[w - 1] as i32 - vrow[w - 2] as i32) as f32 * NORM;
+        } else {
+            gxr[0] = 0.0;
+        }
+
+        let up = &hsmooth[y.saturating_sub(1) * w..y.saturating_sub(1) * w + w];
+        let dn_y = (y + 1).min(h - 1);
+        let dn = &hsmooth[dn_y * w..dn_y * w + w];
+        let gyr = &mut field.gy[y * w..(y + 1) * w];
+        for x in 0..w {
+            gyr[x] = (dn[x] as i32 - up[x] as i32) as f32 * NORM;
+        }
     }
+
+    pool.recycle_u16(vsmooth);
+    pool.recycle_u16(hsmooth);
 }
 
 /// Separable Gaussian blur with a 5-tap binomial kernel `[1 4 6 4 1] / 16`.
 ///
 /// Used to pre-smooth images before pyramid downsampling so the Lucas-Kanade
-/// linearization holds at coarse levels.
+/// linearization holds at coarse levels. Allocating wrapper around
+/// [`gaussian_blur_into`].
 pub fn gaussian_blur(img: &GrayImage) -> GrayImage {
-    const K: [u32; 5] = [1, 4, 6, 4, 1];
-    let w = img.width();
-    let h = img.height();
-    // Horizontal pass into u16 buffer (max 255*16 fits in u16? 4080 < 65535 yes).
-    let mut tmp = vec![0u16; w as usize * h as usize];
-    for y in 0..h as i64 {
-        for x in 0..w as i64 {
-            let mut acc = 0u32;
-            for (k, &kv) in K.iter().enumerate() {
-                acc += kv * img.get_clamped(x + k as i64 - 2, y) as u32;
-            }
-            tmp[y as usize * w as usize + x as usize] = (acc / 16) as u16;
-        }
-    }
-    let tmp_at = |x: i64, y: i64| -> u32 {
-        let cx = x.clamp(0, w as i64 - 1) as usize;
-        let cy = y.clamp(0, h as i64 - 1) as usize;
-        tmp[cy * w as usize + cx] as u32
-    };
-    let mut out = GrayImage::new(w, h);
-    for y in 0..h as i64 {
-        for x in 0..w as i64 {
-            let mut acc = 0u32;
-            for (k, &kv) in K.iter().enumerate() {
-                acc += kv * tmp_at(x, y + k as i64 - 2);
-            }
-            out.set(x as u32, y as u32, (acc / 16).min(255) as u8);
-        }
-    }
+    let mut out = GrayImage::new(img.width(), img.height());
+    let mut pool = ScratchPool::new();
+    gaussian_blur_into(img, &mut out, &mut pool);
     out
+}
+
+/// [`gaussian_blur`] into a caller-provided output image of the same size,
+/// taking the intermediate plane from `pool`.
+///
+/// Both separable passes run on row slices; only the four border
+/// rows/columns take the clamped slow path.
+///
+/// # Panics
+///
+/// Panics if `out` dimensions differ from `img`.
+pub fn gaussian_blur_into(img: &GrayImage, out: &mut GrayImage, pool: &mut ScratchPool) {
+    assert!(
+        out.width() == img.width() && out.height() == img.height(),
+        "blur output must match input dimensions"
+    );
+    perf::record(|c| c.gaussian_blurs += 1);
+    const K: [u32; 5] = [1, 4, 6, 4, 1];
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    let data = img.as_bytes();
+
+    // Horizontal pass into a u16 plane (max 255 * 16 = 4080 < 65535).
+    let mut tmp = pool.take_u16(w * h);
+    for y in 0..h {
+        let src = &data[y * w..(y + 1) * w];
+        let dst = &mut tmp[y * w..(y + 1) * w];
+        if w >= 5 {
+            // Borders (2 pixels each side) with clamped addressing.
+            for x in [0usize, 1, w - 2, w - 1] {
+                let mut acc = 0u32;
+                for (k, &kv) in K.iter().enumerate() {
+                    let sx = (x as i64 + k as i64 - 2).clamp(0, w as i64 - 1) as usize;
+                    acc += kv * src[sx] as u32;
+                }
+                dst[x] = (acc / 16) as u16;
+            }
+            // Interior on raw slices.
+            for x in 2..w - 2 {
+                let acc = src[x - 2] as u32
+                    + 4 * src[x - 1] as u32
+                    + 6 * src[x] as u32
+                    + 4 * src[x + 1] as u32
+                    + src[x + 2] as u32;
+                dst[x] = (acc / 16) as u16;
+            }
+        } else {
+            for (x, d) in dst.iter_mut().enumerate() {
+                let mut acc = 0u32;
+                for (k, &kv) in K.iter().enumerate() {
+                    let sx = (x as i64 + k as i64 - 2).clamp(0, w as i64 - 1) as usize;
+                    acc += kv * src[sx] as u32;
+                }
+                *d = (acc / 16) as u16;
+            }
+        }
+    }
+
+    // Vertical pass over row slices of the intermediate plane.
+    let row = |y: i64| -> &[u16] {
+        let cy = y.clamp(0, h as i64 - 1) as usize;
+        &tmp[cy * w..(cy + 1) * w]
+    };
+    for y in 0..h {
+        let yy = y as i64;
+        let (r0, r1, r2, r3, r4) = (row(yy - 2), row(yy - 1), row(yy), row(yy + 1), row(yy + 2));
+        let dst = &mut out.as_mut_bytes()[y * w..(y + 1) * w];
+        for (x, d) in dst.iter_mut().enumerate() {
+            let acc = r0[x] as u32
+                + 4 * r1[x] as u32
+                + 6 * r2[x] as u32
+                + 4 * r3[x] as u32
+                + r4[x] as u32;
+            *d = (acc / 16).min(255) as u8;
+        }
+    }
+    pool.recycle_u16(tmp);
 }
 
 #[cfg(test)]
@@ -200,6 +400,72 @@ mod tests {
         }
     }
 
+    /// Direct (non-separable) 3x3 Scharr evaluation: the original
+    /// implementation, kept as the differential-testing oracle.
+    fn scharr_reference(img: &GrayImage) -> (Vec<f32>, Vec<f32>) {
+        let w = img.width();
+        let h = img.height();
+        let mut gx = vec![0.0f32; w as usize * h as usize];
+        let mut gy = vec![0.0f32; w as usize * h as usize];
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                let p = |dx: i64, dy: i64| img.get_clamped(x + dx, y + dy) as f32;
+                let sx = -3.0 * p(-1, -1) + 3.0 * p(1, -1) - 10.0 * p(-1, 0) + 10.0 * p(1, 0)
+                    - 3.0 * p(-1, 1)
+                    + 3.0 * p(1, 1);
+                let sy = -3.0 * p(-1, -1) - 10.0 * p(0, -1) - 3.0 * p(1, -1)
+                    + 3.0 * p(-1, 1)
+                    + 10.0 * p(0, 1)
+                    + 3.0 * p(1, 1);
+                let i = y as usize * w as usize + x as usize;
+                gx[i] = sx / 32.0;
+                gy[i] = sy / 32.0;
+            }
+        }
+        (gx, gy)
+    }
+
+    #[test]
+    fn separable_matches_direct_evaluation_exactly() {
+        for (w, h) in [(16u32, 16u32), (7, 5), (1, 9), (9, 1), (2, 2), (33, 17)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x.wrapping_mul(131) ^ y.wrapping_mul(37)).wrapping_add(x * y)) as u8
+            });
+            let g = scharr_gradients(&img);
+            let (rx, ry) = scharr_reference(&img);
+            for y in 0..h {
+                for x in 0..w {
+                    let i = (y * w + x) as usize;
+                    assert_eq!(g.gx(x, y), rx[i], "gx mismatch at ({x},{y}) {w}x{h}");
+                    assert_eq!(g.gy(x, y), ry[i], "gy mismatch at ({x},{y}) {w}x{h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_field_buffers() {
+        let a = GrayImage::from_fn(12, 10, |x, y| (x * 3 + y) as u8);
+        let b = GrayImage::from_fn(8, 8, |x, y| (x ^ y) as u8);
+        let mut field = GradientField::empty();
+        let mut pool = ScratchPool::new();
+        scharr_gradients_into(&a, &mut field, &mut pool);
+        assert_eq!((field.width(), field.height()), (12, 10));
+        crate::perf::reset();
+        scharr_gradients_into(&b, &mut field, &mut pool);
+        assert_eq!((field.width(), field.height()), (8, 8));
+        let work = crate::perf::snapshot();
+        assert_eq!(work.buffers_allocated, 0, "smoothing planes must be pooled");
+        assert_eq!(work.buffers_reused, 2);
+        let oracle = scharr_gradients(&b);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(field.gx(x, y), oracle.gx(x, y));
+                assert_eq!(field.gy(x, y), oracle.gy(x, y));
+            }
+        }
+    }
+
     #[test]
     fn gradient_sampling_interpolates() {
         let img = GrayImage::from_fn(16, 16, |x, _| (x * 10).min(255) as u8);
@@ -228,6 +494,53 @@ mod tests {
             for x in 0..10 {
                 assert!((b.get(x, y) as i32 - 128).abs() <= 1);
             }
+        }
+    }
+
+    /// The original two-pass clamped-get blur, kept as the oracle.
+    fn blur_reference(img: &GrayImage) -> GrayImage {
+        const K: [u32; 5] = [1, 4, 6, 4, 1];
+        let w = img.width();
+        let h = img.height();
+        let mut tmp = vec![0u16; w as usize * h as usize];
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                let mut acc = 0u32;
+                for (k, &kv) in K.iter().enumerate() {
+                    acc += kv * img.get_clamped(x + k as i64 - 2, y) as u32;
+                }
+                tmp[y as usize * w as usize + x as usize] = (acc / 16) as u16;
+            }
+        }
+        let tmp_at = |x: i64, y: i64| -> u32 {
+            let cx = x.clamp(0, w as i64 - 1) as usize;
+            let cy = y.clamp(0, h as i64 - 1) as usize;
+            tmp[cy * w as usize + cx] as u32
+        };
+        let mut out = GrayImage::new(w, h);
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                let mut acc = 0u32;
+                for (k, &kv) in K.iter().enumerate() {
+                    acc += kv * tmp_at(x, y + k as i64 - 2);
+                }
+                out.set(x as u32, y as u32, (acc / 16).min(255) as u8);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn slice_blur_matches_reference_exactly() {
+        for (w, h) in [(10u32, 10u32), (5, 5), (4, 7), (3, 3), (1, 6), (31, 9)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                (x.wrapping_mul(89) ^ y.wrapping_mul(53)).wrapping_add(13 * x) as u8
+            });
+            assert_eq!(
+                gaussian_blur(&img),
+                blur_reference(&img),
+                "blur mismatch at {w}x{h}"
+            );
         }
     }
 

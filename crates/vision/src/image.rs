@@ -5,6 +5,7 @@
 //! use bilinear interpolation ([`GrayImage::sample`]), which is what the
 //! Lucas-Kanade tracker needs to follow features at fractional coordinates.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -18,7 +19,8 @@ use std::fmt;
 /// assert_eq!(img.get(2, 1), 21);
 /// assert_eq!(img.sample(1.5, 0.0), 15.0);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct GrayImage {
     width: u32,
     height: u32,
@@ -94,6 +96,24 @@ impl GrayImage {
         &self.data
     }
 
+    /// Mutable raw pixel bytes, row-major (for slice-based kernels writing
+    /// results in place without per-pixel bounds checks).
+    pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// One row of pixels as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= self.height()`.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[u8] {
+        let w = self.width as usize;
+        let start = y as usize * w;
+        &self.data[start..start + w]
+    }
+
     /// Consumes the image and returns the raw pixel bytes.
     pub fn into_raw(self) -> Vec<u8> {
         self.data
@@ -166,6 +186,35 @@ impl GrayImage {
         top + (bottom - top) * ty
     }
 
+    /// Bilinearly-interpolated intensity, optimized for coordinates whose
+    /// 2x2 neighborhood lies fully inside the image (single bounds test,
+    /// direct indexing); falls back to [`GrayImage::sample`] at borders.
+    ///
+    /// Returns **bit-identical** values to `sample` for every input — the
+    /// interpolation arithmetic is the same, only the addressing differs.
+    #[inline]
+    pub fn sample_fast(&self, x: f32, y: f32) -> f32 {
+        let xf = x.floor();
+        let yf = y.floor();
+        let x0 = xf as i64;
+        let y0 = yf as i64;
+        if x0 >= 0 && y0 >= 0 && x0 + 1 < self.width as i64 && y0 + 1 < self.height as i64 {
+            let tx = x - xf;
+            let ty = y - yf;
+            let w = self.width as usize;
+            let i = y0 as usize * w + x0 as usize;
+            let p00 = self.data[i] as f32;
+            let p10 = self.data[i + 1] as f32;
+            let p01 = self.data[i + w] as f32;
+            let p11 = self.data[i + w + 1] as f32;
+            let top = p00 + (p10 - p00) * tx;
+            let bottom = p01 + (p11 - p01) * tx;
+            top + (bottom - top) * ty
+        } else {
+            self.sample(x, y)
+        }
+    }
+
     /// Whether `(x, y)` lies at least `margin` pixels inside the image.
     pub fn in_bounds_with_margin(&self, x: f32, y: f32, margin: f32) -> bool {
         x >= margin
@@ -179,23 +228,58 @@ impl GrayImage {
     /// Odd trailing rows/columns are dropped, matching the convention of
     /// OpenCV's `pyrDown` sizing (`floor(n/2)` but never below 1).
     pub fn downsample(&self) -> GrayImage {
+        let mut out = GrayImage::new((self.width / 2).max(1), (self.height / 2).max(1));
+        self.downsample_into(&mut out);
+        out
+    }
+
+    /// [`downsample`](Self::downsample) into a caller-provided image of the
+    /// correct size (`(width/2).max(1) x (height/2).max(1)`), avoiding the
+    /// output allocation. Row-slice fast path: no per-pixel bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong dimensions.
+    pub fn downsample_into(&self, out: &mut GrayImage) {
         let nw = (self.width / 2).max(1);
         let nh = (self.height / 2).max(1);
-        let mut out = GrayImage::new(nw, nh);
-        for y in 0..nh {
-            for x in 0..nw {
-                let sx = (x * 2).min(self.width - 1);
-                let sy = (y * 2).min(self.height - 1);
-                let sx1 = (sx + 1).min(self.width - 1);
-                let sy1 = (sy + 1).min(self.height - 1);
-                let sum = self.get(sx, sy) as u32
-                    + self.get(sx1, sy) as u32
-                    + self.get(sx, sy1) as u32
-                    + self.get(sx1, sy1) as u32;
-                out.set(x, y, (sum / 4) as u8);
+        assert!(
+            out.width == nw && out.height == nh,
+            "downsample output must be {nw}x{nh}"
+        );
+        crate::perf::record(|c| c.downsamples += 1);
+        if self.width >= 2 && self.height >= 2 {
+            // Interior fast path: source indices 2x, 2x+1, 2y, 2y+1 are
+            // always in bounds, so work on raw row slices.
+            let w = self.width as usize;
+            for y in 0..nh as usize {
+                let r0 = &self.data[2 * y * w..2 * y * w + w];
+                let r1 = &self.data[(2 * y + 1) * w..(2 * y + 1) * w + w];
+                let dst = &mut out.data[y * nw as usize..(y + 1) * nw as usize];
+                for (x, d) in dst.iter_mut().enumerate() {
+                    let sum = r0[2 * x] as u32
+                        + r0[2 * x + 1] as u32
+                        + r1[2 * x] as u32
+                        + r1[2 * x + 1] as u32;
+                    *d = (sum / 4) as u8;
+                }
+            }
+        } else {
+            // Degenerate 1-pixel-wide/tall images: replicate-border path.
+            for y in 0..nh {
+                for x in 0..nw {
+                    let sx = (x * 2).min(self.width - 1);
+                    let sy = (y * 2).min(self.height - 1);
+                    let sx1 = (sx + 1).min(self.width - 1);
+                    let sy1 = (sy + 1).min(self.height - 1);
+                    let sum = self.get(sx, sy) as u32
+                        + self.get(sx1, sy) as u32
+                        + self.get(sx, sy1) as u32
+                        + self.get(sx1, sy1) as u32;
+                    out.set(x, y, (sum / 4) as u8);
+                }
             }
         }
-        out
     }
 
     /// Mean intensity of the image, in `[0, 255]`.

@@ -14,6 +14,30 @@
 //! spatial-gradient and blur kernels ([`gradient`]), Gaussian pyramids
 //! ([`pyramid`]) and rectangle geometry ([`geometry`]).
 //!
+//! # Hot-path design
+//!
+//! The kernels are written for a per-frame tracking loop:
+//!
+//! * every kernel has an `*_into` variant writing into caller-provided
+//!   buffers recycled through a [`scratch::ScratchPool`], so steady-state
+//!   frame processing performs no heap allocations;
+//! * each [`pyramid::Pyramid`] caches its per-level Scharr gradients
+//!   ([`pyramid::Pyramid::gradients`]), computed at most once and shared by
+//!   corner detection and every Lucas-Kanade call that uses the pyramid as
+//!   its reference;
+//! * with the `parallel` feature (on by default) Lucas-Kanade point sets
+//!   and corner response scans fan out across threads with **bit-identical**
+//!   results to the sequential path (see [`parallel`]);
+//! * the [`perf`] module counts kernel invocations, LK iterations, buffer
+//!   reuse, and per-kernel wall time on thread-local counters, so the
+//!   pipeline can report exactly how much work each frame cost.
+//!
+//! # Feature flags
+//!
+//! * `parallel` *(default)* — multi-threaded LK tracking and corner scans
+//!   via scoped threads (no extra dependencies).
+//! * `serde` *(default)* — `Serialize`/`Deserialize` on [`image::GrayImage`].
+//!
 //! # Example
 //!
 //! ```
@@ -50,11 +74,16 @@ pub mod flow;
 pub mod geometry;
 pub mod gradient;
 pub mod image;
+pub mod parallel;
+pub mod perf;
 pub mod pyramid;
+pub mod scratch;
 
 pub use fast::{fast_corners, FastParams};
-pub use features::{good_features_to_track, Corner, GoodFeaturesParams};
-pub use flow::{FlowResult, LkParams, PyramidalLk};
+pub use features::{good_features_from_gradients, good_features_to_track, Corner, GoodFeaturesParams};
+pub use flow::{FlowResult, LkParams, LkParamsError, PyramidalLk};
 pub use geometry::{BoundingBox, Point2, Vec2};
 pub use image::GrayImage;
+pub use perf::KernelCounters;
 pub use pyramid::Pyramid;
+pub use scratch::ScratchPool;

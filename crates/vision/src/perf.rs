@@ -1,0 +1,249 @@
+//! Lightweight per-kernel performance counters.
+//!
+//! Every hot kernel in this crate (pyramid construction, Gaussian blur,
+//! downsampling, Scharr gradients, corner scans, Lucas-Kanade) bumps a
+//! thread-local counter and accumulates its wall-clock time here. The
+//! counters give higher layers (the tracker's `StepStats`, the bench
+//! harness) a per-kernel cost breakdown without any external profiler, and
+//! let tests assert structural properties such as "exactly one pyramid
+//! build per new frame".
+//!
+//! Counters are **thread-local** so concurrent trackers (or concurrent
+//! tests) never observe each other's work. The crate's own parallel fan-out
+//! ([`crate::parallel`]) merges worker-thread counters back into the
+//! calling thread, so from the caller's perspective the numbers behave as
+//! if the work had run sequentially.
+//!
+//! # Example
+//!
+//! ```
+//! use adavp_vision::{perf, image::GrayImage, pyramid::Pyramid};
+//! let before = perf::snapshot();
+//! let _pyr = Pyramid::build(&GrayImage::new(64, 64), 3);
+//! let work = perf::snapshot().since(&before);
+//! assert_eq!(work.pyramid_builds, 1);
+//! assert_eq!(work.gaussian_blurs, 2); // one blur per derived level
+//! ```
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Cumulative per-kernel work counters for the current thread.
+///
+/// Obtain with [`snapshot`]; subtract two snapshots with
+/// [`KernelCounters::since`] to get the work done in between.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Full pyramid constructions ([`crate::pyramid::Pyramid::build`]).
+    pub pyramid_builds: u64,
+    /// Gaussian blur passes (one per derived pyramid level).
+    pub gaussian_blurs: u64,
+    /// 2x2 box downsample passes.
+    pub downsamples: u64,
+    /// Scharr gradient fields computed.
+    pub gradient_fields: u64,
+    /// Corner-response scans (Shi-Tomasi or FAST score maps).
+    pub corner_scans: u64,
+    /// Calls into pyramidal Lucas-Kanade (one per tracked frame pair).
+    pub lk_calls: u64,
+    /// Points given to Lucas-Kanade.
+    pub lk_points: u64,
+    /// Newton iterations executed inside Lucas-Kanade.
+    pub lk_iterations: u64,
+    /// Pixel/gradient buffers freshly allocated from the heap.
+    pub buffers_allocated: u64,
+    /// Pixel/gradient buffers recycled from a [`crate::scratch::ScratchPool`].
+    pub buffers_reused: u64,
+    /// Nanoseconds spent building pyramids (blur + downsample included).
+    pub pyramid_ns: u64,
+    /// Nanoseconds spent computing gradient fields.
+    pub gradient_ns: u64,
+    /// Nanoseconds spent in Lucas-Kanade tracking.
+    pub flow_ns: u64,
+    /// Nanoseconds spent in corner detection.
+    pub corner_ns: u64,
+}
+
+macro_rules! for_each_field {
+    ($macro_body:ident, $a:expr, $b:expr) => {{
+        $macro_body!(pyramid_builds, $a, $b);
+        $macro_body!(gaussian_blurs, $a, $b);
+        $macro_body!(downsamples, $a, $b);
+        $macro_body!(gradient_fields, $a, $b);
+        $macro_body!(corner_scans, $a, $b);
+        $macro_body!(lk_calls, $a, $b);
+        $macro_body!(lk_points, $a, $b);
+        $macro_body!(lk_iterations, $a, $b);
+        $macro_body!(buffers_allocated, $a, $b);
+        $macro_body!(buffers_reused, $a, $b);
+        $macro_body!(pyramid_ns, $a, $b);
+        $macro_body!(gradient_ns, $a, $b);
+        $macro_body!(flow_ns, $a, $b);
+        $macro_body!(corner_ns, $a, $b);
+    }};
+}
+
+impl KernelCounters {
+    /// The work done since an `earlier` snapshot (field-wise saturating
+    /// subtraction, so a [`reset`] between the snapshots yields zeros
+    /// rather than wrap-around garbage).
+    pub fn since(&self, earlier: &KernelCounters) -> KernelCounters {
+        let mut out = KernelCounters::default();
+        macro_rules! sub {
+            ($f:ident, $o:expr, $p:expr) => {
+                $o.$f = self.$f.saturating_sub($p.$f);
+            };
+        }
+        for_each_field!(sub, out, earlier);
+        out
+    }
+
+    /// Adds `other` into `self` field-wise (used when merging worker-thread
+    /// counters back into the spawning thread).
+    pub fn merge(&mut self, other: &KernelCounters) {
+        macro_rules! add {
+            ($f:ident, $s:expr, $o:expr) => {
+                $s.$f = $s.$f.wrapping_add($o.$f);
+            };
+        }
+        for_each_field!(add, self, other);
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<KernelCounters> = const { Cell::new(KernelCounters::default_const()) };
+}
+
+impl KernelCounters {
+    const fn default_const() -> Self {
+        KernelCounters {
+            pyramid_builds: 0,
+            gaussian_blurs: 0,
+            downsamples: 0,
+            gradient_fields: 0,
+            corner_scans: 0,
+            lk_calls: 0,
+            lk_points: 0,
+            lk_iterations: 0,
+            buffers_allocated: 0,
+            buffers_reused: 0,
+            pyramid_ns: 0,
+            gradient_ns: 0,
+            flow_ns: 0,
+            corner_ns: 0,
+        }
+    }
+}
+
+/// Current thread's cumulative counters.
+pub fn snapshot() -> KernelCounters {
+    COUNTERS.with(|c| c.get())
+}
+
+/// Resets the current thread's counters to zero.
+pub fn reset() {
+    COUNTERS.with(|c| c.set(KernelCounters::default()));
+}
+
+/// Merges a worker thread's counters into the current thread.
+///
+/// Called by [`crate::parallel`] after joining workers; public so external
+/// thread pools can preserve the "counters behave as if sequential"
+/// invariant too.
+pub fn merge(delta: &KernelCounters) {
+    record(|c| c.merge(delta));
+}
+
+/// Applies a mutation to the current thread's counters.
+pub(crate) fn record(f: impl FnOnce(&mut KernelCounters)) {
+    COUNTERS.with(|cell| {
+        let mut c = cell.get();
+        f(&mut c);
+        cell.set(c);
+    });
+}
+
+/// RAII timer: adds the elapsed nanoseconds to one counter field on drop.
+pub(crate) struct ScopedTimer {
+    start: Instant,
+    field: fn(&mut KernelCounters) -> &mut u64,
+}
+
+impl ScopedTimer {
+    pub(crate) fn new(field: fn(&mut KernelCounters) -> &mut u64) -> Self {
+        Self {
+            start: Instant::now(),
+            field,
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        let field = self.field;
+        record(|c| *field(c) += ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_reset() {
+        reset();
+        let a = snapshot();
+        record(|c| {
+            c.lk_points += 5;
+            c.flow_ns += 100;
+        });
+        let d = snapshot().since(&a);
+        assert_eq!(d.lk_points, 5);
+        assert_eq!(d.flow_ns, 100);
+        assert_eq!(d.pyramid_builds, 0);
+        reset();
+        assert_eq!(snapshot(), KernelCounters::default());
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        record(|c| c.lk_calls += 3);
+        let a = snapshot();
+        reset();
+        let d = snapshot().since(&a);
+        assert_eq!(d.lk_calls, 0, "saturating diff must not wrap");
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        reset();
+        let mut a = KernelCounters::default();
+        a.pyramid_builds = 2;
+        a.buffers_reused = 7;
+        merge(&a);
+        merge(&a);
+        let s = snapshot();
+        assert_eq!(s.pyramid_builds, 4);
+        assert_eq!(s.buffers_reused, 14);
+    }
+
+    #[test]
+    fn timer_accumulates_time() {
+        reset();
+        {
+            let _t = ScopedTimer::new(|c| &mut c.corner_ns);
+            std::hint::black_box(0u64);
+        }
+        assert!(snapshot().corner_ns > 0);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset();
+        record(|c| c.lk_calls += 1);
+        let other = std::thread::spawn(|| snapshot().lk_calls).join().unwrap();
+        assert_eq!(other, 0, "fresh thread must start from zero");
+        assert_eq!(snapshot().lk_calls, 1);
+    }
+}

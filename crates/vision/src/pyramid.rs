@@ -5,9 +5,25 @@
 //! ([`crate::flow::PyramidalLk`]) starts at the coarsest level, where large
 //! motions shrink to sub-pixel displacements, and refines the estimate down
 //! to level 0.
+//!
+//! Two hot-path services live here beyond plain construction:
+//!
+//! * **Buffer reuse** — [`Pyramid::build_with`] takes every pixel and
+//!   intermediate buffer from a [`ScratchPool`], and [`Pyramid::recycle`]
+//!   returns them, so a tracker that builds one pyramid per frame reaches a
+//!   steady state with **zero** heap allocations (observable through
+//!   [`crate::perf`]).
+//! * **Cached gradients** — [`Pyramid::gradients`] computes one Scharr
+//!   [`GradientField`] per level, exactly once, and caches it on the
+//!   pyramid. Lucas-Kanade shares the cached fields across all tracked
+//!   points and across every step that uses this pyramid as its reference,
+//!   instead of re-deriving gradients per call.
 
-use crate::gradient::gaussian_blur;
+use crate::gradient::{gaussian_blur_into, scharr_gradients_into, GradientField};
 use crate::image::GrayImage;
+use crate::perf;
+use crate::scratch::ScratchPool;
+use std::sync::OnceLock;
 
 /// A Gaussian image pyramid (level 0 = full resolution).
 ///
@@ -22,9 +38,27 @@ use crate::image::GrayImage;
 /// assert_eq!(pyr.level(1).width(), 32);
 /// assert_eq!(pyr.level(2).width(), 16);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Pyramid {
     levels: Vec<GrayImage>,
+    /// Per-level Scharr gradients, computed lazily at most once.
+    grads: OnceLock<Vec<GradientField>>,
+}
+
+impl Clone for Pyramid {
+    fn clone(&self) -> Self {
+        Self {
+            levels: self.levels.clone(),
+            grads: match self.grads.get() {
+                Some(g) => {
+                    let cell = OnceLock::new();
+                    let _ = cell.set(g.clone());
+                    cell
+                }
+                None => OnceLock::new(),
+            },
+        }
+    }
 }
 
 impl Pyramid {
@@ -34,20 +68,41 @@ impl Pyramid {
     /// Builds a pyramid with at most `max_levels` levels (at least 1).
     ///
     /// Level construction stops early when the next level would have a side
-    /// shorter than [`Pyramid::MIN_SIDE`] pixels.
+    /// shorter than [`Pyramid::MIN_SIDE`] pixels. Allocating wrapper around
+    /// [`Pyramid::build_with`]; per-frame callers should hold a
+    /// [`ScratchPool`] and use `build_with` to reuse buffers.
     pub fn build(base: &GrayImage, max_levels: u32) -> Self {
+        Self::build_with(base, max_levels, &mut ScratchPool::new())
+    }
+
+    /// Builds a pyramid taking every buffer (levels, blur intermediates)
+    /// from `pool`. Recycle retired pyramids with [`Pyramid::recycle`] to
+    /// make steady-state construction allocation-free.
+    pub fn build_with(base: &GrayImage, max_levels: u32, pool: &mut ScratchPool) -> Self {
+        let _timer = perf::ScopedTimer::new(|c| &mut c.pyramid_ns);
+        perf::record(|c| c.pyramid_builds += 1);
         let max_levels = max_levels.max(1);
         let mut levels = Vec::with_capacity(max_levels as usize);
-        levels.push(base.clone());
+        levels.push(pool.take_image_copy(base));
         while (levels.len() as u32) < max_levels {
             let last = levels.last().expect("pyramid has at least one level");
-            if last.width() / 2 < Self::MIN_SIDE || last.height() / 2 < Self::MIN_SIDE {
+            let (w, h) = (last.width(), last.height());
+            if w / 2 < Self::MIN_SIDE || h / 2 < Self::MIN_SIDE {
                 break;
             }
-            let smoothed = gaussian_blur(last);
-            levels.push(smoothed.downsample());
+            // The blurred image is only an input to the downsample; its
+            // buffer goes straight back to the pool for the next level.
+            let mut smooth = pool.take_image(w, h);
+            gaussian_blur_into(last, &mut smooth, pool);
+            let mut next = pool.take_image((w / 2).max(1), (h / 2).max(1));
+            smooth.downsample_into(&mut next);
+            pool.recycle_image(smooth);
+            levels.push(next);
         }
-        Self { levels }
+        Self {
+            levels,
+            grads: OnceLock::new(),
+        }
     }
 
     /// Number of levels actually built.
@@ -73,6 +128,63 @@ impl Pyramid {
     /// pyramidal LK visits them).
     pub fn iter_coarse_to_fine(&self) -> impl Iterator<Item = (usize, &GrayImage)> {
         self.levels.iter().enumerate().rev()
+    }
+
+    /// Per-level Scharr gradient fields, computed on first use and cached.
+    ///
+    /// Repeated calls (and every Lucas-Kanade step sharing this pyramid as
+    /// its reference) reuse the cached fields; the computation happens at
+    /// most once per pyramid.
+    pub fn gradients(&self) -> &[GradientField] {
+        self.grads.get_or_init(|| {
+            let mut pool = ScratchPool::new();
+            self.compute_gradients(&mut pool)
+        })
+    }
+
+    /// Like [`Pyramid::gradients`], but takes intermediate and plane
+    /// buffers from `pool` when the gradients are not cached yet.
+    pub fn gradients_with(&self, pool: &mut ScratchPool) -> &[GradientField] {
+        if let Some(g) = self.grads.get() {
+            return g;
+        }
+        let computed = self.compute_gradients(pool);
+        // A racing initializer may win; either value is identical.
+        self.grads.get_or_init(|| computed)
+    }
+
+    /// Whether the per-level gradients are already cached.
+    pub fn has_gradients(&self) -> bool {
+        self.grads.get().is_some()
+    }
+
+    fn compute_gradients(&self, pool: &mut ScratchPool) -> Vec<GradientField> {
+        self.levels
+            .iter()
+            .map(|img| {
+                // Seed the field with pooled planes so the resize inside
+                // scharr_gradients_into grows recycled capacity, not fresh.
+                let mut field =
+                    GradientField::from_recycled_planes(pool.take_f32(0), pool.take_f32(0));
+                scharr_gradients_into(img, &mut field, pool);
+                field
+            })
+            .collect()
+    }
+
+    /// Consumes the pyramid, returning every level and cached gradient
+    /// buffer to `pool` for reuse by future builds.
+    pub fn recycle(self, pool: &mut ScratchPool) {
+        for level in self.levels {
+            pool.recycle_image(level);
+        }
+        if let Some(grads) = self.grads.into_inner() {
+            for g in grads {
+                let (gx, gy) = g.into_planes();
+                pool.recycle_f32(gx);
+                pool.recycle_f32(gy);
+            }
+        }
     }
 }
 
@@ -123,5 +235,81 @@ mod tests {
             let w = im.width();
             assert!(im.get(w / 8, im.height() / 2) > im.get(w - 1 - w / 8, im.height() / 2));
         }
+    }
+
+    #[test]
+    fn pooled_build_matches_plain_build() {
+        let img = GrayImage::from_fn(96, 64, |x, y| (x.wrapping_mul(7) ^ y.wrapping_mul(13)) as u8);
+        let plain = Pyramid::build(&img, 4);
+        let mut pool = ScratchPool::new();
+        let pooled = Pyramid::build_with(&img, 4, &mut pool);
+        assert_eq!(plain.levels(), pooled.levels());
+        for l in 0..plain.levels() {
+            assert_eq!(plain.level(l), pooled.level(l), "level {l} differs");
+        }
+    }
+
+    #[test]
+    fn steady_state_build_is_allocation_free() {
+        let img = GrayImage::from_fn(80, 80, |x, y| (x + y) as u8);
+        let mut pool = ScratchPool::new();
+        let p1 = Pyramid::build_with(&img, 4, &mut pool);
+        let _ = p1.gradients_with(&mut pool);
+        p1.recycle(&mut pool);
+        perf::reset();
+        let p2 = Pyramid::build_with(&img, 4, &mut pool);
+        let _ = p2.gradients_with(&mut pool);
+        let work = perf::snapshot();
+        assert_eq!(
+            work.buffers_allocated, 0,
+            "steady-state build+gradients must only reuse pooled buffers"
+        );
+        assert!(work.buffers_reused > 0);
+        assert_eq!(work.pyramid_builds, 1);
+    }
+
+    #[test]
+    fn gradients_computed_once_and_cached() {
+        let img = GrayImage::from_fn(64, 64, |x, y| (x * 2 + y) as u8);
+        let pyr = Pyramid::build(&img, 3);
+        assert!(!pyr.has_gradients());
+        perf::reset();
+        let g1 = pyr.gradients();
+        assert_eq!(g1.len(), pyr.levels());
+        let after_first = perf::snapshot().gradient_fields;
+        assert_eq!(after_first, pyr.levels() as u64);
+        let _g2 = pyr.gradients();
+        assert_eq!(
+            perf::snapshot().gradient_fields,
+            after_first,
+            "second call must hit the cache"
+        );
+        assert!(pyr.has_gradients());
+    }
+
+    #[test]
+    fn cached_gradients_match_fresh_computation() {
+        use crate::gradient::scharr_gradients;
+        let img = GrayImage::from_fn(48, 40, |x, y| (x.wrapping_mul(31) ^ y.wrapping_mul(17)) as u8);
+        let pyr = Pyramid::build(&img, 3);
+        for (l, g) in pyr.gradients().iter().enumerate() {
+            let fresh = scharr_gradients(pyr.level(l));
+            for y in 0..g.height() {
+                for x in 0..g.width() {
+                    assert_eq!(g.gx(x, y), fresh.gx(x, y));
+                    assert_eq!(g.gy(x, y), fresh.gy(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_preserves_cached_gradients() {
+        let img = GrayImage::from_fn(32, 32, |x, y| (x + y) as u8);
+        let pyr = Pyramid::build(&img, 2);
+        let _ = pyr.gradients();
+        let cloned = pyr.clone();
+        assert!(cloned.has_gradients());
+        assert_eq!(cloned.levels(), pyr.levels());
     }
 }

@@ -99,6 +99,46 @@ proptest! {
     }
 
     #[test]
+    fn parallel_lk_bit_identical_to_sequential(
+        dx in -3i64..=3,
+        dy in -3i64..=3,
+        p1 in 0.0f32..6.28,
+        p2 in 0.0f32..6.28,
+    ) {
+        let prev = textured(128, 96, p1, p2, 2.0);
+        let next = GrayImage::from_fn(128, 96, |x, y| {
+            prev.get_clamped(x as i64 - dx, y as i64 - dy)
+        });
+        let lk = PyramidalLk::new(LkParams { pyramid_levels: 3, ..LkParams::default() });
+        let prev_pyr = Pyramid::build(&prev, 3);
+        let next_pyr = Pyramid::build(&next, 3);
+        // Dense enough to clear the parallel-dispatch threshold.
+        let mut pts = Vec::new();
+        for gy in 0..10 {
+            for gx in 0..14 {
+                pts.push(Point2::new(12.0 + gx as f32 * 8.0, 12.0 + gy as f32 * 8.0));
+            }
+        }
+        let sequential = lk.track_pyramids_sequential(&prev_pyr, &next_pyr, &pts);
+        prop_assert_eq!(
+            &sequential,
+            &lk.track_pyramids_baseline(&prev_pyr, &next_pyr, &pts),
+            "optimized path diverged from the reference baseline"
+        );
+        #[cfg(feature = "parallel")]
+        prop_assert_eq!(
+            &sequential,
+            &lk.track_pyramids_parallel(&prev_pyr, &next_pyr, &pts),
+            "parallel path diverged from sequential"
+        );
+        prop_assert_eq!(
+            &sequential,
+            &lk.track_pyramids(&prev_pyr, &next_pyr, &pts),
+            "dispatching entry point diverged"
+        );
+    }
+
+    #[test]
     fn sample_interpolates_within_neighbours(
         x in 0.0f32..30.0,
         y in 0.0f32..30.0,

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: build, test, lint, and a bench smoke run that regenerates
+# BENCH_kernels.json (which also re-asserts LK cross-path bit-parity).
+#
+# Usage: scripts/ci.sh [--no-bench]
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "== clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${1:-}" != "--no-bench" ]; then
+    echo "== kernel bench smoke (writes BENCH_kernels.json)"
+    cargo run --release -p adavp-vision --bin kernels_bench -- BENCH_kernels.json
+fi
+
+echo "CI OK"

@@ -41,16 +41,16 @@ fn run_config(
 ) -> AblationRow {
     let eval = ctx.eval;
     let det = ctx.detector.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
-    let mut per_video = Vec::new();
-    for clip in &clips {
+    let per_video: Vec<f64> = exec.map(&clips, |_, clip| {
         let mut p = MpdtPipeline::new(
             SimulatedDetector::new(det.clone()),
             policy.clone(),
             pipeline.clone(),
         );
-        per_video.push(evaluate_on_clip(&mut p, clip, &eval).accuracy);
-    }
+        evaluate_on_clip(&mut p, clip, &eval).accuracy
+    });
     AblationRow {
         variant: label.to_string(),
         accuracy: dataset_accuracy(&per_video),
@@ -168,7 +168,7 @@ pub fn dead_reckoning(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
 
 /// Velocity-driven adaptation vs fixed vs content-blind cycling.
 pub fn adaptation_signal(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let base = ctx.pipeline.clone();
     vec![
         run_config(
@@ -189,7 +189,7 @@ pub fn adaptation_signal(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
 
 /// Per-current-setting threshold rows vs a single shared row.
 pub fn threshold_sharing(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
-    let per_setting = ctx.adaptation_model();
+    let per_setting = ctx.adaptation_model().clone();
     let shared = AdaptationModel::uniform(per_setting.thresholds_for(ModelSetting::Yolo512));
     let base = ctx.pipeline.clone();
     vec![
@@ -214,25 +214,29 @@ pub fn marlin_trigger_sweep(ctx: &mut ExperimentContext, thresholds: &[f64]) -> 
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
-    thresholds
-        .iter()
-        .map(|&t| {
-            let mut per_video = Vec::new();
-            for clip in &clips {
-                let mut p = MarlinPipeline::new(
-                    SimulatedDetector::new(det.clone()),
-                    ModelSetting::Yolo512,
-                    pipe.clone(),
-                    MarlinConfig {
-                        trigger_velocity: t,
-                        ..MarlinConfig::default()
-                    },
-                );
-                per_video.push(evaluate_on_clip(&mut p, clip, &eval).accuracy);
-            }
-            (t, dataset_accuracy(&per_video))
-        })
+    // Fan the full (threshold × clip) grid out as one flat job list so the
+    // pool stays saturated across sweep points, then fold per threshold.
+    let jobs: Vec<(usize, usize)> = (0..thresholds.len())
+        .flat_map(|ti| (0..clips.len()).map(move |ci| (ti, ci)))
+        .collect();
+    let accuracies: Vec<f64> = exec.map(&jobs, |_, &(ti, ci)| {
+        let mut p = MarlinPipeline::new(
+            SimulatedDetector::new(det.clone()),
+            ModelSetting::Yolo512,
+            pipe.clone(),
+            MarlinConfig {
+                trigger_velocity: thresholds[ti],
+                ..MarlinConfig::default()
+            },
+        );
+        evaluate_on_clip(&mut p, &clips[ci], &eval).accuracy
+    });
+    accuracies
+        .chunks(clips.len().max(1))
+        .zip(thresholds)
+        .map(|(per_video, &t)| (t, dataset_accuracy(per_video)))
         .collect()
 }
 
@@ -241,11 +245,12 @@ pub fn parallelism(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
     let mut rows = Vec::new();
     for s in [ModelSetting::Yolo512] {
         for scheme in [Scheme::Mpdt(s), Scheme::Marlin(s)] {
-            let r = run_scheme(&scheme, &clips, &det, &pipe, &eval);
+            let r = run_scheme(&scheme, &clips, &det, &pipe, &eval, &exec);
             rows.push(AblationRow {
                 variant: r.label,
                 accuracy: r.accuracy,

@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! experiments <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|table3|all>
-//!             [--scale smoke|standard|full] [--out results]
+//!             [--scale smoke|standard|full] [--out results] [--jobs N]
 //! ```
 //!
 //! Each experiment prints an aligned table and writes a CSV under `--out`.
+//! `--jobs N` bounds harness concurrency (clip rendering, threshold
+//! training, per-clip scheme evaluation); results are bit-identical for
+//! every value, so it only changes wall-clock. Defaults to the core count.
 
 use adavp_bench::ablations as abl;
 use adavp_bench::context::ExperimentContext;
@@ -13,6 +16,7 @@ use adavp_bench::figures;
 use adavp_bench::report::{f1 as fmt1, f3, text_table, write_csv};
 use adavp_bench::tables;
 use adavp_video::dataset::DatasetScale;
+use adavp_vision::exec::Executor;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -21,6 +25,7 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = DatasetScale::Standard;
     let mut out = PathBuf::from("results");
+    let mut jobs = Executor::available().jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,6 +43,15 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(it.next().map(String::as_str).unwrap_or("results"));
             }
+            "--jobs" => {
+                jobs = match it.next().map(|s| s.parse::<usize>()) {
+                    Some(Ok(n)) => n,
+                    other => {
+                        eprintln!("--jobs expects a number, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             name => which.push(name.to_string()),
         }
     }
@@ -51,13 +65,15 @@ fn main() {
         .collect();
     }
 
-    let mut ctx = ExperimentContext::new(scale);
+    let mut ctx = ExperimentContext::with_jobs(scale, jobs);
     // fig10 reuses fig6's results; compute lazily.
     let mut fig6_cache: Option<Vec<adavp_bench::runner::SchemeResult>> = None;
 
+    let run_start = Instant::now();
     for name in which {
         let t0 = Instant::now();
-        println!("== {name} (scale {scale:?}) ==");
+        let before = ctx.timings();
+        println!("== {name} (scale {scale:?}, jobs {jobs}) ==");
         match name.as_str() {
             "fig1" => fig1(&mut ctx, &out),
             "fig2" => fig2(&out),
@@ -82,23 +98,38 @@ fn main() {
             "marlin-sweep" => marlin_sweep(&mut ctx, &out),
             "diag" => diag(&mut ctx),
             "diag-train" => diag_train(&mut ctx),
-            "diag-moderate" => diag_moderate(),
+            "diag-moderate" => diag_moderate(&mut ctx),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
             }
         }
-        println!("   [{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+        // Whatever this experiment spent beyond rendering and training is
+        // scheme evaluation (plus table formatting, which is negligible).
+        let after = ctx.timings();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let phase = elapsed - (after.render_s - before.render_s) - (after.train_s - before.train_s);
+        ctx.note_eval_secs(phase.max(0.0));
+        println!("   [{name} took {elapsed:.1}s]\n");
     }
+    let t = ctx.timings();
+    println!(
+        "phase wall-clock: render {:.1}s | train {:.1}s | eval {:.1}s | total {:.1}s (jobs {jobs})",
+        t.render_s,
+        t.train_s,
+        t.eval_s,
+        run_start.elapsed().as_secs_f64(),
+    );
 }
 
-fn diag_moderate() {
+fn diag_moderate(ctx: &mut ExperimentContext) {
     use adavp_bench::runner::{run_scheme, Scheme};
     use adavp_core::eval::EvalConfig;
     use adavp_core::pipeline::PipelineConfig;
     use adavp_detector::{DetectorConfig, ModelSetting};
     use adavp_video::clip::VideoClip;
     use adavp_video::scenario::Scenario;
+    let exec = ctx.exec;
     let mut sum = [0.0f64; 2];
     let mut n = 0;
     for scenario in [
@@ -117,6 +148,7 @@ fn diag_moderate() {
                 &det,
                 &pipe,
                 &eval,
+                &exec,
             );
             let b = run_scheme(
                 &Scheme::Mpdt(ModelSetting::Yolo608),
@@ -124,6 +156,7 @@ fn diag_moderate() {
                 &det,
                 &pipe,
                 &eval,
+                &exec,
             );
             println!(
                 "{:<22} seed {seed}: 512 {:.3} | 608 {:.3}",
@@ -149,6 +182,7 @@ fn diag_train(ctx: &mut ExperimentContext) {
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.train_clips().to_vec();
     let m512 = run_scheme(
         &Scheme::Mpdt(ModelSetting::Yolo512),
@@ -156,6 +190,7 @@ fn diag_train(ctx: &mut ExperimentContext) {
         &det,
         &pipe,
         &eval,
+        &exec,
     );
     let m608 = run_scheme(
         &Scheme::Mpdt(ModelSetting::Yolo608),
@@ -163,6 +198,7 @@ fn diag_train(ctx: &mut ExperimentContext) {
         &det,
         &pipe,
         &eval,
+        &exec,
     );
     println!("per-training-video accuracy (512 / 608):");
     for (i, clip) in clips.iter().enumerate() {
@@ -182,7 +218,7 @@ fn diag_train(ctx: &mut ExperimentContext) {
 fn diag(ctx: &mut ExperimentContext) {
     use adavp_bench::runner::{run_scheme, Scheme};
     use adavp_detector::ModelSetting;
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     println!("trained thresholds (current setting -> [v1 v2 v3]):");
     for s in ModelSetting::ADAPTIVE {
         let t = model.thresholds_for(s);
@@ -191,14 +227,23 @@ fn diag(ctx: &mut ExperimentContext) {
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
-    let adavp = run_scheme(&Scheme::AdaVp(model.clone()), &clips, &det, &pipe, &eval);
+    let adavp = run_scheme(
+        &Scheme::AdaVp(model.clone()),
+        &clips,
+        &det,
+        &pipe,
+        &eval,
+        &exec,
+    );
     let m512 = run_scheme(
         &Scheme::Mpdt(ModelSetting::Yolo512),
         &clips,
         &det,
         &pipe,
         &eval,
+        &exec,
     );
     let m608 = run_scheme(
         &Scheme::Mpdt(ModelSetting::Yolo608),
@@ -206,6 +251,7 @@ fn diag(ctx: &mut ExperimentContext) {
         &det,
         &pipe,
         &eval,
+        &exec,
     );
     println!("\nper-video accuracy (AdaVP / MPDT-512 / MPDT-608) + AdaVP usage:");
     for (i, clip) in clips.iter().enumerate() {

@@ -156,6 +156,7 @@ pub fn fig5(ctx: &mut ExperimentContext, frames: usize) -> Vec<Fig5Row> {
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips();
     let clip = &clips[0];
     let run = |setting: ModelSetting| {
@@ -165,6 +166,7 @@ pub fn fig5(ctx: &mut ExperimentContext, frames: usize) -> Vec<Fig5Row> {
             &det,
             &pipe,
             &eval,
+            &exec,
         )
     };
     let small = run(ModelSetting::Yolo320);
@@ -188,10 +190,11 @@ pub fn fig5(ctx: &mut ExperimentContext, frames: usize) -> Vec<Fig5Row> {
 /// Fig. 6: the headline comparison — AdaVP vs MPDT / MARLIN / without
 /// tracking at all four settings. Returns one [`SchemeResult`] per scheme.
 pub fn fig6(ctx: &mut ExperimentContext) -> Vec<SchemeResult> {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
     let mut schemes = vec![Scheme::AdaVp(model)];
     for s in ModelSetting::ADAPTIVE {
@@ -203,27 +206,27 @@ pub fn fig6(ctx: &mut ExperimentContext) -> Vec<SchemeResult> {
     for s in ModelSetting::ADAPTIVE {
         schemes.push(Scheme::WithoutTracking(s));
     }
+    // Schemes run in order (their results are reported in order anyway);
+    // within each scheme the clips fan out across the executor.
     schemes
         .iter()
-        .map(|s| run_scheme(s, &clips, &det, &pipe, &eval))
+        .map(|s| run_scheme(s, &clips, &det, &pipe, &eval, &exec))
         .collect()
 }
 
 /// Fig. 7: CDF of the number of cycles between consecutive setting switches
 /// across an AdaVP run over the test set.
 pub fn fig7(ctx: &mut ExperimentContext) -> Vec<CdfPoint> {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
-    let traces: Vec<_> = clips
-        .iter()
-        .map(|clip| {
-            let mut p = Scheme::AdaVp(model.clone()).build(det.clone(), pipe.clone());
-            p.process(clip)
-        })
-        .collect();
+    let traces: Vec<_> = exec.map(&clips, |_, clip| {
+        let mut p = Scheme::AdaVp(model.clone()).build(det.clone(), pipe.clone());
+        p.process(clip)
+    });
     let _ = eval;
     let gaps: Vec<f64> = adavp_core::analysis::switch_gaps(traces.iter())
         .into_iter()
@@ -234,17 +237,15 @@ pub fn fig7(ctx: &mut ExperimentContext) -> Vec<CdfPoint> {
 
 /// Fig. 8: share of detection cycles run at each setting by AdaVP.
 pub fn fig8(ctx: &mut ExperimentContext) -> Vec<(ModelSetting, f64)> {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
-    let traces: Vec<_> = clips
-        .iter()
-        .map(|clip| {
-            let mut p = Scheme::AdaVp(model.clone()).build(det.clone(), pipe.clone());
-            p.process(clip)
-        })
-        .collect();
+    let traces: Vec<_> = exec.map(&clips, |_, clip| {
+        let mut p = Scheme::AdaVp(model.clone()).build(det.clone(), pipe.clone());
+        p.process(clip)
+    });
     adavp_core::analysis::usage_shares(traces.iter()).to_vec()
 }
 
@@ -263,10 +264,11 @@ pub struct Fig9Result {
 /// Runs Fig. 9 on the intersection test clip (strong within-video activity
 /// modulation — the case adaptation is built for).
 pub fn fig9(ctx: &mut ExperimentContext) -> Fig9Result {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips();
     let clip = clips
         .iter()
@@ -279,6 +281,7 @@ pub fn fig9(ctx: &mut ExperimentContext) -> Fig9Result {
         &det,
         &pipe,
         &eval,
+        &exec,
     );
     let m = run_scheme(
         &Scheme::Mpdt(ModelSetting::Yolo512),
@@ -286,6 +289,7 @@ pub fn fig9(ctx: &mut ExperimentContext) -> Fig9Result {
         &det,
         &pipe,
         &eval,
+        &exec,
     );
     Fig9Result {
         clip_name: clip.name().to_string(),
@@ -318,9 +322,10 @@ pub fn fig10(results: &[SchemeResult]) -> Vec<(String, f64, f64)> {
 ///
 /// IoU affects matching, so this reruns the scoring at IoU 0.6.
 pub fn fig11(ctx: &mut ExperimentContext) -> Vec<(String, f64, f64)> {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
     let mut schemes = vec![Scheme::AdaVp(model)];
     for s in ModelSetting::ADAPTIVE {
@@ -333,8 +338,8 @@ pub fn fig11(ctx: &mut ExperimentContext) -> Vec<(String, f64, f64)> {
     schemes
         .iter()
         .map(|s| {
-            let a = run_scheme(s, &clips, &det, &pipe, &eval_05);
-            let b = run_scheme(s, &clips, &det, &pipe, &eval_06);
+            let a = run_scheme(s, &clips, &det, &pipe, &eval_05, &exec);
+            let b = run_scheme(s, &clips, &det, &pipe, &eval_06, &exec);
             (s.label(), a.accuracy, b.accuracy)
         })
         .collect()

@@ -10,6 +10,7 @@ use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp_metrics::video::dataset_accuracy;
 use adavp_sim::energy::EnergyBreakdown;
 use adavp_video::clip::VideoClip;
+use adavp_vision::exec::Executor;
 
 /// A named processing scheme under evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,20 +83,30 @@ pub struct SchemeResult {
 }
 
 /// Runs one scheme over every clip and aggregates.
+///
+/// Each clip is evaluated on its own freshly-built pipeline (pipelines
+/// carry no cross-clip state, and the simulated detector is keyed purely on
+/// `(seed, frame, setting, object)`), so clips fan out across `exec` and
+/// the per-clip evaluations come back in clip order. Aggregation then runs
+/// over that ordered list, making the result — including the
+/// floating-point accumulation order of energy and latency sums —
+/// identical to the sequential loop for every jobs setting.
 pub fn run_scheme(
     scheme: &Scheme,
     clips: &[VideoClip],
     detector: &DetectorConfig,
     pipeline: &PipelineConfig,
     eval: &EvalConfig,
+    exec: &Executor,
 ) -> SchemeResult {
+    let evaluations: Vec<VideoEvaluation> = exec.map(clips, |_, clip| {
+        let mut p = scheme.build(detector.clone(), pipeline.clone());
+        evaluate_on_clip(p.as_mut(), clip, eval)
+    });
     let mut per_video = Vec::with_capacity(clips.len());
-    let mut evaluations = Vec::with_capacity(clips.len());
     let mut energy = EnergyBreakdown::default();
     let mut mult_sum = 0.0;
-    for clip in clips {
-        let mut p = scheme.build(detector.clone(), pipeline.clone());
-        let ev = evaluate_on_clip(p.as_mut(), clip, eval);
+    for (clip, ev) in clips.iter().zip(&evaluations) {
         per_video.push(ev.accuracy);
         energy = EnergyBreakdown {
             gpu_wh: energy.gpu_wh + ev.trace.energy.gpu_wh,
@@ -104,7 +115,6 @@ pub fn run_scheme(
             ddr_wh: energy.ddr_wh + ev.trace.energy.ddr_wh,
         };
         mult_sum += ev.trace.latency_multiplier(clip);
-        evaluations.push(ev);
     }
     SchemeResult {
         label: scheme.label(),
@@ -145,6 +155,7 @@ mod tests {
                 &DetectorConfig::default(),
                 &PipelineConfig::default(),
                 &EvalConfig::default(),
+                &Executor::sequential(),
             );
             assert_eq!(r.per_video_accuracy.len(), 1);
             assert!(
@@ -154,6 +165,29 @@ mod tests {
                 r.accuracy
             );
             assert!(r.energy.total_wh() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_run_scheme_is_bit_identical() {
+        let mut spec = Scenario::Intersection.spec();
+        spec.width = 200;
+        spec.height = 120;
+        spec.size_range = (18.0, 30.0);
+        let clips: Vec<VideoClip> = (0..5)
+            .map(|i| VideoClip::generate(&format!("c{i}"), &spec, 10 + i, 45))
+            .collect();
+        let det = DetectorConfig::default();
+        let pipe = PipelineConfig::default();
+        let eval = EvalConfig::default();
+        let scheme = Scheme::Mpdt(ModelSetting::Yolo512);
+        let seq = run_scheme(&scheme, &clips, &det, &pipe, &eval, &Executor::sequential());
+        for jobs in [2, 5, 8] {
+            let par = run_scheme(&scheme, &clips, &det, &pipe, &eval, &Executor::new(jobs));
+            assert_eq!(par.per_video_accuracy, seq.per_video_accuracy);
+            assert_eq!(par.accuracy, seq.accuracy, "jobs={jobs}");
+            assert_eq!(par.energy, seq.energy, "jobs={jobs}");
+            assert_eq!(par.latency_multiplier, seq.latency_multiplier);
         }
     }
 

@@ -81,10 +81,11 @@ pub fn table2() -> Vec<Table2Row> {
 /// Table III: energy consumption and accuracy of eight schemes over the
 /// test set.
 pub fn table3(ctx: &mut ExperimentContext) -> Vec<SchemeResult> {
-    let model = ctx.adaptation_model();
+    let model = ctx.adaptation_model().clone();
     let eval = ctx.eval;
     let det = ctx.detector.clone();
     let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
     let clips = ctx.test_clips().to_vec();
     let schemes = [
         Scheme::AdaVp(model),
@@ -98,7 +99,7 @@ pub fn table3(ctx: &mut ExperimentContext) -> Vec<SchemeResult> {
     ];
     schemes
         .iter()
-        .map(|s| run_scheme(s, &clips, &det, &pipe, &eval))
+        .map(|s| run_scheme(s, &clips, &det, &pipe, &eval, &exec))
         .collect()
 }
 

@@ -11,4 +11,7 @@ pub mod model;
 pub mod trainer;
 
 pub use model::AdaptationModel;
-pub use trainer::{learn_thresholds, train_adaptation_model, TrainerConfig, TrainingExample};
+pub use trainer::{
+    learn_thresholds, train_adaptation_model, train_adaptation_model_with, TrainerConfig,
+    TrainingExample,
+};

@@ -23,6 +23,7 @@ use crate::eval::{ground_truth_boxes, score_trace, EvalConfig};
 use crate::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy, VideoProcessor};
 use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp_video::clip::VideoClip;
+use adavp_vision::exec::Executor;
 use serde::{Deserialize, Serialize};
 
 /// One training sample for the threshold learner.
@@ -168,66 +169,92 @@ pub fn learn_thresholds(samples: &[TrainingExample]) -> [f64; 3] {
     t
 }
 
-/// Collects per-current-setting training examples from one clip.
-///
-/// Returns `examples[si]` = chunk samples with velocity measured under
-/// `ModelSetting::ADAPTIVE[si]`.
-pub fn collect_examples(clip: &VideoClip, cfg: &TrainerConfig) -> [Vec<TrainingExample>; 4] {
+/// What one fixed-setting MPDT run over one clip contributes to training:
+/// the unit of work the parallel trainer fans out (clips × 4 settings).
+struct SettingObservation {
+    /// Velocity-order class of the setting that ran.
+    class: usize,
+    /// Chunk-mean accuracy (fraction of chunk frames with F1 ≥ α).
+    chunk_f1: Vec<f64>,
+    /// Chunk-mean velocity measured under this setting (forward-filled).
+    chunk_vel: Vec<Option<f64>>,
+}
+
+/// Runs MPDT fixed at `ModelSetting::ADAPTIVE[si]` over `clip` and distills
+/// the per-chunk statistics. Pure in `(clip, si, cfg)`, so observations can
+/// be computed in any order (or concurrently) and merged deterministically.
+fn observe_setting(clip: &VideoClip, si: usize, cfg: &TrainerConfig) -> SettingObservation {
+    let setting = ModelSetting::ADAPTIVE[si];
     let gt = ground_truth_boxes(clip, cfg.eval.ground_truth);
     let chunk = cfg.chunk_frames.max(1);
     let n_chunks = clip.len().div_ceil(chunk);
+    let class = setting_to_class(setting);
+    let mut chunk_f1 = vec![0.0f64; n_chunks];
+    let mut chunk_vel = vec![None::<f64>; n_chunks];
     if n_chunks == 0 {
-        return [vec![], vec![], vec![], vec![]];
+        return SettingObservation {
+            class,
+            chunk_f1,
+            chunk_vel,
+        };
     }
 
-    // Per setting: chunk-mean F1 and chunk-mean velocity.
-    let mut chunk_f1 = vec![[0.0f64; 4]; n_chunks]; // indexed by class
-    let mut chunk_vel = vec![[None::<f64>; 4]; n_chunks]; // indexed by setting
-    for (si, &setting) in ModelSetting::ADAPTIVE.iter().enumerate() {
-        let class = setting_to_class(setting);
-        let mut pipeline = MpdtPipeline::new(
-            SimulatedDetector::new(cfg.detector.clone()),
-            SettingPolicy::Fixed(setting),
-            cfg.pipeline.clone(),
-        );
-        let trace = pipeline.process(clip);
-        let scores = score_trace(&trace, &gt, cfg.eval.iou_threshold);
-        for (ci, window) in scores.chunks(chunk).enumerate() {
-            // Chunk accuracy uses the same statistic as the evaluation
-            // metric — the fraction of frames with F1 above the threshold —
-            // so the learner optimizes what the system is judged on.
-            let good = window
-                .iter()
-                .filter(|&&f| f >= cfg.eval.f1_threshold)
-                .count();
-            chunk_f1[ci][class] = good as f64 / window.len() as f64;
-        }
-        // Assign each cycle's velocity to the chunk holding its detected frame.
-        let mut sums = vec![(0.0f64, 0u32); n_chunks];
-        for cy in &trace.cycles {
-            if let Some(v) = cy.velocity {
-                let ci = (cy.detected_frame as usize / chunk).min(n_chunks - 1);
-                sums[ci].0 += v;
-                sums[ci].1 += 1;
-            }
-        }
-        let mut last = None;
-        for (ci, (s, c)) in sums.into_iter().enumerate() {
-            let v = if c > 0 { Some(s / c as f64) } else { last };
-            chunk_vel[ci][si] = v;
-            if v.is_some() {
-                last = v;
-            }
+    let mut pipeline = MpdtPipeline::new(
+        SimulatedDetector::new(cfg.detector.clone()),
+        SettingPolicy::Fixed(setting),
+        cfg.pipeline.clone(),
+    );
+    let trace = pipeline.process(clip);
+    let scores = score_trace(&trace, &gt, cfg.eval.iou_threshold);
+    for (ci, window) in scores.chunks(chunk).enumerate() {
+        // Chunk accuracy uses the same statistic as the evaluation
+        // metric — the fraction of frames with F1 above the threshold —
+        // so the learner optimizes what the system is judged on.
+        let good = window
+            .iter()
+            .filter(|&&f| f >= cfg.eval.f1_threshold)
+            .count();
+        chunk_f1[ci] = good as f64 / window.len() as f64;
+    }
+    // Assign each cycle's velocity to the chunk holding its detected frame.
+    let mut sums = vec![(0.0f64, 0u32); n_chunks];
+    for cy in &trace.cycles {
+        if let Some(v) = cy.velocity {
+            let ci = (cy.detected_frame as usize / chunk).min(n_chunks - 1);
+            sums[ci].0 += v;
+            sums[ci].1 += 1;
         }
     }
+    let mut last = None;
+    for (ci, (s, c)) in sums.into_iter().enumerate() {
+        let v = if c > 0 { Some(s / c as f64) } else { last };
+        chunk_vel[ci] = v;
+        if v.is_some() {
+            last = v;
+        }
+    }
+    SettingObservation {
+        class,
+        chunk_f1,
+        chunk_vel,
+    }
+}
 
+/// Merges one clip's four setting observations into per-current-setting
+/// training examples, in fixed `(chunk, setting)` order.
+fn merge_observations(obs: &[SettingObservation; 4]) -> [Vec<TrainingExample>; 4] {
+    let n_chunks = obs[0].chunk_f1.len();
     let mut out: [Vec<TrainingExample>; 4] = Default::default();
     for ci in 0..n_chunks {
+        let mut f1_by_class = [0.0f64; 4];
+        for o in obs {
+            f1_by_class[o.class] = o.chunk_f1[ci];
+        }
         for si in 0..4 {
-            if let Some(v) = chunk_vel[ci][si] {
+            if let Some(v) = obs[si].chunk_vel[ci] {
                 out[si].push(TrainingExample {
                     velocity: v,
-                    f1_by_class: chunk_f1[ci],
+                    f1_by_class,
                 });
             }
         }
@@ -235,11 +262,45 @@ pub fn collect_examples(clip: &VideoClip, cfg: &TrainerConfig) -> [Vec<TrainingE
     out
 }
 
+/// Collects per-current-setting training examples from one clip.
+///
+/// Returns `examples[si]` = chunk samples with velocity measured under
+/// `ModelSetting::ADAPTIVE[si]`.
+pub fn collect_examples(clip: &VideoClip, cfg: &TrainerConfig) -> [Vec<TrainingExample>; 4] {
+    let obs: [SettingObservation; 4] =
+        std::array::from_fn(|si| observe_setting(clip, si, cfg));
+    merge_observations(&obs)
+}
+
 /// Trains a full [`AdaptationModel`] from a set of training clips.
 pub fn train_adaptation_model(clips: &[VideoClip], cfg: &TrainerConfig) -> AdaptationModel {
+    train_adaptation_model_with(clips, cfg, &Executor::sequential())
+}
+
+/// [`train_adaptation_model`] fanning its `clips.len() × 4` MPDT runs —
+/// the dominant cost of the offline sweep — across `exec`.
+///
+/// Each `(clip, setting)` run is an independent pure function of its
+/// inputs, and the observations are merged in fixed `(clip, chunk,
+/// setting)` order afterwards, so the trained model is bit-identical for
+/// every jobs setting (pinned by `parallel_training_is_bit_identical`).
+pub fn train_adaptation_model_with(
+    clips: &[VideoClip],
+    cfg: &TrainerConfig,
+    exec: &Executor,
+) -> AdaptationModel {
+    let jobs: Vec<(usize, usize)> = (0..clips.len())
+        .flat_map(|c| (0..4).map(move |si| (c, si)))
+        .collect();
+    let observations: Vec<SettingObservation> =
+        exec.map(&jobs, |_, &(c, si)| observe_setting(&clips[c], si, cfg));
+
     let mut per_setting: [Vec<TrainingExample>; 4] = Default::default();
-    for clip in clips {
-        let ex = collect_examples(clip, cfg);
+    let mut iter = observations.into_iter();
+    for _clip in clips {
+        let obs: [SettingObservation; 4] =
+            std::array::from_fn(|_| iter.next().expect("4 observations per clip"));
+        let ex = merge_observations(&obs);
         for (si, v) in ex.into_iter().enumerate() {
             per_setting[si].extend(v);
         }
@@ -428,5 +489,29 @@ mod tests {
         let model = train_adaptation_model(&clips, &cfg);
         let t = model.thresholds_for(ModelSetting::Yolo512);
         assert!(t[0] <= t[1] && t[1] <= t[2]);
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical() {
+        use adavp_video::scenario::Scenario;
+        let mk = |s: Scenario, seed| {
+            let mut spec = s.spec();
+            spec.width = 200;
+            spec.height = 120;
+            spec.size_range = (18.0, 30.0);
+            VideoClip::generate("train", &spec, seed, 60)
+        };
+        let clips = vec![
+            mk(Scenario::Highway, 3),
+            mk(Scenario::CityStreet, 4),
+            mk(Scenario::MeetingRoom, 5),
+        ];
+        let cfg = TrainerConfig::default();
+        let seq = train_adaptation_model_with(&clips, &cfg, &Executor::sequential());
+        for jobs in [2, 4, 9] {
+            let par = train_adaptation_model_with(&clips, &cfg, &Executor::new(jobs));
+            // PartialEq over the raw f64 thresholds: bitwise equality.
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::clip::VideoClip;
 use crate::scenario::{Scenario, ScenarioSpec};
+use adavp_vision::exec::Executor;
 use serde::{Deserialize, Serialize};
 
 /// Frame-count scale of a generated dataset.
@@ -69,6 +70,15 @@ impl VideoSpec {
     pub fn generate(&self) -> VideoClip {
         VideoClip::generate(&self.name, &self.scenario_spec(), self.seed, self.frames)
     }
+}
+
+/// Renders every video of a dataset, fanning one clip per executor job.
+///
+/// [`VideoSpec::generate`] is a pure function of `(spec, seed)`, so the
+/// returned clips — collected in spec order — are byte-identical for every
+/// jobs setting (pinned by `render_all_parallel_matches_sequential`).
+pub fn render_all(specs: &[VideoSpec], exec: &Executor) -> Vec<VideoClip> {
+    exec.map(specs, |_, v| v.generate())
 }
 
 /// The 32-video training set (for learning adaptation thresholds).
@@ -200,6 +210,26 @@ mod tests {
         let b = training_set(DatasetScale::Standard)[0].frames;
         let c = training_set(DatasetScale::Full)[0].frames;
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn render_all_parallel_matches_sequential() {
+        let mut specs = testing_set(DatasetScale::Smoke);
+        specs.truncate(4);
+        for v in &mut specs {
+            v.frames = 4;
+            v.size = Some((96, 64));
+        }
+        let seq = render_all(&specs, &Executor::sequential());
+        let par = render_all(&specs, &Executor::new(4));
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.name(), b.name());
+            for (fa, fb) in a.iter().zip(b.iter()) {
+                assert_eq!(fa.image, fb.image);
+                assert_eq!(fa.ground_truth, fb.ground_truth);
+            }
+        }
     }
 
     #[test]

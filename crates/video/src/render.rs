@@ -29,6 +29,7 @@ pub struct Renderer {
     height: u32,
     bg_seed: u64,
     noise_amp: f32,
+    bands: usize,
 }
 
 /// Splitmix64 — cheap deterministic hash for noise and parameter derivation.
@@ -55,17 +56,40 @@ impl Renderer {
             height,
             bg_seed,
             noise_amp,
+            bands: 1,
         }
+    }
+
+    /// Fans each frame render across up to `bands` row bands (scoped
+    /// threads). Every pixel is a pure function of `(world state, pixel,
+    /// frame index)`, so banded output is byte-identical to `bands = 1`
+    /// (pinned by `banded_render_is_byte_identical`). Worth it only for
+    /// large frames; small renders should keep the default of 1.
+    pub fn with_bands(mut self, bands: usize) -> Self {
+        self.bands = bands.max(1);
+        self
     }
 
     /// Renders the world's current state.
     pub fn render(&self, world: &World) -> GrayImage {
+        let mut out = GrayImage::new(self.width, self.height);
+        self.render_into(world, &mut out);
+        out
+    }
+
+    /// Renders the world's current state into `out`, reusing its pixel
+    /// buffer (reallocated only when dimensions differ). This is the
+    /// recycled-buffer path for streaming consumers that do not keep
+    /// frames: pair it with a `ScratchPool`-style buffer you pass back in
+    /// every frame and the render loop performs no per-frame allocations
+    /// beyond the small sinusoid tables.
+    pub fn render_into(&self, world: &World, out: &mut GrayImage) {
         let t = world.time_s();
         let offset = world.camera_offset(t);
         let mut observed = world.observe();
         // Newer objects on top; sort ascending so later draws overwrite.
         observed.sort_by_key(|o| o.id);
-        self.render_at(offset.x, offset.y, &observed, world.frame_index())
+        self.render_at_into(offset.x, offset.y, &observed, world.frame_index(), out);
     }
 
     /// Renders a frame given an explicit camera offset and object list.
@@ -78,8 +102,25 @@ impl Renderer {
         objects: &[ObservedObject],
         frame_index: u64,
     ) -> GrayImage {
+        let mut out = GrayImage::new(self.width, self.height);
+        self.render_at_into(ox, oy, objects, frame_index, &mut out);
+        out
+    }
+
+    /// [`Renderer::render_at`] writing into a recycled buffer.
+    pub fn render_at_into(
+        &self,
+        ox: f32,
+        oy: f32,
+        objects: &[ObservedObject],
+        frame_index: u64,
+        out: &mut GrayImage,
+    ) {
         let w = self.width as usize;
         let h = self.height as usize;
+        if out.width() != self.width || out.height() != self.height {
+            *out = GrayImage::new(self.width, self.height);
+        }
 
         // --- Background via separable sinusoid tables ------------------
         // bg = 128 + a1 * sx1[x]*cy1[y] + a2 * (sx2[x]*cy2[y] + cx2[x]*sy2[y])
@@ -89,8 +130,6 @@ impl Renderer {
         let f2 = 0.015 + 0.03 * unit(d(3));
         let p1 = unit(d(4)) * std::f32::consts::TAU;
         let p2 = unit(d(5)) * std::f32::consts::TAU;
-        let a1 = 38.0;
-        let a2 = 26.0;
 
         let mut sx1 = vec![0.0f32; w];
         let mut sx2 = vec![0.0f32; w];
@@ -122,44 +161,96 @@ impl Renderer {
             *s2 = ang.sin();
             *c2 = ang.cos();
         }
+        let tables = BgTables {
+            sx1: &sx1,
+            sx2: &sx2,
+            cx2: &cx2,
+            cy1: &cy1,
+            sy2: &sy2,
+            cy2: &cy2,
+        };
 
-        let mut buf = vec![0u8; w * h];
-        for y in 0..h {
-            let row = &mut buf[y * w..(y + 1) * w];
-            let c1 = cy1[y];
-            let s2y = sy2[y];
-            let c2y = cy2[y];
+        // Every pixel is independent, so row bands can render concurrently
+        // into disjoint sub-slices of the frame buffer.
+        let ranges = adavp_vision::parallel::band_ranges(h, self.bands.min(h.max(1)));
+        let buf = out.as_mut_bytes();
+        if ranges.len() <= 1 {
+            self.render_rows(buf, 0, h, &tables, objects, frame_index);
+            return;
+        }
+        let mut slices: Vec<(usize, usize, &mut [u8])> = Vec::with_capacity(ranges.len());
+        let mut rest = buf;
+        for &(y0, y1) in &ranges {
+            let (head, tail) = rest.split_at_mut((y1 - y0) * w);
+            slices.push((y0, y1, head));
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            let mut it = slices.into_iter();
+            let first = it.next().expect("at least one band");
+            for (y0, y1, rows) in it {
+                let tables = &tables;
+                scope.spawn(move || {
+                    self.render_rows(rows, y0, y1, tables, objects, frame_index);
+                });
+            }
+            self.render_rows(first.2, first.0, first.1, &tables, objects, frame_index);
+        });
+    }
+
+    /// Renders global rows `[y0, y1)` into `rows` (a `(y1 - y0) * width`
+    /// slice): background, then objects clipped to the band, then noise.
+    fn render_rows(
+        &self,
+        rows: &mut [u8],
+        y0: usize,
+        y1: usize,
+        tables: &BgTables<'_>,
+        objects: &[ObservedObject],
+        frame_index: u64,
+    ) {
+        let w = self.width as usize;
+        let a1 = 38.0;
+        let a2 = 26.0;
+        for y in y0..y1 {
+            let row = &mut rows[(y - y0) * w..(y - y0 + 1) * w];
+            let c1 = tables.cy1[y];
+            let s2y = tables.sy2[y];
+            let c2y = tables.cy2[y];
             for (x, px) in row.iter_mut().enumerate() {
-                let v = 128.0 + a1 * sx1[x] * c1 + a2 * (sx2[x] * c2y + cx2[x] * s2y);
+                let v = 128.0
+                    + a1 * tables.sx1[x] * c1
+                    + a2 * (tables.sx2[x] * c2y + tables.cx2[x] * s2y);
                 *px = v.clamp(0.0, 255.0) as u8;
             }
         }
 
-        // --- Objects ----------------------------------------------------
         for obj in objects {
-            self.paint_object(&mut buf, obj);
+            self.paint_object(rows, y0, y1, obj);
         }
 
-        // --- Sensor noise -------------------------------------------------
         if self.noise_amp > 0.0 {
             let amp = self.noise_amp;
             let fseed = splitmix(frame_index.wrapping_mul(0x5851f42d4c957f2d));
-            for (i, px) in buf.iter_mut().enumerate() {
+            for (off, px) in rows.iter_mut().enumerate() {
+                // Global pixel index keeps the noise field band-invariant.
+                let i = y0 * w + off;
                 let n = unit(splitmix(fseed ^ (i as u64))) * 2.0 - 1.0;
                 let v = *px as f32 + n * amp;
                 *px = v.clamp(0.0, 255.0) as u8;
             }
         }
-
-        GrayImage::from_raw(self.width, self.height, buf).expect("buffer sized to dimensions")
     }
 
-    fn paint_object(&self, buf: &mut [u8], obj: &ObservedObject) {
+    /// Paints one object into `rows` (global rows `[band_y0, band_y1)`).
+    fn paint_object(&self, rows: &mut [u8], band_y0: usize, band_y1: usize, obj: &ObservedObject) {
         let b = &obj.screen_box;
         let x0 = b.left.floor().max(0.0) as i64;
-        let y0 = b.top.floor().max(0.0) as i64;
+        let y0 = (b.top.floor().max(0.0) as i64).max(band_y0 as i64);
         let x1 = (b.right().ceil() as i64).min(self.width as i64);
-        let y1 = (b.bottom().ceil() as i64).min(self.height as i64);
+        let y1 = (b.bottom().ceil() as i64)
+            .min(self.height as i64)
+            .min(band_y1 as i64);
         if x1 <= x0 || y1 <= y0 {
             return;
         }
@@ -204,21 +295,33 @@ impl Renderer {
             &[-0.4, -0.2, 0.0, 0.2, 0.4]
         };
 
+        let w = self.width as usize;
         for y in y0..y1 {
+            let row_base = (y as usize - band_y0) * w;
             for x in x0..x1 {
                 let lx = x as f32 - b.left;
                 let ly = y as f32 - b.top;
-                let bg = buf[y as usize * self.width as usize + x as usize] as f32;
+                let bg = rows[row_base + x as usize] as f32;
                 let mut acc = 0.0f32;
                 for &t in taps {
                     let v = sample(lx - smear.x * t, ly - smear.y * t).unwrap_or(bg);
                     acc += v;
                 }
                 let v = acc / taps.len() as f32;
-                buf[y as usize * self.width as usize + x as usize] = v.clamp(0.0, 255.0) as u8;
+                rows[row_base + x as usize] = v.clamp(0.0, 255.0) as u8;
             }
         }
     }
+}
+
+/// Borrowed per-frame background sinusoid tables shared by every row band.
+struct BgTables<'a> {
+    sx1: &'a [f32],
+    sx2: &'a [f32],
+    cx2: &'a [f32],
+    cy1: &'a [f32],
+    sy2: &'a [f32],
+    cy2: &'a [f32],
 }
 
 #[cfg(test)]
@@ -346,6 +449,44 @@ mod tests {
                 let d = (f0.get(x, y) as i32 - clean.get(x, y) as i32).abs();
                 assert!(d <= 4, "noise exceeded amplitude: {d}");
             }
+        }
+    }
+
+    #[test]
+    fn banded_render_is_byte_identical() {
+        // Objects straddling band boundaries, camera offset, noise on: the
+        // banded output must match the single-band render byte for byte.
+        let objects = [
+            obs(0, 10.0, 5.0, 40.0, 30.0),
+            obs(1, 30.0, 25.0, 25.0, 20.0),
+            obs(2, -5.0, 40.0, 30.0, 20.0),
+        ];
+        let base = Renderer::new(96, 64, 7, 2.5);
+        let reference = base.render_at(3.5, -2.0, &objects, 11);
+        for bands in [2, 3, 5, 64, 200] {
+            let banded = base.clone().with_bands(bands);
+            let img = banded.render_at(3.5, -2.0, &objects, 11);
+            assert_eq!(img, reference, "bands={bands}");
+        }
+    }
+
+    #[test]
+    fn render_into_reuses_buffer_and_matches() {
+        let spec = Scenario::Highway.spec();
+        let mut world = World::new(spec.clone(), 9);
+        let r = Renderer::new(spec.width, spec.height, 9, 2.0);
+        let mut reused = GrayImage::new(1, 1); // wrong dims: must self-correct
+        for _ in 0..3 {
+            let fresh = r.render(&world);
+            let was_sized = reused.width() == spec.width && reused.height() == spec.height;
+            let ptr_before = reused.as_bytes().as_ptr();
+            r.render_into(&world, &mut reused);
+            assert_eq!(reused, fresh);
+            if was_sized {
+                // Once sized correctly the buffer must be reused in place.
+                assert_eq!(reused.as_bytes().as_ptr(), ptr_before);
+            }
+            world.step();
         }
     }
 

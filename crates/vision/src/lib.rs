@@ -28,6 +28,9 @@
 //! * with the `parallel` feature (on by default) Lucas-Kanade point sets
 //!   and corner response scans fan out across threads with **bit-identical**
 //!   results to the sequential path (see [`parallel`]);
+//! * the [`exec::Executor`] work queue runs whole offline work lists (clip
+//!   renders, training runs, dataset sweeps) over a jobs-bounded pool with
+//!   index-ordered, bit-identical results;
 //! * the [`perf`] module counts kernel invocations, LK iterations, buffer
 //!   reuse, and per-kernel wall time on thread-local counters, so the
 //!   pipeline can report exactly how much work each frame cost.
@@ -68,6 +71,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exec;
 pub mod fast;
 pub mod features;
 pub mod flow;
@@ -79,6 +83,7 @@ pub mod perf;
 pub mod pyramid;
 pub mod scratch;
 
+pub use exec::Executor;
 pub use fast::{fast_corners, FastParams};
 pub use features::{good_features_from_gradients, good_features_to_track, Corner, GoodFeaturesParams};
 pub use flow::{FlowResult, LkParams, LkParamsError, PyramidalLk};

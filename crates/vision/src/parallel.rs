@@ -44,8 +44,9 @@ pub(crate) fn scan_bands(rows: usize) -> usize {
 }
 
 /// Splits `0..len` into at most `bands` contiguous ranges of near-equal
-/// size (empty ranges are never produced).
-pub(crate) fn band_ranges(len: usize, bands: usize) -> Vec<(usize, usize)> {
+/// size (empty ranges are never produced). Public so other crates (e.g. the
+/// rasterizer's row-band fan-out) can reuse the same banding scheme.
+pub fn band_ranges(len: usize, bands: usize) -> Vec<(usize, usize)> {
     let bands = bands.clamp(1, len.max(1));
     let base = len / bands;
     let extra = len % bands;

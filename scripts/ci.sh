@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI gate: build, test, lint, and a bench smoke run that regenerates
-# BENCH_kernels.json (which also re-asserts LK cross-path bit-parity).
+# CI gate: build, test, lint, and bench smoke runs that regenerate
+# BENCH_kernels.json (which also re-asserts LK cross-path bit-parity) and
+# BENCH_experiments.json (which asserts parallel-harness result parity).
 #
 # Usage: scripts/ci.sh [--no-bench]
 set -eu
@@ -18,6 +19,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "${1:-}" != "--no-bench" ]; then
     echo "== kernel bench smoke (writes BENCH_kernels.json)"
     cargo run --release -p adavp-vision --bin kernels_bench -- BENCH_kernels.json
+
+    echo "== parallel harness smoke (fig6 at --jobs 2)"
+    cargo run --release -p adavp-bench --bin experiments -- fig6 \
+        --scale smoke --jobs 2 --out target/ci-results
+
+    echo "== harness parity bench (writes BENCH_experiments.json; exits non-zero on any jobs-1 vs jobs-N result mismatch)"
+    cargo run --release -p adavp-bench --bin experiments_bench -- \
+        --jobs 4 --out BENCH_experiments.json
 fi
 
 echo "CI OK"

@@ -1,7 +1,7 @@
 //! Regenerates the AdaVP paper's tables and figures.
 //!
 //! ```text
-//! experiments <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|table3|all>
+//! experiments <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|table3|faults|all>
 //!             [--scale smoke|standard|full] [--out results] [--jobs N]
 //! ```
 //!
@@ -58,7 +58,7 @@ fn main() {
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
             "fig1", "fig2", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "table3",
+            "table3", "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -94,6 +94,7 @@ fn main() {
             }
             "fig11" => fig11(&mut ctx, &out),
             "table3" => table3(&mut ctx, &out),
+            "faults" | "--faults" => faults(&mut ctx, &out),
             "ablations" => ablations(&mut ctx, &out),
             "marlin-sweep" => marlin_sweep(&mut ctx, &out),
             "diag" => diag(&mut ctx),
@@ -282,6 +283,26 @@ fn diag(ctx: &mut ExperimentContext) {
         "\ndataset: AdaVP {:.3} | MPDT-512 {:.3} | MPDT-608 {:.3}",
         adavp.accuracy, m512.accuracy, m608.accuracy
     );
+}
+
+fn faults(ctx: &mut ExperimentContext, out: &Path) {
+    use adavp_bench::faults as flt;
+    let rows = flt::fault_sweep(ctx);
+    let data = flt::sweep_rows(&rows);
+    println!("{}", text_table(&flt::SWEEP_HEADER, &data));
+    let _ = write_csv(&out.join("faults.csv"), &flt::SWEEP_HEADER, &data);
+    let _ = std::fs::write(out.join("faults.json"), flt::sweep_to_json(&rows));
+    // Headline: how much accuracy does each scheme keep under stress?
+    let acc = |scenario: &str, scheme: &str| {
+        rows.iter()
+            .find(|r| r.scenario == scenario && r.scheme == scheme)
+            .map(|r| r.accuracy)
+    };
+    for scheme in ["AdaVP", "MPDT-YOLOv3-512", "MARLIN-YOLOv3-512"] {
+        if let (Some(clean), Some(stress)) = (acc("none", scheme), acc("stress", scheme)) {
+            println!("{scheme}: clean {clean:.3} -> stress {stress:.3}");
+        }
+    }
 }
 
 fn ablations(ctx: &mut ExperimentContext, out: &Path) {

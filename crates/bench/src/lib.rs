@@ -19,12 +19,14 @@
 //! | Fig. 10 (F1-threshold sensitivity) | [`figures::fig10`] |
 //! | Fig. 11 (IoU-threshold sensitivity) | [`figures::fig11`] |
 //! | Table III (energy & accuracy) | [`tables::table3`] |
+//! | Robustness under injected faults (ours) | [`faults::fault_sweep`] |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod context;
+pub mod faults;
 pub mod figures;
 pub mod report;
 pub mod runner;

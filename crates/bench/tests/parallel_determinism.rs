@@ -70,3 +70,60 @@ fn jobs_do_not_change_results() {
         "fig6 result CSV must be byte-identical for jobs 1 vs jobs 4"
     );
 }
+
+/// The fault sweep is part of the same contract: one committed fault
+/// profile, run at jobs 1 and jobs 4 and twice at the same jobs count,
+/// must render byte-identical CSV and JSON reports. Fault decisions are
+/// hash-keyed on (seed, kind, index) rather than drawn from a shared RNG
+/// stream, so neither scheduling nor clip order can perturb them.
+#[test]
+fn fault_sweep_is_deterministic_across_jobs() {
+    use adavp_bench::faults::{
+        parse_profile_fixture, sweep_rows, sweep_to_json, sweep_with, FaultScenario, SWEEP_HEADER,
+    };
+    use adavp_core::adaptation::AdaptationModel;
+
+    let fixture = include_str!("fixtures/stress_profile.txt");
+    let profile = parse_profile_fixture(fixture).expect("fixture parses");
+    assert!(!profile.is_quiet(), "fixture must inject faults");
+    let scenarios = [FaultScenario {
+        name: "fixture",
+        profile,
+    }];
+
+    let run = |jobs: usize, tag: &str| {
+        let mut ctx = ExperimentContext::with_jobs(DatasetScale::Smoke, jobs);
+        ctx.set_adaptation_model(AdaptationModel::default_model());
+        ctx.limit_test_clips(3);
+        let rows = sweep_with(&mut ctx, &scenarios);
+        let path = std::env::temp_dir().join(format!("adavp_fault_determinism_{tag}.csv"));
+        write_csv(&path, &SWEEP_HEADER, &sweep_rows(&rows)).expect("write csv");
+        (std::fs::read(&path).expect("read csv"), sweep_to_json(&rows))
+    };
+
+    let (csv_a, json_a) = run(1, "jobs1");
+    let (csv_b, json_b) = run(4, "jobs4");
+    let (csv_c, json_c) = run(4, "jobs4_again");
+    assert_eq!(
+        csv_a, csv_b,
+        "fault sweep CSV must be byte-identical for jobs 1 vs jobs 4"
+    );
+    assert_eq!(json_a, json_b, "fault sweep JSON must not depend on jobs");
+    assert_eq!(csv_b, csv_c, "fault sweep must be run-to-run stable");
+    assert_eq!(json_b, json_c);
+
+    // The sweep under this profile must actually exercise the fault paths
+    // (otherwise the byte-equality above pins nothing interesting).
+    let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+    ctx.set_adaptation_model(AdaptationModel::default_model());
+    ctx.limit_test_clips(3);
+    let rows = sweep_with(&mut ctx, &scenarios);
+    assert!(
+        rows.iter().any(|r| r.faulted_cycles > 0),
+        "fixture profile produced no faulted cycles"
+    );
+    assert!(
+        rows.iter().any(|r| r.dropped_fraction > 0.0),
+        "fixture profile dropped no frames"
+    );
+}

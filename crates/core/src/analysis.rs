@@ -4,7 +4,7 @@
 //! aggregate across traces (Fig. 7's switch-gap distribution, Fig. 8's
 //! setting-usage shares).
 
-use crate::pipeline::{FrameSource, ProcessingTrace};
+use crate::pipeline::{FrameSource, ProcessingTrace, SourceFractions};
 use adavp_detector::ModelSetting;
 use serde::{Deserialize, Serialize};
 
@@ -25,8 +25,14 @@ pub struct CycleStats {
     pub mean_velocity: Option<f64>,
     /// Cycles spent at each adaptive setting (320/416/512/608 order).
     pub usage: [usize; 4],
-    /// Fractions of frames by source: detected, tracked, held.
-    pub frame_sources: (f64, f64, f64),
+    /// Fractions of frames by source.
+    pub frame_sources: SourceFractions,
+    /// Cycles that hit a detector fault (fault injection).
+    pub faulted_cycles: usize,
+    /// Cycles whose detection degraded (timed out / retries exhausted).
+    pub degraded_cycles: usize,
+    /// Cycles in which the tracker diverged.
+    pub diverged_cycles: usize,
 }
 
 impl CycleStats {
@@ -75,6 +81,9 @@ pub fn analyze(trace: &ProcessingTrace) -> CycleStats {
         },
         usage,
         frame_sources: trace.source_fractions(),
+        faulted_cycles: trace.fault_count(),
+        degraded_cycles: trace.degraded_cycle_count(),
+        diverged_cycles: trace.diverged_cycle_count(),
     }
 }
 
@@ -169,6 +178,8 @@ mod tests {
             tracked: 3,
             velocity: vel,
             switched,
+            fault: None,
+            diverged: false,
         }
     }
 

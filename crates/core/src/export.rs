@@ -4,7 +4,7 @@
 //! CSV without any extra dependencies — the JSON writer covers exactly the
 //! shapes a trace contains and escapes strings per RFC 8259.
 
-use crate::pipeline::{FrameSource, ProcessingTrace};
+use crate::pipeline::{DetectorFault, FrameSource, ProcessingTrace};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -43,6 +43,32 @@ fn source_str(s: FrameSource) -> &'static str {
         FrameSource::Detected => "detected",
         FrameSource::Tracked => "tracked",
         FrameSource::Held => "held",
+        FrameSource::Dropped => "dropped",
+    }
+}
+
+/// A cycle's fault as a JSON value (`null` when the cycle was clean).
+fn fault_json(f: Option<DetectorFault>) -> String {
+    match f {
+        None => "null".to_string(),
+        Some(DetectorFault::Spike { multiplier }) => {
+            format!(
+                "{{\"kind\": \"spike\", \"multiplier\": {}}}",
+                json_num(multiplier)
+            )
+        }
+        Some(DetectorFault::Timeout { multiplier }) => {
+            format!(
+                "{{\"kind\": \"timeout\", \"multiplier\": {}}}",
+                json_num(multiplier)
+            )
+        }
+        Some(DetectorFault::Retried { attempts }) => {
+            format!("{{\"kind\": \"retried\", \"attempts\": {attempts}}}")
+        }
+        Some(DetectorFault::Failed { attempts }) => {
+            format!("{{\"kind\": \"failed\", \"attempts\": {attempts}}}")
+        }
     }
 }
 
@@ -92,7 +118,7 @@ pub fn trace_to_json(trace: &ProcessingTrace, frame_f1: Option<&[f64]>) -> Strin
     for (i, cy) in trace.cycles.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"index\": {}, \"frame\": {}, \"setting\": \"{}\", \"start_ms\": {}, \"end_ms\": {}, \"buffered\": {}, \"tracked\": {}, \"velocity\": {}, \"switched\": {}}}",
+            "    {{\"index\": {}, \"frame\": {}, \"setting\": \"{}\", \"start_ms\": {}, \"end_ms\": {}, \"buffered\": {}, \"tracked\": {}, \"velocity\": {}, \"switched\": {}, \"fault\": {}, \"diverged\": {}}}",
             cy.index,
             cy.detected_frame,
             cy.setting,
@@ -102,6 +128,8 @@ pub fn trace_to_json(trace: &ProcessingTrace, frame_f1: Option<&[f64]>) -> Strin
             cy.tracked,
             cy.velocity.map(json_num).unwrap_or_else(|| "null".into()),
             cy.switched,
+            fault_json(cy.fault),
+            cy.diverged,
         );
         out.push_str(if i + 1 < trace.cycles.len() {
             ",\n"
@@ -232,6 +260,8 @@ mod tests {
                 tracked: 0,
                 velocity: None,
                 switched: false,
+                fault: Some(DetectorFault::Retried { attempts: 2 }),
+                diverged: false,
             }],
             energy: Default::default(),
             finished_ms: 433.0,

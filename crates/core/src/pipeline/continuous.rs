@@ -5,7 +5,7 @@
 //! times the video duration, but per-frame accuracy is the detector's own.
 //! Used to bound the energy/accuracy trade-off space.
 
-use super::mpdt::finish_trace;
+use super::mpdt::{finish_trace, run_detection};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
@@ -48,31 +48,64 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
         let mut meter = EnergyMeter::new();
         let lat = self.config.latency;
 
+        let faults = self.config.faults.for_stream(clip.name());
+        let degr = self.config.degradation.clone();
+        let mut contention = faults.contention();
+
         let mut t = SimTime::ZERO;
+        // Inherited by dropped frames and degraded cycles.
+        let mut last_good: Vec<LabeledBox> = Vec::new();
         for frame in clip {
-            let det = self.detector.detect(frame, self.setting);
-            let (ds, de) = gpu.schedule(t, SimTime::from_ms(det.latency_ms));
-            meter.record(
-                Activity::Detect {
-                    input_size: self.setting.input_size(),
-                    tiny: self.setting == ModelSetting::Tiny320,
-                },
-                de - ds,
+            if faults.frame_dropped(frame.index as usize) {
+                // Never delivered: no detection runs; the display keeps
+                // showing the previous output (inherit-with-flag). Tracker
+                // divergence does not apply — this pipeline has no tracker.
+                let held = SimTime::from_ms(lat.held_frame_ms);
+                let (_, he) = cpu.schedule(t, held);
+                meter.record(Activity::Overlay, held);
+                outputs[frame.index as usize] = Some(FrameOutput {
+                    frame_index: frame.index,
+                    source: FrameSource::Dropped,
+                    boxes: last_good.clone(),
+                    display_ms: he.as_ms(),
+                });
+                continue;
+            }
+            let cycle_key = cycles.len() as u64;
+            let outcome = run_detection(
+                &mut self.detector,
+                frame,
+                self.setting,
+                t,
+                cycle_key,
+                &mut gpu,
+                &mut meter,
+                &faults,
+                &mut contention,
+                &degr,
             );
-            let boxes: Vec<LabeledBox> = det
-                .detections
-                .iter()
-                .map(|d| LabeledBox::new(d.class, d.bbox))
-                .collect();
+            let (ds, de) = (outcome.start, outcome.end);
+            let (boxes, src) = match &outcome.result {
+                Some(r) => {
+                    let b: Vec<LabeledBox> = r
+                        .detections
+                        .iter()
+                        .map(|d| LabeledBox::new(d.class, d.bbox))
+                        .collect();
+                    (b, FrameSource::Detected)
+                }
+                None => (last_good.clone(), FrameSource::Held),
+            };
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
             let (_, ov_end) = cpu.schedule(de, overlay);
             meter.record(Activity::Overlay, overlay);
             outputs[frame.index as usize] = Some(FrameOutput {
                 frame_index: frame.index,
-                source: FrameSource::Detected,
-                boxes,
+                source: src,
+                boxes: boxes.clone(),
                 display_ms: ov_end.as_ms(),
             });
+            last_good = boxes;
             cycles.push(CycleRecord {
                 index: cycles.len() as u32,
                 detected_frame: frame.index,
@@ -83,6 +116,8 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
                 tracked: 0,
                 velocity: None,
                 switched: false,
+                fault: outcome.fault,
+                diverged: false,
             });
             t = de;
         }

@@ -4,7 +4,7 @@
 //! frame skipped while it was busy displays the previous detection's boxes
 //! unchanged (the Chameleon-style rule the paper cites).
 
-use super::mpdt::{fill_held, finish_trace};
+use super::mpdt::{fill_held, finish_trace, nearest_delivered, run_detection};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
@@ -52,53 +52,84 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
+        let faults = self.config.faults.for_stream(clip.name());
+        let degr = self.config.degradation.clone();
+        let mut contention = faults.contention();
 
         let mut cur: u64 = 0;
         let mut t = SimTime::ZERO;
+        // Inherited by degraded cycles (detector timeout / retries spent).
+        let mut last_good: Vec<LabeledBox> = Vec::new();
+        // Transient step-down: set after a degraded cycle, cleared by the
+        // next successful one (the configured setting is re-applied each
+        // cycle).
+        let mut degraded_prev = false;
         loop {
-            let det = self.detector.detect(stream.frame(cur), self.setting);
+            let cycle_key = cycles.len() as u64;
+            let setting = if degraded_prev && degr.step_down_on_timeout {
+                self.setting.lighter()
+            } else {
+                self.setting
+            };
             let arrival = SimTime::from_ms(stream.arrival_ms(cur));
-            let (ds, de) = gpu.schedule(t.max(arrival), SimTime::from_ms(det.latency_ms));
-            meter.record(
-                Activity::Detect {
-                    input_size: self.setting.input_size(),
-                    tiny: self.setting == ModelSetting::Tiny320,
-                },
-                de - ds,
+            let outcome = run_detection(
+                &mut self.detector,
+                stream.frame(cur),
+                setting,
+                t.max(arrival),
+                cycle_key,
+                &mut gpu,
+                &mut meter,
+                &faults,
+                &mut contention,
+                &degr,
             );
-            let boxes: Vec<LabeledBox> = det
-                .detections
-                .iter()
-                .map(|d| LabeledBox::new(d.class, d.bbox))
-                .collect();
+            let (ds, de) = (outcome.start, outcome.end);
+            let (boxes, src) = match &outcome.result {
+                Some(r) => {
+                    let b: Vec<LabeledBox> = r
+                        .detections
+                        .iter()
+                        .map(|d| LabeledBox::new(d.class, d.bbox))
+                        .collect();
+                    (b, FrameSource::Detected)
+                }
+                // No tracker to fall back on: hold the last detection.
+                None => (last_good.clone(), FrameSource::Held),
+            };
+            degraded_prev = outcome.degraded();
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
             let (_, ov_end) = cpu.schedule(de, overlay);
             meter.record(Activity::Overlay, overlay);
             outputs[cur as usize] = Some(FrameOutput {
                 frame_index: cur,
-                source: FrameSource::Detected,
+                source: src,
                 boxes: boxes.clone(),
                 display_ms: ov_end.as_ms(),
             });
+            last_good = boxes.clone();
             cycles.push(CycleRecord {
                 index: cycles.len() as u32,
                 detected_frame: cur,
-                setting: self.setting,
+                setting,
                 start_ms: ds.as_ms(),
                 end_ms: de.as_ms(),
                 buffered: 0,
                 tracked: 0,
                 velocity: None,
                 switched: false,
+                fault: outcome.fault,
+                diverged: false,
             });
             if cur == n - 1 {
                 break;
             }
-            let next = stream
+            let candidate = stream
                 .newest_at(de.as_ms())
                 .unwrap_or(0)
                 .max(cur + 1)
                 .min(n - 1);
+            let next = nearest_delivered(&faults, cur + 1, candidate, n - 1);
             // Skipped frames show the previous detection unchanged.
             let gap: Vec<u64> = (cur + 1..next).collect();
             fill_held(
@@ -109,6 +140,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 &stream,
                 lat.held_frame_ms,
                 &mut meter,
+                &faults,
             );
             if let Some(c) = cycles.last_mut() {
                 c.buffered = gap.len() as u32;
@@ -148,9 +180,10 @@ mod tests {
         let c = clip(90);
         let trace = pipeline(ModelSetting::Yolo512).process(&c);
         assert_eq!(trace.outputs.len(), 90);
-        let (d, t, h) = trace.source_fractions();
-        assert_eq!(t, 0.0, "no tracker in this baseline");
-        assert!(d > 0.0 && h > 0.0);
+        let f = trace.source_fractions();
+        assert_eq!(f.tracked, 0.0, "no tracker in this baseline");
+        assert!(f.detected > 0.0 && f.held > 0.0);
+        assert_eq!(f.dropped, 0.0, "no faults configured");
     }
 
     #[test]
@@ -164,7 +197,7 @@ mod tests {
                 FrameSource::Held => {
                     assert_eq!(o.boxes, last_detected.expect("held before detection").boxes);
                 }
-                FrameSource::Tracked => unreachable!(),
+                FrameSource::Tracked | FrameSource::Dropped => unreachable!(),
             }
         }
     }

@@ -10,7 +10,7 @@
 //! idle and arriving frames display stale boxes — the accumulated latency
 //! the paper identifies as MARLIN's weakness on fast scenes.
 
-use super::mpdt::{fill_held, finish_trace};
+use super::mpdt::{fill_held, finish_trace, nearest_delivered, run_detection};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
@@ -23,6 +23,10 @@ use adavp_sim::resource::Resource;
 use adavp_sim::time::SimTime;
 use adavp_video::buffer::FrameStream;
 use adavp_video::clip::VideoClip;
+
+/// Nominal tracking-step horizon a divergence fraction maps onto: a
+/// divergence at fraction `f` fires after `1 + f × 15` steps of the cycle.
+const DIVERGENCE_HORIZON_STEPS: f64 = 15.0;
 
 /// MARLIN-specific configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,34 +101,51 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
+        let faults = self.config.faults.for_stream(clip.name());
+        let degr = self.config.degradation.clone();
+        let mut contention = faults.contention();
         let mut tracker = ObjectTracker::new(self.config.tracker.clone());
         let mut vel = VelocityEstimator::new();
 
         let mut detect_at: u64 = 0;
         let mut cursor = SimTime::ZERO;
+        // Most recently published boxes — what a degraded detection cycle
+        // keeps showing (inherit-with-flag).
+        let mut last_shown: Vec<LabeledBox> = Vec::new();
 
         'run: loop {
             // ---- Detection phase (tracker idle). ------------------------
-            let det = self.detector.detect(stream.frame(detect_at), self.setting);
+            let cycle_key = cycles.len() as u64;
             let arrival = SimTime::from_ms(stream.arrival_ms(detect_at));
-            let (ds, de) = gpu.schedule(cursor.max(arrival), SimTime::from_ms(det.latency_ms));
-            meter.record(
-                Activity::Detect {
-                    input_size: self.setting.input_size(),
-                    tiny: self.setting == ModelSetting::Tiny320,
-                },
-                de - ds,
+            let outcome = run_detection(
+                &mut self.detector,
+                stream.frame(detect_at),
+                self.setting,
+                cursor.max(arrival),
+                cycle_key,
+                &mut gpu,
+                &mut meter,
+                &faults,
+                &mut contention,
+                &degr,
             );
-            let boxes = to_labeled(&det);
+            let (ds, de) = (outcome.start, outcome.end);
+            // Degraded detection (timeout / exhausted retries): publish the
+            // stale tracker estimate — MARLIN's graceful-degradation rule.
+            let (boxes, src) = match &outcome.result {
+                Some(r) => (to_labeled(r), FrameSource::Detected),
+                None => (last_shown.clone(), FrameSource::Held),
+            };
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
             let (_, ov_end) = cpu.schedule(de, overlay);
             meter.record(Activity::Overlay, overlay);
             outputs[detect_at as usize] = Some(FrameOutput {
                 frame_index: detect_at,
-                source: FrameSource::Detected,
+                source: src,
                 boxes: boxes.clone(),
                 display_ms: ov_end.as_ms(),
             });
+            last_shown = boxes.clone();
             cycles.push(CycleRecord {
                 index: cycles.len() as u32,
                 detected_frame: detect_at,
@@ -135,32 +156,68 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 tracked: 0,
                 velocity: vel.effective_velocity(),
                 switched: false,
+                fault: outcome.fault,
+                diverged: false,
             });
             if detect_at == n - 1 {
                 break 'run;
             }
 
+            if outcome.result.is_none() && tracker.boxes().is_empty() {
+                // Degraded before the tracker ever calibrated: nothing to
+                // track, so go straight to re-detecting the newest
+                // delivered frame (time advanced during the failed
+                // attempts, so this always makes progress).
+                cursor = ov_end;
+                let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
+                let candidate = newest.max(detect_at + 1).min(n - 1);
+                let prev = detect_at;
+                detect_at = nearest_delivered(&faults, prev + 1, candidate, n - 1);
+                let gap: Vec<u64> = (prev + 1..detect_at).collect();
+                fill_held(
+                    &mut outputs,
+                    &gap,
+                    &boxes,
+                    ov_end,
+                    &stream,
+                    lat.held_frame_ms,
+                    &mut meter,
+                    &faults,
+                );
+                continue 'run;
+            }
+
             // ---- Tracking phase (detector idle). -------------------------
             vel.start_cycle();
-            let fe = SimTime::from_ms(lat.feature_extraction_ms);
-            let (_, fe_end) = cpu.schedule(ov_end, fe);
-            meter.record(Activity::FeatureExtraction, fe);
-            let pairs: Vec<_> = boxes.iter().map(|l| (l.class, l.bbox)).collect();
-            tracker.reset(&stream.frame(detect_at).image, &pairs);
+            if outcome.result.is_some() {
+                // Fresh boxes: re-calibrate. On a degraded cycle the
+                // tracker keeps following its stale calibration instead.
+                let fe = SimTime::from_ms(lat.feature_extraction_ms);
+                let (_, fe_end) = cpu.schedule(ov_end, fe);
+                meter.record(Activity::FeatureExtraction, fe);
+                let pairs: Vec<_> = boxes.iter().map(|l| (l.class, l.bbox)).collect();
+                tracker.reset(&stream.frame(detect_at).image, &pairs);
+                cursor = fe_end;
+            } else {
+                cursor = ov_end;
+            }
 
+            let divergence = faults.tracker_divergence(cycle_key);
+            let diverge_after = divergence.map(|f| 1 + (f * DIVERGENCE_HORIZON_STEPS) as u32);
             let cycle_start_frame = detect_at;
             let mut last_processed = detect_at;
             let mut tracked_count = 0u32;
-            cursor = fe_end;
             let mut trigger = false;
             while !trigger {
-                // Track the newest captured frame (implicit frame selection:
-                // the tracker keeps pace with the camera by skipping).
+                // Track the newest captured frame that was delivered
+                // (implicit frame selection: the tracker keeps pace with
+                // the camera by skipping).
                 let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
-                let next = newest.max(last_processed + 1);
-                if next >= n {
+                let candidate = newest.max(last_processed + 1);
+                if candidate >= n {
                     break;
                 }
+                let next = nearest_delivered(&faults, last_processed + 1, candidate, n - 1);
                 let arrive = SimTime::from_ms(stream.arrival_ms(next));
                 let objs = tracker.boxes().len();
                 let track = SimTime::from_ms(lat.track_ms(objs));
@@ -186,15 +243,18 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                     &stream,
                     lat.held_frame_ms,
                     &mut meter,
+                    &faults,
                 );
+                let tracked_boxes: Vec<LabeledBox> = tracker
+                    .current_boxes()
+                    .into_iter()
+                    .map(|(c, b)| LabeledBox::new(c, b))
+                    .collect();
+                last_shown = tracked_boxes.clone();
                 outputs[next as usize] = Some(FrameOutput {
                     frame_index: next,
                     source: FrameSource::Tracked,
-                    boxes: tracker
-                        .current_boxes()
-                        .into_iter()
-                        .map(|(c, b)| LabeledBox::new(c, b))
-                        .collect(),
+                    boxes: tracked_boxes,
                     display_ms: te.as_ms(),
                 });
                 if let Some(c) = cycles.last_mut() {
@@ -202,25 +262,36 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                     c.tracked += 1;
                 }
                 tracked_count += 1;
-                let _ = tracked_count;
                 cursor = te;
                 last_processed = next;
+
+                // Injected divergence: the tracker's estimates degenerate
+                // here — record it, and (policy default) force an early
+                // re-detection.
+                let diverged_now = diverge_after.is_some_and(|da| tracked_count >= da);
+                if diverged_now {
+                    if let Some(c) = cycles.last_mut() {
+                        c.diverged = true;
+                    }
+                }
 
                 // Content-change detector: significant change → re-detect.
                 trigger = step_velocity.is_some_and(|v| v > self.marlin.trigger_velocity)
                     || tracker.all_stale()
-                    || next - cycle_start_frame >= self.marlin.max_cycle_frames;
+                    || next - cycle_start_frame >= self.marlin.max_cycle_frames
+                    || (diverged_now && degr.redetect_on_divergence);
                 if next == n - 1 && !trigger {
                     // Clip exhausted while tracking.
                     break 'run;
                 }
             }
 
-            // Trigger: detect the newest frame; frames arriving while the
-            // DNN runs will be held at the stale tracker output (that is
-            // MARLIN's accumulated latency).
+            // Trigger: detect the newest delivered frame; frames arriving
+            // while the DNN runs will be held at the stale tracker output
+            // (that is MARLIN's accumulated latency).
             let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
-            detect_at = newest.max(last_processed + 1).min(n - 1);
+            let candidate = newest.max(last_processed + 1).min(n - 1);
+            detect_at = nearest_delivered(&faults, last_processed + 1, candidate, n - 1);
             let stale: Vec<LabeledBox> = tracker
                 .current_boxes()
                 .into_iter()
@@ -235,6 +306,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 &stream,
                 lat.held_frame_ms,
                 &mut meter,
+                &faults,
             );
         }
 
@@ -319,8 +391,8 @@ mod tests {
         let ptrace = mpdt.process(&c);
         // MARLIN holds frames during detection, so it should have more Held
         // frames than MPDT on a fast clip.
-        let (_, _, h_marlin) = trace.source_fractions();
-        let (_, _, h_mpdt) = ptrace.source_fractions();
+        let h_marlin = trace.source_fractions().held;
+        let h_mpdt = ptrace.source_fractions().held;
         assert!(
             h_marlin > h_mpdt,
             "MARLIN held {h_marlin:.2} vs MPDT {h_mpdt:.2}: sequential design must hold more"

@@ -33,6 +33,7 @@ use crate::tracker::TrackerConfig;
 use adavp_detector::ModelSetting;
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::EnergyBreakdown;
+use adavp_sim::fault::FaultPlan;
 use adavp_video::clip::VideoClip;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +47,36 @@ pub enum FrameSource {
     /// Inherited unchanged from the previous processed frame (the frame was
     /// skipped by frame selection, or arrived while the system was busy).
     Held,
+    /// The camera never delivered this frame (fault injection); the display
+    /// keeps showing the previous output — inherit-with-flag.
+    Dropped,
+}
+
+/// A fault the detector path hit during one cycle (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DetectorFault {
+    /// Detection completed, but `multiplier ×` slower than modeled.
+    Spike {
+        /// Latency multiplier applied this cycle.
+        multiplier: f64,
+    },
+    /// Detection exceeded the degradation budget and was abandoned; the
+    /// cycle published tracker/inherited results instead.
+    Timeout {
+        /// Latency multiplier that pushed the cycle over budget.
+        multiplier: f64,
+    },
+    /// One or more attempts failed but a retry eventually succeeded.
+    Retried {
+        /// Total attempts made (≥ 2).
+        attempts: u32,
+    },
+    /// Every attempt failed; the cycle degraded to tracker/inherited
+    /// results.
+    Failed {
+        /// Total attempts made (retry budget exhausted).
+        attempts: u32,
+    },
 }
 
 /// What the system displayed for one frame.
@@ -82,6 +113,10 @@ pub struct CycleRecord {
     pub velocity: Option<f64>,
     /// Whether the setting changed relative to the previous cycle.
     pub switched: bool,
+    /// Detector-path fault hit this cycle, if any (fault injection).
+    pub fault: Option<DetectorFault>,
+    /// Whether the tracker diverged during this cycle (fault injection).
+    pub diverged: bool,
 }
 
 /// Full record of one pipeline run over one clip.
@@ -119,16 +154,62 @@ impl ProcessingTrace {
         self.finished_ms / d
     }
 
-    /// Fraction of frames by source: `(detected, tracked, held)`.
-    pub fn source_fractions(&self) -> (f64, f64, f64) {
+    /// Fraction of frames by source. The four fractions sum to 1 whenever
+    /// the trace has outputs (every frame has exactly one source).
+    pub fn source_fractions(&self) -> SourceFractions {
         let n = self.outputs.len().max(1) as f64;
         let count =
             |s: FrameSource| self.outputs.iter().filter(|o| o.source == s).count() as f64 / n;
-        (
-            count(FrameSource::Detected),
-            count(FrameSource::Tracked),
-            count(FrameSource::Held),
-        )
+        SourceFractions {
+            detected: count(FrameSource::Detected),
+            tracked: count(FrameSource::Tracked),
+            held: count(FrameSource::Held),
+            dropped: count(FrameSource::Dropped),
+        }
+    }
+
+    /// Number of cycles that hit a detector fault.
+    pub fn fault_count(&self) -> usize {
+        self.cycles.iter().filter(|c| c.fault.is_some()).count()
+    }
+
+    /// Number of cycles whose detection degraded (timed out or exhausted
+    /// its retries) — the cycles that published tracker/inherited results.
+    pub fn degraded_cycle_count(&self) -> usize {
+        self.cycles
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.fault,
+                    Some(DetectorFault::Timeout { .. }) | Some(DetectorFault::Failed { .. })
+                )
+            })
+            .count()
+    }
+
+    /// Number of cycles in which the tracker diverged.
+    pub fn diverged_cycle_count(&self) -> usize {
+        self.cycles.iter().filter(|c| c.diverged).count()
+    }
+}
+
+/// Per-source fractions of a trace's frame outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SourceFractions {
+    /// Fraction of frames displayed from a fresh detection.
+    pub detected: f64,
+    /// Fraction of frames displayed from optical-flow tracking.
+    pub tracked: f64,
+    /// Fraction of frames that inherited the previous output.
+    pub held: f64,
+    /// Fraction of frames the camera dropped (fault injection).
+    pub dropped: f64,
+}
+
+impl SourceFractions {
+    /// Sum of all fractions — 1.0 for any non-empty trace.
+    pub fn sum(&self) -> f64 {
+        self.detected + self.tracked + self.held + self.dropped
     }
 }
 
@@ -166,6 +247,24 @@ impl SettingPolicy {
     }
 
     /// The setting for the next cycle given the measured velocity.
+    ///
+    /// `velocity: None` means no velocity measurement exists — the first
+    /// decision after the bootstrap cycle, a cycle whose gap held no
+    /// trackable frames, or a cycle whose tracking was cancelled before any
+    /// step completed. The chosen behavior per policy:
+    ///
+    /// * `Fixed` — the fixed setting, always (velocity is irrelevant).
+    /// * `Adaptive` — **keep the current setting**. Adaptation only moves
+    ///   on evidence; no measurement is not evidence of slow content.
+    /// * `Cycling` — rotate regardless (the ablation is content-blind by
+    ///   design).
+    ///
+    /// Degraded-mode interaction: when the previous cycle's detection
+    /// timed out or exhausted its retries and
+    /// [`DegradationPolicy::step_down_on_timeout`] is set, pipelines call
+    /// this method first and then apply [`ModelSetting::lighter`] to its
+    /// result — degradation composes *after* the policy and lasts one
+    /// cycle, because the policy re-decides from scratch next cycle.
     pub fn next_setting(&self, current: ModelSetting, velocity: Option<f64>) -> ModelSetting {
         match self {
             SettingPolicy::Fixed(s) => *s,
@@ -177,6 +276,48 @@ impl SettingPolicy {
                 let i = current.adaptive_index().unwrap_or(2);
                 ModelSetting::ADAPTIVE[(i + 1) % ModelSetting::ADAPTIVE.len()]
             }
+        }
+    }
+}
+
+/// How a pipeline degrades when the fault layer bites.
+///
+/// The defaults are chosen so that a fault-free run behaves exactly like
+/// the pre-fault-layer pipelines: the timeout budget sits far above the
+/// worst happy-path detection latency (~850 ms for YOLOv3-704 with full
+/// jitter), so it can only fire under injected latency spikes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationPolicy {
+    /// Detection attempts whose (faulted) latency would exceed this budget
+    /// are abandoned at the budget: the GPU is released, the cycle
+    /// publishes tracker/inherited results, and — if
+    /// [`step_down_on_timeout`](Self::step_down_on_timeout) — the next
+    /// cycle steps one setting lighter. `None` waits forever.
+    pub detector_timeout_ms: Option<f64>,
+    /// Retries after a failed detection attempt (total attempts =
+    /// `max_detector_retries + 1`). Each attempt burns GPU time; when all
+    /// fail the cycle degrades like a timeout.
+    pub max_detector_retries: u32,
+    /// Backoff before retry `k` (1-based): `k × retry_backoff_ms`.
+    pub retry_backoff_ms: f64,
+    /// Step the model setting one notch lighter for the cycle after a
+    /// timeout or exhausted retry budget (transient: the setting policy
+    /// re-decides on the following cycle).
+    pub step_down_on_timeout: bool,
+    /// Stop tracking and force an early re-detection when the tracker
+    /// diverges mid-cycle. When `false` the divergence is recorded but
+    /// tracking continues blindly.
+    pub redetect_on_divergence: bool,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            detector_timeout_ms: Some(2000.0),
+            max_detector_retries: 2,
+            retry_backoff_ms: 40.0,
+            step_down_on_timeout: true,
+            redetect_on_divergence: true,
         }
     }
 }
@@ -193,6 +334,12 @@ pub struct PipelineConfig {
     /// plans to track every buffered frame and relies on cancellation — the
     /// ablation of §IV-C's selection scheme.
     pub adaptive_selection: bool,
+    /// Fault schedule to run against. [`FaultPlan::none`] (the default)
+    /// injects nothing and keeps every pipeline bit-identical to the
+    /// happy-path behavior.
+    pub faults: FaultPlan,
+    /// How the pipeline degrades when faults bite.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -201,6 +348,8 @@ impl Default for PipelineConfig {
             tracker: TrackerConfig::default(),
             latency: LatencyModel::default(),
             adaptive_selection: true,
+            faults: FaultPlan::none(),
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -271,10 +420,95 @@ mod tests {
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
         };
-        let (d, t, h) = trace.source_fractions();
-        assert!((d - 0.25).abs() < 1e-12);
-        assert!((t - 0.5).abs() < 1e-12);
-        assert!((h - 0.25).abs() < 1e-12);
+        let f = trace.source_fractions();
+        assert!((f.detected - 0.25).abs() < 1e-12);
+        assert!((f.tracked - 0.5).abs() < 1e-12);
+        assert!((f.held - 0.25).abs() < 1e-12);
+        assert_eq!(f.dropped, 0.0);
+        assert!((f.sum() - 1.0).abs() < 1e-12);
         assert_eq!(trace.switch_count(), 0);
+        assert_eq!(trace.fault_count(), 0);
+        assert_eq!(trace.degraded_cycle_count(), 0);
+        assert_eq!(trace.diverged_cycle_count(), 0);
+    }
+
+    #[test]
+    fn dropped_frames_counted_separately() {
+        let mk = |source| FrameOutput {
+            frame_index: 0,
+            source,
+            boxes: vec![],
+            display_ms: 0.0,
+        };
+        let trace = ProcessingTrace {
+            pipeline: "x".into(),
+            outputs: vec![
+                mk(FrameSource::Detected),
+                mk(FrameSource::Dropped),
+                mk(FrameSource::Held),
+                mk(FrameSource::Dropped),
+            ],
+            cycles: vec![],
+            energy: EnergyBreakdown::default(),
+            finished_ms: 0.0,
+            gpu_busy_ms: 0.0,
+            cpu_busy_ms: 0.0,
+        };
+        let f = trace.source_fractions();
+        assert!((f.dropped - 0.5).abs() < 1e-12);
+        assert!((f.sum() - 1.0).abs() < 1e-12);
+    }
+
+    // Satellite: the velocity-None path of every policy, pinned explicitly.
+    // The documented behavior: Fixed ignores velocity entirely, Adaptive
+    // holds its current setting until a measurement exists, Cycling rotates
+    // regardless.
+    #[test]
+    fn next_setting_without_velocity_is_stable_for_adaptive() {
+        let p = SettingPolicy::Adaptive(AdaptationModel::uniform([1.0, 2.0, 3.0]));
+        for s in ModelSetting::ADAPTIVE {
+            assert_eq!(p.next_setting(s, None), s, "Adaptive must hold {s}");
+        }
+        // The first post-bootstrap decision therefore keeps the initial 512.
+        let first = p.next_setting(p.initial_setting(), None);
+        assert_eq!(first, ModelSetting::Yolo512);
+    }
+
+    #[test]
+    fn next_setting_without_velocity_fixed_and_cycling() {
+        let f = SettingPolicy::Fixed(ModelSetting::Yolo320);
+        assert_eq!(f.next_setting(ModelSetting::Yolo608, None), ModelSetting::Yolo320);
+        let c = SettingPolicy::Cycling;
+        assert_ne!(
+            c.next_setting(ModelSetting::Yolo512, None),
+            ModelSetting::Yolo512,
+            "Cycling rotates even with no velocity"
+        );
+    }
+
+    #[test]
+    fn degraded_step_down_composes_after_the_policy() {
+        // The documented degraded-mode interaction: pipelines apply
+        // `lighter()` to the policy's answer. For Adaptive with no
+        // velocity that means one notch below the held setting, and the
+        // effect is transient because the policy re-decides next cycle
+        // from the stepped-down current.
+        let p = SettingPolicy::Adaptive(AdaptationModel::uniform([1.0, 2.0, 3.0]));
+        let stepped = p.next_setting(ModelSetting::Yolo512, None).lighter();
+        assert_eq!(stepped, ModelSetting::Yolo416);
+        // Saturates at the lightest adaptive setting.
+        let floor = p.next_setting(ModelSetting::Yolo320, None).lighter();
+        assert_eq!(floor, ModelSetting::Yolo320);
+    }
+
+    #[test]
+    fn default_degradation_cannot_fire_on_the_happy_path() {
+        let d = DegradationPolicy::default();
+        // Worst happy-path latency: YOLOv3-704 at max jitter ≈ 850 ms.
+        let budget = d.detector_timeout_ms.expect("default budget");
+        assert!(budget > 900.0, "budget {budget} could clip real latencies");
+        assert!(d.max_detector_retries > 0);
+        let cfg = PipelineConfig::default();
+        assert!(cfg.faults.is_none(), "default config must inject nothing");
     }
 }

@@ -10,18 +10,19 @@
 //! three-thread implementation uses.
 
 use super::{
-    CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, SettingPolicy,
-    VideoProcessor,
+    CycleRecord, DegradationPolicy, DetectorFault, FrameOutput, FrameSource, PipelineConfig,
+    ProcessingTrace, SettingPolicy, VideoProcessor,
 };
 use crate::tracker::{FrameSelector, ObjectTracker};
 use crate::velocity::VelocityEstimator;
 use adavp_detector::{DetectionResult, Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
+use adavp_sim::fault::{ContentionInjector, FaultPlan};
 use adavp_sim::resource::Resource;
 use adavp_sim::time::SimTime;
 use adavp_video::buffer::FrameStream;
-use adavp_video::clip::VideoClip;
+use adavp_video::clip::{Frame, VideoClip};
 
 /// The parallel detection + tracking pipeline. See the module docs.
 #[derive(Debug, Clone)]
@@ -58,6 +59,132 @@ fn to_labeled(result: &DetectionResult) -> Vec<LabeledBox> {
         .collect()
 }
 
+/// Outcome of one (possibly faulted) detection cycle on the GPU.
+#[derive(Debug, Clone)]
+pub(super) struct DetectionOutcome {
+    /// The detection, when some attempt succeeded.
+    pub result: Option<DetectionResult>,
+    /// GPU start of the first attempt.
+    pub start: SimTime,
+    /// GPU release: end of the successful attempt, the abandoned timeout
+    /// budget, or the last failed attempt.
+    pub end: SimTime,
+    /// What went wrong, if anything.
+    pub fault: Option<DetectorFault>,
+}
+
+impl DetectionOutcome {
+    /// Whether the cycle degraded: no detection result came back and the
+    /// pipeline must publish tracker/inherited boxes instead.
+    pub fn degraded(&self) -> bool {
+        self.result.is_none()
+    }
+}
+
+/// Runs one detection through the fault layer shared by every pipeline:
+/// contention bursts are injected up to the dispatch horizon, the cycle's
+/// latency multiplier is applied, over-budget attempts are abandoned at the
+/// timeout (releasing the GPU), and failed attempts retry with linear
+/// backoff up to the policy's bound. With [`FaultPlan::is_none`] this
+/// reduces to exactly one `schedule` + `record` — the pre-fault behavior.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_detection<D: Detector>(
+    detector: &mut D,
+    frame: &Frame,
+    setting: ModelSetting,
+    earliest: SimTime,
+    cycle: u64,
+    gpu: &mut Resource,
+    meter: &mut EnergyMeter,
+    faults: &FaultPlan,
+    contention: &mut ContentionInjector,
+    degradation: &DegradationPolicy,
+) -> DetectionOutcome {
+    contention.inject_until(earliest.max(gpu.available_at()), gpu);
+    let det = detector.detect(frame, setting);
+    let mult = faults.latency_multiplier(cycle);
+    let act = || Activity::Detect {
+        input_size: setting.input_size(),
+        tiny: setting == ModelSetting::Tiny320,
+    };
+    let effective_ms = det.latency_ms * mult;
+    if let Some(budget) = degradation.detector_timeout_ms {
+        if effective_ms > budget {
+            // Abandon at the budget: the GPU was busy that long, but no
+            // result comes back.
+            let (s, e) = gpu.schedule(earliest, SimTime::from_ms(budget));
+            meter.record(act(), e - s);
+            return DetectionOutcome {
+                result: None,
+                start: s,
+                end: e,
+                fault: Some(DetectorFault::Timeout { multiplier: mult }),
+            };
+        }
+    }
+    let attempts = degradation.max_detector_retries + 1;
+    let mut at = earliest;
+    let mut first_start: Option<SimTime> = None;
+    let mut last_end = earliest;
+    for attempt in 0..attempts {
+        let (s, e) = gpu.schedule(at, SimTime::from_ms(effective_ms));
+        meter.record(act(), e - s);
+        first_start.get_or_insert(s);
+        last_end = e;
+        if faults.detector_fails(cycle, attempt) {
+            at = e + SimTime::from_ms(degradation.retry_backoff_ms * (attempt + 1) as f64);
+            continue;
+        }
+        let fault = if attempt > 0 {
+            Some(DetectorFault::Retried {
+                attempts: attempt + 1,
+            })
+        } else if mult > 1.0 {
+            Some(DetectorFault::Spike { multiplier: mult })
+        } else {
+            None
+        };
+        return DetectionOutcome {
+            result: Some(det),
+            start: first_start.unwrap_or(s),
+            end: e,
+            fault,
+        };
+    }
+    DetectionOutcome {
+        result: None,
+        start: first_start.unwrap_or(earliest),
+        end: last_end,
+        fault: Some(DetectorFault::Failed { attempts }),
+    }
+}
+
+/// Picks the frame to process given camera drops: `preferred` when it was
+/// delivered, otherwise the nearest delivered frame — scanning back toward
+/// `lo`, then forward to `hi`. Falls back to `preferred` when the whole
+/// window was dropped (modeled as a late, degraded delivery) so the
+/// pipeline always makes progress.
+pub(super) fn nearest_delivered(faults: &FaultPlan, lo: u64, preferred: u64, hi: u64) -> u64 {
+    if faults.is_none() || !faults.frame_dropped(preferred as usize) {
+        return preferred;
+    }
+    let mut f = preferred;
+    while f > lo {
+        f -= 1;
+        if !faults.frame_dropped(f as usize) {
+            return f;
+        }
+    }
+    let mut f = preferred + 1;
+    while f <= hi {
+        if !faults.frame_dropped(f as usize) {
+            return f;
+        }
+        f += 1;
+    }
+    preferred
+}
+
 impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
     fn name(&self) -> String {
         match &self.policy {
@@ -79,55 +206,77 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
+        let faults = self.config.faults.for_stream(clip.name());
+        let degr = self.config.degradation.clone();
+        let mut contention = faults.contention();
         let mut tracker = ObjectTracker::new(self.config.tracker.clone());
         let mut selector = FrameSelector::default();
         let mut vel = VelocityEstimator::new();
 
-        // --- Cycle 0: detect frame 0; nothing to track yet. -------------
+        // --- Cycle 0: detect frame 0 (never dropped); nothing to track. --
         let mut setting = self.policy.initial_setting();
         let mut cur: u64 = 0;
-        let mut det = self.detector.detect(stream.frame(cur), setting);
-        let (mut det_start, mut det_done) =
-            gpu.schedule(SimTime::ZERO, SimTime::from_ms(det.latency_ms));
-        meter.record(
-            Activity::Detect {
-                input_size: setting.input_size(),
-                tiny: setting == ModelSetting::Tiny320,
-            },
-            det_done - det_start,
+        let mut outcome = run_detection(
+            &mut self.detector,
+            stream.frame(cur),
+            setting,
+            SimTime::ZERO,
+            0,
+            &mut gpu,
+            &mut meter,
+            &faults,
+            &mut contention,
+            &degr,
         );
+        let mut det_done = outcome.end;
         cycles.push(CycleRecord {
             index: 0,
             detected_frame: cur,
             setting,
-            start_ms: det_start.as_ms(),
-            end_ms: det_done.as_ms(),
+            start_ms: outcome.start.as_ms(),
+            end_ms: outcome.end.as_ms(),
             buffered: 0,
             tracked: 0,
             velocity: None,
             switched: false,
+            fault: outcome.fault,
+            diverged: false,
         });
+        // Last boxes known good enough to display — inherited by degraded
+        // cycles (detector timeout / exhausted retries).
+        let mut last_good: Vec<LabeledBox> = Vec::new();
 
         loop {
-            // (a) Display the just-detected frame.
-            let boxes = to_labeled(&det);
+            // (a) Display the just-processed frame: fresh boxes when the
+            //     detection succeeded, inherited ones when it degraded.
+            let (boxes, src) = match &outcome.result {
+                Some(r) => (to_labeled(r), FrameSource::Detected),
+                None => (last_good.clone(), FrameSource::Held),
+            };
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
             let (_, ov_end) = cpu.schedule(det_done, overlay);
             meter.record(Activity::Overlay, overlay);
             outputs[cur as usize] = Some(FrameOutput {
                 frame_index: cur,
-                source: FrameSource::Detected,
+                source: src,
                 boxes: boxes.clone(),
                 display_ms: ov_end.as_ms(),
             });
+            last_good = boxes.clone();
 
             if cur == n - 1 {
                 break;
             }
 
             // (b) Decide next cycle's setting from the velocity measured
-            //     while this detection ran.
-            let next_setting = self.policy.next_setting(setting, vel.effective_velocity());
+            //     while this detection ran. A degraded cycle optionally
+            //     steps one notch lighter *after* the policy's decision
+            //     (transient — the policy re-decides next cycle).
+            let degraded_prev = outcome.degraded();
+            let mut next_setting = self.policy.next_setting(setting, vel.effective_velocity());
+            if degraded_prev && degr.step_down_on_timeout {
+                next_setting = next_setting.lighter();
+            }
             let switched = next_setting != setting;
             if switched {
                 meter.record(
@@ -136,29 +285,37 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 );
             }
 
-            // (c) Fetch the newest captured frame (or wait for the next one).
+            // (c) Fetch the newest captured frame that was actually
+            //     delivered (or wait for the next one).
             let newest = stream.newest_at(det_done.as_ms()).unwrap_or(0);
-            let next = newest.max(cur + 1).min(n - 1);
+            let candidate = newest.max(cur + 1).min(n - 1);
+            let next = nearest_delivered(&faults, cur + 1, candidate, n - 1);
             let next_arrival = SimTime::from_ms(stream.arrival_ms(next));
 
-            // (d) Start detecting it on the GPU.
-            let next_det = self.detector.detect(stream.frame(next), next_setting);
-            let (s2, d2) = gpu.schedule(
+            // (d) Start detecting it on the GPU (through the fault layer).
+            let cycle_key = cycles.len() as u64;
+            let next_outcome = run_detection(
+                &mut self.detector,
+                stream.frame(next),
+                next_setting,
                 det_done.max(next_arrival),
-                SimTime::from_ms(next_det.latency_ms),
+                cycle_key,
+                &mut gpu,
+                &mut meter,
+                &faults,
+                &mut contention,
+                &degr,
             );
-            meter.record(
-                Activity::Detect {
-                    input_size: next_setting.input_size(),
-                    tiny: next_setting == ModelSetting::Tiny320,
-                },
-                d2 - s2,
-            );
+            let (s2, d2) = (next_outcome.start, next_outcome.end);
 
             // (e) Meanwhile the tracker works through the gap frames
-            //     cur+1 .. next-1 using this cycle's detections, cancelling
-            //     when the next detection completes (d2).
+            //     cur+1 .. next-1 using this cycle's boxes, cancelling
+            //     when the next detection completes (d2). On a degraded
+            //     cycle the tracker re-calibrates from the inherited boxes
+            //     — stale, but the best estimate available.
             vel.start_cycle();
+            let divergence = faults.tracker_divergence(cycle_key);
+            let mut diverged = false;
             let gap: Vec<u64> = (cur + 1..next).collect();
             let mut tracked_count = 0u32;
             if !gap.is_empty() {
@@ -169,13 +326,30 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 tracker.reset(&stream.frame(cur).image, &pairs);
 
                 let plan = selector.plan(gap.len());
+                let diverge_after =
+                    divergence.map(|f| ((f * plan.len() as f64).floor() as u32).max(1));
                 let mut cursor = fe_end;
                 let mut last_processed = cur;
                 for idx in plan {
                     if cursor >= d2 {
                         break; // detector fetched a new frame: cancel the rest
                     }
+                    if let Some(da) = diverge_after {
+                        if tracked_count >= da {
+                            // Tracker diverged: its estimates are garbage
+                            // from here on. Stop tracking so the in-flight
+                            // detection re-calibrates as early as possible;
+                            // remaining frames inherit.
+                            diverged = true;
+                            if degr.redetect_on_divergence {
+                                break;
+                            }
+                        }
+                    }
                     let fidx = gap[idx];
+                    if faults.frame_dropped(fidx as usize) {
+                        continue; // never delivered: nothing to track
+                    }
                     let objs = tracker.boxes().len();
                     let track = SimTime::from_ms(lat.track_ms(objs));
                     let draw = SimTime::from_ms(lat.overlay_ms(objs));
@@ -204,8 +378,8 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     tracked_count += 1;
                 }
 
-                // Unselected / cancelled frames inherit the nearest earlier
-                // processed output.
+                // Unselected / cancelled / dropped frames inherit the
+                // nearest earlier processed output.
                 fill_held(
                     &mut outputs,
                     &gap,
@@ -214,6 +388,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     &stream,
                     lat.held_frame_ms,
                     &mut meter,
+                    &faults,
                 );
                 if self.config.adaptive_selection {
                     selector.update(tracked_count as usize, gap.len());
@@ -230,14 +405,14 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 tracked: tracked_count,
                 velocity: vel.cycle_velocity(),
                 switched,
+                fault: next_outcome.fault,
+                diverged,
             });
 
             cur = next;
-            det = next_det;
-            det_start = s2;
+            outcome = next_outcome;
             det_done = d2;
             setting = next_setting;
-            let _ = det_start;
         }
 
         finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu)
@@ -245,7 +420,10 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
 }
 
 /// Fills every gap frame without an output with the nearest earlier
-/// processed boxes (the paper's rule for skipped frames).
+/// processed boxes (the paper's rule for skipped frames). Frames the fault
+/// plan dropped inherit the same way but are flagged
+/// [`FrameSource::Dropped`] — inherit-with-flag.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn fill_held(
     outputs: &mut [Option<FrameOutput>],
     gap: &[u64],
@@ -254,6 +432,7 @@ pub(super) fn fill_held(
     stream: &FrameStream<'_>,
     held_ms: f64,
     meter: &mut EnergyMeter,
+    faults: &FaultPlan,
 ) {
     let mut last_boxes: Vec<LabeledBox> = detected_boxes.to_vec();
     let mut last_display = detected_display;
@@ -267,9 +446,14 @@ pub(super) fn fill_held(
                 let arrive = SimTime::from_ms(stream.arrival_ms(fidx));
                 let display = arrive.max(last_display) + SimTime::from_ms(held_ms);
                 meter.record(Activity::Overlay, SimTime::from_ms(held_ms));
+                let source = if faults.frame_dropped(fidx as usize) {
+                    FrameSource::Dropped
+                } else {
+                    FrameSource::Held
+                };
                 outputs[fidx as usize] = Some(FrameOutput {
                     frame_index: fidx,
-                    source: FrameSource::Held,
+                    source,
                     boxes: last_boxes.clone(),
                     display_ms: display.as_ms(),
                 });
@@ -396,11 +580,15 @@ mod tests {
     fn tracked_frames_exist_between_detections() {
         let c = clip(90, 8);
         let trace = fixed(ModelSetting::Yolo512).process(&c);
-        let (d, t, h) = trace.source_fractions();
-        assert!(d > 0.0);
-        assert!(t > 0.0, "tracker must process some frames");
-        assert!(h > 0.0, "frame selection must skip some frames (Obs. 4)");
-        assert!(t + h > d, "most frames are not detector-processed");
+        let f = trace.source_fractions();
+        assert!(f.detected > 0.0);
+        assert!(f.tracked > 0.0, "tracker must process some frames");
+        assert!(f.held > 0.0, "frame selection must skip some frames (Obs. 4)");
+        assert!(
+            f.tracked + f.held > f.detected,
+            "most frames are not detector-processed"
+        );
+        assert_eq!(f.dropped, 0.0, "no faults configured");
     }
 
     #[test]
@@ -516,8 +704,8 @@ mod tests {
         assert_eq!(trace.outputs.len(), 90);
         // Without adaptive selection the tracker plans everything and gets
         // cancelled mid-cycle; coverage invariants still hold.
-        let (_, t, h) = trace.source_fractions();
-        assert!(t > 0.0 && h > 0.0);
+        let f = trace.source_fractions();
+        assert!(f.tracked > 0.0 && f.held > 0.0);
     }
 
     #[test]

@@ -111,6 +111,55 @@ mod tests {
     }
 
     #[test]
+    fn fifo_survives_interleaved_pops() {
+        // The tie-break counter must be monotone across the queue's whole
+        // lifetime, not reset by pops: events pushed at the same timestamp
+        // *after* a pop still drain in insertion order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(5.0);
+        q.push(t, "a");
+        q.push(t, "b");
+        assert_eq!(q.pop(), Some((t, "a")));
+        q.push(t, "c");
+        q.push(t, "d");
+        assert_eq!(q.pop(), Some((t, "b")));
+        assert_eq!(q.pop(), Some((t, "c")));
+        assert_eq!(q.pop(), Some((t, "d")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn earlier_event_preempts_pending_ties() {
+        let mut q = EventQueue::new();
+        let late = SimTime::from_ms(9.0);
+        q.push(late, 1);
+        q.push(late, 2);
+        // A later push with an earlier timestamp pops first...
+        q.push(SimTime::from_ms(3.0), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_ms(3.0), 0)));
+        // ...and the tied pair keeps its insertion order.
+        assert_eq!(q.pop(), Some((late, 1)));
+        assert_eq!(q.pop(), Some((late, 2)));
+    }
+
+    #[test]
+    fn clone_preserves_order_and_is_independent() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..5 {
+            q.push(t, i);
+        }
+        let mut clone = q.clone();
+        // Draining the clone yields the same FIFO order...
+        for i in 0..5 {
+            assert_eq!(clone.pop(), Some((t, i)));
+        }
+        // ...without disturbing the original.
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some((t, 0)));
+    }
+
+    #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());

@@ -14,6 +14,9 @@
 //! * [`energy::EnergyMeter`] — a per-rail power model (GPU / CPU / SoC /
 //!   DDR, as measured by the paper's `Power_Monitor.sh`) integrated over
 //!   activity intervals, reproducing Table III's relative energy figures.
+//! * [`fault::FaultPlan`] — a seeded, order-independent fault schedule
+//!   (latency spikes, detector failures, dropped frames, tracker
+//!   divergence, GPU contention) the pipelines degrade against.
 //!
 //! # Example
 //!
@@ -32,10 +35,12 @@
 
 pub mod energy;
 pub mod event;
+pub mod fault;
 pub mod resource;
 pub mod time;
 
 pub use energy::{Activity, EnergyBreakdown, EnergyMeter};
 pub use event::EventQueue;
+pub use fault::{ContentionInjector, FaultPlan, FaultProfile};
 pub use resource::Resource;
 pub use time::SimTime;

@@ -77,6 +77,22 @@ impl Resource {
         (start, end)
     }
 
+    /// Injects an externally-imposed busy interval — a co-running
+    /// workload's contention burst rather than pipeline work. Follows the
+    /// same serialization rule as [`Resource::schedule`]: the interval is
+    /// pushed back behind any current occupancy, so the recorded interval
+    /// list stays chronological and non-overlapping even when injected
+    /// bursts overlap pipeline tasks (or each other).
+    ///
+    /// Returns the `(start, end)` actually occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative.
+    pub fn occupy(&mut self, from: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        self.schedule(from, duration)
+    }
+
     /// All busy intervals recorded so far (chronological).
     pub fn intervals(&self) -> &[BusyInterval] {
         &self.intervals
@@ -161,5 +177,56 @@ mod tests {
     #[should_panic(expected = "negative task duration")]
     fn negative_duration_panics() {
         Resource::new("gpu").schedule(ms(0.0), ms(-1.0));
+    }
+
+    #[test]
+    fn overlapping_occupy_requests_serialize() {
+        let mut r = Resource::new("gpu");
+        // Three bursts that nominally overlap: [0,100), [50,150), [80,120).
+        let (s1, e1) = r.occupy(ms(0.0), ms(100.0));
+        let (s2, e2) = r.occupy(ms(50.0), ms(100.0));
+        let (s3, e3) = r.occupy(ms(80.0), ms(40.0));
+        assert_eq!((s1, e1), (ms(0.0), ms(100.0)));
+        assert_eq!((s2, e2), (ms(100.0), ms(200.0)));
+        assert_eq!((s3, e3), (ms(200.0), ms(240.0)));
+        for pair in r.intervals().windows(2) {
+            assert!(pair[0].end <= pair[1].start, "intervals must not overlap");
+        }
+        assert_eq!(r.total_busy(), ms(240.0));
+    }
+
+    #[test]
+    fn occupy_interleaves_with_scheduled_work() {
+        let mut r = Resource::new("gpu");
+        // A contention burst lands first; real work queues behind it.
+        r.occupy(ms(10.0), ms(40.0));
+        let (s, e) = r.schedule(ms(20.0), ms(30.0));
+        assert_eq!((s, e), (ms(50.0), ms(80.0)));
+        // A later burst queues behind the real work in turn.
+        let (bs, be) = r.occupy(ms(60.0), ms(10.0));
+        assert_eq!((bs, be), (ms(80.0), ms(90.0)));
+        assert!(r.is_idle_at(ms(5.0)));
+        assert!(!r.is_idle_at(ms(85.0)));
+    }
+
+    #[test]
+    fn occupy_entirely_in_the_past_runs_at_busy_until() {
+        let mut r = Resource::new("gpu");
+        r.schedule(ms(0.0), ms(100.0));
+        // A burst requested for t=0 after the resource is already booked
+        // lands at the end of the booking, never rewriting history.
+        let (s, e) = r.occupy(ms(0.0), ms(5.0));
+        assert_eq!((s, e), (ms(100.0), ms(105.0)));
+        for pair in r.intervals().windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn zero_duration_occupy_leaves_no_interval() {
+        let mut r = Resource::new("cpu");
+        r.occupy(ms(7.0), ms(0.0));
+        assert!(r.intervals().is_empty());
+        assert_eq!(r.available_at(), ms(7.0));
     }
 }

@@ -38,12 +38,12 @@ fn main() {
     //    exactly like the paper's evaluation.
     let result = evaluate_on_clip(&mut adavp, &clip, &EvalConfig::default());
 
-    let (detected, tracked, held) = result.trace.source_fractions();
+    let sources = result.trace.source_fractions();
     println!(
         "frames: {:.0}% detected, {:.0}% tracked, {:.0}% held",
-        detected * 100.0,
-        tracked * 100.0,
-        held * 100.0
+        sources.detected * 100.0,
+        sources.tracked * 100.0,
+        sources.held * 100.0
     );
     println!("detection cycles: {}", result.trace.cycles.len());
     println!("setting switches: {}", result.trace.switch_count());
@@ -72,6 +72,7 @@ fn main() {
             FrameSource::Detected => "detected",
             FrameSource::Tracked => "tracked",
             FrameSource::Held => "held",
+            FrameSource::Dropped => "dropped",
         };
         println!(
             "frame {:>3}: {:>8}, {} boxes, F1 = {:.2}",

@@ -64,7 +64,7 @@ fn main() {
     for sys in &mut systems {
         let name = sys.name();
         let r = evaluate_on_clip(sys.as_mut(), &clip, &eval);
-        let (_, _, held) = r.trace.source_fractions();
+        let held = r.trace.source_fractions().held;
         let mult = r.trace.latency_multiplier(&clip);
         println!(
             "{:<22} {:>8.1}% {:>8} {:>7.0}% {:>10.4} {:>11}",

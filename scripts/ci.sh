@@ -16,6 +16,9 @@ cargo test -q --workspace
 echo "== clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== fault conformance suite (DESIGN.md §11 degradation policies)"
+cargo test -q --test fault_conformance
+
 if [ "${1:-}" != "--no-bench" ]; then
     echo "== kernel bench smoke (writes BENCH_kernels.json)"
     cargo run --release -p adavp-vision --bin kernels_bench -- BENCH_kernels.json
@@ -27,6 +30,10 @@ if [ "${1:-}" != "--no-bench" ]; then
     echo "== harness parity bench (writes BENCH_experiments.json; exits non-zero on any jobs-1 vs jobs-N result mismatch)"
     cargo run --release -p adavp-bench --bin experiments_bench -- \
         --jobs 4 --out BENCH_experiments.json
+
+    echo "== fault sweep smoke (clean→stress battery, writes faults.csv/json)"
+    cargo run --release -p adavp-bench --bin experiments -- faults \
+        --scale smoke --out target/ci-results
 fi
 
 echo "CI OK"

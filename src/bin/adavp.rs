@@ -189,13 +189,23 @@ fn main() -> ExitCode {
                 "cycles:    {} ({} switches, mean {:.0} ms)",
                 stats.cycles, stats.switches, stats.mean_cycle_ms
             );
-            let (d, t, h) = stats.frame_sources;
+            let src = stats.frame_sources;
             println!(
-                "frames:    {:.0}% detected / {:.0}% tracked / {:.0}% held",
-                d * 100.0,
-                t * 100.0,
-                h * 100.0
+                "frames:    {:.0}% detected / {:.0}% tracked / {:.0}% held / {:.0}% dropped",
+                src.detected * 100.0,
+                src.tracked * 100.0,
+                src.held * 100.0,
+                src.dropped * 100.0
             );
+            let faulted = result.trace.fault_count();
+            if faulted > 0 {
+                println!(
+                    "faults:    {} cycles faulted ({} degraded, {} diverged)",
+                    faulted,
+                    result.trace.degraded_cycle_count(),
+                    result.trace.diverged_cycle_count()
+                );
+            }
             if let Some(v) = stats.mean_velocity {
                 println!("velocity:  {v:.2} px/frame mean");
             }

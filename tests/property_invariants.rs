@@ -1,11 +1,15 @@
 //! Property-based tests (proptest) on the core data structures and on
 //! whole-pipeline invariants under randomized scenario parameters.
 
-use adavp::core::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy, VideoProcessor};
+use adavp::core::pipeline::{
+    DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
+    SettingPolicy, VideoProcessor,
+};
 use adavp::core::tracker::FrameSelector;
 use adavp::detector::{Detector, DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::metrics::f1::{evaluate_frame, LabeledBox};
 use adavp::metrics::matching::{match_boxes, Matcher};
+use adavp::sim::fault::{FaultPlan, FaultProfile};
 use adavp::video::clip::VideoClip;
 use adavp::video::object::ObjectClass;
 use adavp::video::scenario::{CameraMotion, Scenario};
@@ -19,6 +23,34 @@ fn arb_box() -> impl Strategy<Value = BoundingBox> {
 
 fn arb_class() -> impl Strategy<Value = ObjectClass> {
     prop::sample::select(ObjectClass::ALL.to_vec())
+}
+
+fn arb_fault_profile() -> impl Strategy<Value = FaultProfile> {
+    (
+        0u64..10_000,
+        0.0f64..0.6,
+        1.0f64..3.0,
+        0.0f64..4.0,
+        0.0f64..0.5,
+        0.0f64..0.4,
+        0.0f64..0.6,
+        prop::option::of((100.0f64..800.0, 20.0f64..200.0)),
+    )
+        .prop_map(
+            |(seed, spike_p, mult_lo, mult_extra, fail_p, drop_p, div_p, contention)| {
+                let (period, busy) = contention.unwrap_or((0.0, 0.0));
+                FaultProfile {
+                    seed,
+                    latency_spike_prob: spike_p,
+                    latency_spike_mult: (mult_lo, mult_lo + mult_extra),
+                    detector_failure_prob: fail_p,
+                    frame_drop_prob: drop_p,
+                    tracker_divergence_prob: div_p,
+                    contention_period_ms: period,
+                    contention_busy_ms: busy,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -189,6 +221,67 @@ proptest! {
             let arrival = cy.detected_frame as f64 * clip.frame_interval_ms();
             prop_assert!(cy.end_ms >= arrival);
         }
+    }
+
+    // ---- Fault injection ---------------------------------------------
+
+    #[test]
+    fn pipelines_degrade_gracefully_under_any_fault_plan(
+        profile in arb_fault_profile(),
+        pipeline_idx in 0usize..3,
+        seed in 0u64..500,
+        frames in 40u32..80,
+    ) {
+        let mut spec = Scenario::Highway.spec();
+        spec.width = 240;
+        spec.height = 140;
+        spec.size_range = (18.0, 32.0);
+        let clip = VideoClip::generate("prop-fault", &spec, seed, frames);
+        let plan = FaultPlan::new(profile);
+        // The plan's own queries are always finite and bounded.
+        for c in 0..64u64 {
+            let m = plan.latency_multiplier(c);
+            prop_assert!(m.is_finite() && m >= 1.0);
+            if let Some(f) = plan.tracker_divergence(c) {
+                prop_assert!((0.05..=0.95).contains(&f));
+            }
+        }
+        let cfg = PipelineConfig {
+            faults: plan,
+            ..PipelineConfig::default()
+        };
+        let det = SimulatedDetector::new(DetectorConfig::default().with_seed(seed));
+        let mut p: Box<dyn VideoProcessor> = match pipeline_idx {
+            0 => Box::new(MpdtPipeline::new(
+                det,
+                SettingPolicy::Fixed(ModelSetting::Yolo512),
+                cfg,
+            )),
+            1 => Box::new(MarlinPipeline::new(
+                det,
+                ModelSetting::Yolo512,
+                cfg,
+                MarlinConfig::default(),
+            )),
+            _ => Box::new(DetectorOnlyPipeline::new(det, ModelSetting::Yolo512, cfg)),
+        };
+        let trace = p.process(&clip);
+        // Exactly one output per input frame, index-aligned, whatever the
+        // fault plan did.
+        prop_assert_eq!(trace.outputs.len(), frames as usize);
+        for (i, o) in trace.outputs.iter().enumerate() {
+            prop_assert_eq!(o.frame_index as usize, i);
+            prop_assert!(o.display_ms.is_finite());
+        }
+        // Source fractions partition the frames.
+        let f = trace.source_fractions();
+        prop_assert!((f.sum() - 1.0).abs() < 1e-9, "fractions sum {}", f.sum());
+        // The realtime factor survives injection (timeouts are bounded, so
+        // processing time stays finite).
+        prop_assert!(trace.latency_multiplier(&clip).is_finite());
+        // Fault accounting is consistent.
+        prop_assert!(trace.degraded_cycle_count() <= trace.fault_count());
+        prop_assert!(trace.fault_count() <= trace.cycles.len());
     }
 
     #[test]

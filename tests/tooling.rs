@@ -36,8 +36,9 @@ fn analysis_of_real_trace_is_consistent() {
     assert!(stats.mean_cycle_ms > 300.0 && stats.mean_cycle_ms < 500.0);
     assert!(stats.mean_buffered >= stats.mean_tracked);
     assert!(stats.tracking_completion() > 0.0 && stats.tracking_completion() <= 1.0);
-    let (d, t, h) = stats.frame_sources;
-    assert!((d + t + h - 1.0).abs() < 1e-9);
+    let src = stats.frame_sources;
+    assert!((src.sum() - 1.0).abs() < 1e-9);
+    assert_eq!(src.dropped, 0.0, "no faults configured");
     assert!(stats.usage[2] == stats.cycles, "all cycles at 512");
 
     // Per-source F1 split covers all frames.

@@ -121,6 +121,17 @@ fn main() {
         t.eval_s,
         run_start.elapsed().as_secs_f64(),
     );
+    // Worker-thread counters fold into this thread at each Executor::map, so
+    // one snapshot here covers the whole run regardless of --jobs.
+    let kernels = adavp_vision::perf::snapshot().counts();
+    if let Some(rate) = kernels.scratch_hit_rate() {
+        println!(
+            "scratch pool: {:.1}% buffer reuse ({} reused / {} allocated)",
+            rate * 100.0,
+            kernels.buffers_reused,
+            kernels.buffers_allocated,
+        );
+    }
 }
 
 fn diag_moderate(ctx: &mut ExperimentContext) {
@@ -478,6 +489,7 @@ fn fig5(ctx: &mut ExperimentContext, out: &Path) {
 fn fig6(ctx: &mut ExperimentContext, out: &Path) -> Vec<adavp_bench::runner::SchemeResult> {
     let results = figures::fig6(ctx);
     print_accuracy_table(&results, out, "fig6.csv");
+    print_latency_percentiles(&results, out, "fig6_latency.csv");
     // Paper headline deltas.
     let get = |label: &str| {
         results
@@ -501,6 +513,45 @@ fn fig6(ctx: &mut ExperimentContext, out: &Path) -> Vec<adavp_bench::runner::Sch
         );
     }
     results
+}
+
+/// Exact detection-cycle latency percentiles per scheme (nearest-rank over
+/// every cycle of every clip; merge-order independent, so identical for any
+/// `--jobs`). Schemes without cycles (e.g. continuous baselines with zero
+/// frames) are omitted.
+fn print_latency_percentiles(
+    results: &[adavp_bench::runner::SchemeResult],
+    out: &Path,
+    file: &str,
+) {
+    let data: Vec<Vec<String>> = results
+        .iter()
+        .filter_map(|r| {
+            let d = r.distributions();
+            d.cycle_ms.percentiles().map(|p| {
+                vec![
+                    r.label.clone(),
+                    fmt1(p.p50),
+                    fmt1(p.p90),
+                    fmt1(p.p99),
+                    d.cycle_ms.count().to_string(),
+                ]
+            })
+        })
+        .collect();
+    if data.is_empty() {
+        return;
+    }
+    println!("cycle latency (ms), exact percentiles:");
+    println!(
+        "{}",
+        text_table(&["scheme", "p50", "p90", "p99", "cycles"], &data)
+    );
+    let _ = write_csv(
+        &out.join(file),
+        &["scheme", "p50_ms", "p90_ms", "p99_ms", "cycles"],
+        &data,
+    );
 }
 
 fn print_accuracy_table(results: &[adavp_bench::runner::SchemeResult], out: &Path, file: &str) {

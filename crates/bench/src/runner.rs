@@ -6,6 +6,7 @@ use adavp_core::pipeline::{
     ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
     PipelineConfig, SettingPolicy, VideoProcessor,
 };
+use adavp_core::telemetry::{distributions, TraceDistributions};
 use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp_metrics::video::dataset_accuracy;
 use adavp_sim::energy::EnergyBreakdown;
@@ -80,6 +81,16 @@ pub struct SchemeResult {
     pub latency_multiplier: f64,
     /// Per-video evaluations (traces + frame scores), for detail figures.
     pub evaluations: Vec<VideoEvaluation>,
+}
+
+impl SchemeResult {
+    /// Latency/velocity/pacing distributions aggregated over every clip the
+    /// scheme was evaluated on — the input to exact p50/p90/p99 reporting.
+    /// Histogram merging is order-independent, so the result is identical
+    /// for every `--jobs` setting.
+    pub fn distributions(&self) -> TraceDistributions {
+        distributions(self.evaluations.iter().map(|e| &e.trace))
+    }
 }
 
 /// Runs one scheme over every clip and aggregates.
@@ -189,6 +200,28 @@ mod tests {
             assert_eq!(par.energy, seq.energy, "jobs={jobs}");
             assert_eq!(par.latency_multiplier, seq.latency_multiplier);
         }
+    }
+
+    #[test]
+    fn scheme_distributions_cover_all_cycles() {
+        let clips = clips();
+        let r = run_scheme(
+            &Scheme::Mpdt(ModelSetting::Yolo512),
+            &clips,
+            &DetectorConfig::default(),
+            &PipelineConfig::default(),
+            &EvalConfig::default(),
+            &Executor::sequential(),
+        );
+        let d = r.distributions();
+        let cycles: usize = r
+            .evaluations
+            .iter()
+            .map(|e| e.trace.cycles.len())
+            .sum();
+        assert_eq!(d.cycle_ms.count(), cycles as u64);
+        let p = d.cycle_ms.percentiles().expect("cycles recorded");
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99);
     }
 
     #[test]

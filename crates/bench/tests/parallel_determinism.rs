@@ -71,6 +71,61 @@ fn jobs_do_not_change_results() {
     );
 }
 
+/// Telemetry rides the same contract: spans and events are stamped with
+/// virtual sim time by a per-run recorder, so the Chrome trace-event JSON
+/// rendered from a scheme's telemetry logs must be byte-identical for
+/// jobs 1 vs jobs 4 (and the export must carry all three resource tracks).
+#[test]
+fn chrome_trace_bytes_identical_across_jobs() {
+    use adavp_bench::runner::{run_scheme, Scheme};
+    use adavp_core::eval::EvalConfig;
+    use adavp_core::pipeline::PipelineConfig;
+    use adavp_core::telemetry::chrome::chrome_trace_json;
+    use adavp_core::telemetry::TelemetryConfig;
+    use adavp_detector::DetectorConfig;
+    use adavp_video::clip::VideoClip;
+    use adavp_video::scenario::Scenario;
+
+    let mut spec = Scenario::Intersection.spec();
+    spec.width = 200;
+    spec.height = 120;
+    spec.size_range = (18.0, 30.0);
+    let clips: Vec<VideoClip> = (0..4)
+        .map(|i| VideoClip::generate(&format!("c{i}"), &spec, 7 + i, 40))
+        .collect();
+    let pipe = PipelineConfig {
+        telemetry: TelemetryConfig::enabled(),
+        ..PipelineConfig::default()
+    };
+    let render = |jobs: usize| {
+        let r = run_scheme(
+            &Scheme::AdaVp(adavp_core::adaptation::AdaptationModel::default_model()),
+            &clips,
+            &DetectorConfig::default(),
+            &pipe,
+            &EvalConfig::default(),
+            &Executor::new(jobs),
+        );
+        let labeled: Vec<(&str, _)> = clips
+            .iter()
+            .zip(&r.evaluations)
+            .map(|(c, e)| (c.name(), &e.trace.telemetry))
+            .collect();
+        chrome_trace_json(&labeled)
+    };
+    let seq = render(1);
+    let par = render(4);
+    assert_eq!(
+        seq, par,
+        "chrome trace JSON must be byte-identical for jobs 1 vs jobs 4"
+    );
+    // The export is non-trivial: all three resource tracks, real spans.
+    for track in ["gpu detector", "cpu tracker", "camera"] {
+        assert!(seq.contains(track), "missing track {track}");
+    }
+    assert!(seq.contains("\"ph\": \"X\""), "no spans exported");
+}
+
 /// The fault sweep is part of the same contract: one committed fault
 /// profile, run at jobs 1 and jobs 4 and twice at the same jobs count,
 /// must render byte-identical CSV and JSON reports. Fault decisions are

@@ -5,6 +5,7 @@
 //! setting-usage shares).
 
 use crate::pipeline::{FrameSource, ProcessingTrace, SourceFractions};
+use crate::telemetry::{Histogram, Percentiles};
 use adavp_detector::ModelSetting;
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +18,11 @@ pub struct CycleStats {
     pub switches: usize,
     /// Mean cycle duration (detection latency) in ms.
     pub mean_cycle_ms: f64,
+    /// Exact p50/p90/p99 of the cycle duration (nearest-rank over the full
+    /// cycle log — see [`crate::telemetry::Histogram`]). `None` for traces
+    /// without cycles. Replaces squinting at the mean alone: a latency
+    /// spike that barely moves `mean_cycle_ms` is plainly visible in p99.
+    pub cycle_ms_percentiles: Option<Percentiles>,
     /// Mean number of frames buffered for the tracker per cycle.
     pub mean_buffered: f64,
     /// Mean number of frames the tracker processed per cycle.
@@ -55,10 +61,12 @@ pub fn analyze(trace: &ProcessingTrace) -> CycleStats {
     let mut tracked = 0.0;
     let mut vel_sum = 0.0;
     let mut vel_n = 0usize;
+    let mut cycle_hist = Histogram::latency_ms();
     for cy in &trace.cycles {
         if let Some(i) = cy.setting.adaptive_index() {
             usage[i] += 1;
         }
+        cycle_hist.record(cy.end_ms - cy.start_ms);
         dur += cy.end_ms - cy.start_ms;
         buffered += cy.buffered as f64;
         tracked += cy.tracked as f64;
@@ -72,6 +80,7 @@ pub fn analyze(trace: &ProcessingTrace) -> CycleStats {
         cycles: n,
         switches: trace.switch_count(),
         mean_cycle_ms: dur / nf,
+        cycle_ms_percentiles: cycle_hist.percentiles(),
         mean_buffered: buffered / nf,
         mean_tracked: tracked / nf,
         mean_velocity: if vel_n > 0 {
@@ -205,6 +214,7 @@ mod tests {
             finished_ms: 0.0,
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
+            telemetry: Default::default(),
         }
     }
 
@@ -220,6 +230,8 @@ mod tests {
         assert_eq!(s.switches, 1);
         assert_eq!(s.usage, [0, 0, 1, 2]);
         assert!((s.mean_cycle_ms - 390.0).abs() < 1e-9);
+        let p = s.cycle_ms_percentiles.expect("3 cycles recorded");
+        assert_eq!((p.p50, p.p90, p.p99), (390.0, 390.0, 390.0));
         assert_eq!(s.mean_velocity, Some(2.0));
         assert!((s.mean_buffered - 9.0).abs() < 1e-9);
         assert!((s.tracking_completion() - 3.0 / 9.0).abs() < 1e-9);
@@ -277,9 +289,11 @@ mod tests {
             finished_ms: 0.0,
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
+            telemetry: Default::default(),
         };
         let s = analyze(&t);
         assert_eq!(s.cycles, 0);
+        assert_eq!(s.cycle_ms_percentiles, None);
         assert_eq!(s.mean_velocity, None);
         assert_eq!(s.tracking_completion(), 1.0);
         assert!(switch_gaps([&t]).is_empty());

@@ -196,6 +196,7 @@ mod tests {
             finished_ms: 0.0,
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
+            telemetry: Default::default(),
         };
         let scores = score_trace(&trace, &gt, 0.5);
         assert!(scores.iter().all(|&s| s == 1.0));

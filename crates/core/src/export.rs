@@ -10,8 +10,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+/// Escapes a string for inclusion in a JSON document. Shared with the
+/// Chrome-trace exporter in [`crate::telemetry::chrome`].
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -30,7 +31,8 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Formats an `f64` for JSON (finite values only; NaN/inf become `null`).
-fn json_num(v: f64) -> String {
+/// Shared with the Chrome-trace exporter in [`crate::telemetry::chrome`].
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -267,6 +269,7 @@ mod tests {
             finished_ms: 433.0,
             gpu_busy_ms: 390.0,
             cpu_busy_ms: 43.0,
+            telemetry: Default::default(),
         }
     }
 
@@ -297,6 +300,63 @@ mod tests {
     fn json_score_length_checked() {
         let trace = sample_trace();
         let _ = trace_to_json(&trace, Some(&[1.0]));
+    }
+
+    #[test]
+    fn json_fault_and_diverged_fields() {
+        // Every DetectorFault variant serializes with its payload.
+        assert_eq!(fault_json(None), "null");
+        assert_eq!(
+            fault_json(Some(DetectorFault::Spike { multiplier: 2.5 })),
+            "{\"kind\": \"spike\", \"multiplier\": 2.5}"
+        );
+        assert_eq!(
+            fault_json(Some(DetectorFault::Timeout { multiplier: 8.0 })),
+            "{\"kind\": \"timeout\", \"multiplier\": 8}"
+        );
+        assert_eq!(
+            fault_json(Some(DetectorFault::Retried { attempts: 2 })),
+            "{\"kind\": \"retried\", \"attempts\": 2}"
+        );
+        assert_eq!(
+            fault_json(Some(DetectorFault::Failed { attempts: 3 })),
+            "{\"kind\": \"failed\", \"attempts\": 3}"
+        );
+        // Non-finite multipliers degrade to null instead of invalid JSON.
+        assert_eq!(
+            fault_json(Some(DetectorFault::Spike {
+                multiplier: f64::NAN
+            })),
+            "{\"kind\": \"spike\", \"multiplier\": null}"
+        );
+        // And they land in the trace JSON alongside the diverged flag.
+        let mut trace = sample_trace();
+        trace.cycles[0].diverged = true;
+        let json = trace_to_json(&trace, None);
+        assert!(json.contains("\"fault\": {\"kind\": \"retried\", \"attempts\": 2}"));
+        assert!(json.contains("\"diverged\": true"));
+    }
+
+    #[test]
+    fn csv_golden_bytes() {
+        let dir = std::env::temp_dir().join("adavp_csv_golden");
+        let _ = fs::remove_dir_all(&dir);
+        let trace = sample_trace();
+        let path = dir.join("g.csv");
+        write_frame_csv(&trace, &[1.0, 0.5], &path).unwrap();
+        let csv = fs::read_to_string(&path).unwrap();
+        // Pin the exact bytes: header + one row per output, floats via
+        // Display (no trailing zeros).
+        assert_eq!(csv, "frame,source,boxes,f1\n0,detected,1,1\n1,held,0,0.5\n");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "score length mismatch")]
+    fn csv_score_length_checked() {
+        let dir = std::env::temp_dir().join("adavp_csv_len");
+        let trace = sample_trace();
+        let _ = write_frame_csv(&trace, &[1.0], &dir.join("bad.csv"));
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   (Fig. 7), setting-usage shares (Fig. 8), per-source F1 split.
 //! * [`export`] — trace serialization (JSON / per-frame CSV) for external
 //!   plotting tools.
+//! * [`telemetry`] — deterministic sim-time span tracing (GPU / CPU /
+//!   camera tracks), exact-percentile latency histograms, Chrome
+//!   trace-event export, and text flame reports.
 //! * [`rt`] — a real multithreaded runtime (frame buffer + locks + events,
 //!   §IV-B "implementation") demonstrating the concurrency design with
 //!   actual threads.
@@ -59,6 +62,7 @@ pub mod export;
 pub mod latency;
 pub mod pipeline;
 pub mod rt;
+pub mod telemetry;
 pub mod tracker;
 pub mod velocity;
 

@@ -5,10 +5,11 @@
 //! times the video duration, but per-frame accuracy is the detector's own.
 //! Used to bound the energy/accuracy trade-off space.
 
-use super::mpdt::{finish_trace, run_detection};
+use super::mpdt::{finish_trace, record_arrival, record_detection_span, run_detection};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
+use crate::telemetry::{Attr, EventKind, Recorder, Track};
 use adavp_detector::{Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
@@ -46,6 +47,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
         let mut gpu = Resource::new("gpu");
         let mut cpu = Resource::new("cpu");
         let mut meter = EnergyMeter::new();
+        let mut rec = Recorder::new(self.config.telemetry);
         let lat = self.config.latency;
 
         let faults = self.config.faults.for_stream(clip.name());
@@ -60,6 +62,15 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
                 // Never delivered: no detection runs; the display keeps
                 // showing the previous output (inherit-with-flag). Tracker
                 // divergence does not apply — this pipeline has no tracker.
+                if rec.on() {
+                    rec.event(
+                        Track::Camera,
+                        EventKind::FrameDrop,
+                        "frame dropped".to_string(),
+                        t.as_ms(),
+                        vec![Attr::u64("frame", frame.index)],
+                    );
+                }
                 let held = SimTime::from_ms(lat.held_frame_ms);
                 let (_, he) = cpu.schedule(t, held);
                 meter.record(Activity::Overlay, held);
@@ -72,6 +83,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
                 continue;
             }
             let cycle_key = cycles.len() as u64;
+            record_arrival(&mut rec, frame.index, t.as_ms());
             let outcome = run_detection(
                 &mut self.detector,
                 frame,
@@ -85,6 +97,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
                 &degr,
             );
             let (ds, de) = (outcome.start, outcome.end);
+            record_detection_span(&mut rec, cycle_key, frame.index, self.setting, &outcome);
             let (boxes, src) = match &outcome.result {
                 Some(r) => {
                     let b: Vec<LabeledBox> = r
@@ -122,7 +135,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
             t = de;
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu)
+        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
     }
 }
 

@@ -4,10 +4,14 @@
 //! frame skipped while it was busy displays the previous detection's boxes
 //! unchanged (the Chameleon-style rule the paper cites).
 
-use super::mpdt::{fill_held, finish_trace, nearest_delivered, run_detection};
+use super::mpdt::{
+    fill_held, finish_trace, nearest_delivered, record_arrival, record_detection_span,
+    run_detection,
+};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
+use crate::telemetry::Recorder;
 use adavp_detector::{Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
@@ -47,8 +51,9 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
         let mut gpu = Resource::new("gpu");
         let mut cpu = Resource::new("cpu");
         let mut meter = EnergyMeter::new();
+        let mut rec = Recorder::new(self.config.telemetry);
         if n == 0 {
-            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu);
+            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish());
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
@@ -72,6 +77,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 self.setting
             };
             let arrival = SimTime::from_ms(stream.arrival_ms(cur));
+            record_arrival(&mut rec, cur, arrival.as_ms());
             let outcome = run_detection(
                 &mut self.detector,
                 stream.frame(cur),
@@ -85,6 +91,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 &degr,
             );
             let (ds, de) = (outcome.start, outcome.end);
+            record_detection_span(&mut rec, cycle_key, cur, setting, &outcome);
             let (boxes, src) = match &outcome.result {
                 Some(r) => {
                     let b: Vec<LabeledBox> = r
@@ -141,6 +148,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 lat.held_frame_ms,
                 &mut meter,
                 &faults,
+                &mut rec,
             );
             if let Some(c) = cycles.last_mut() {
                 c.buffered = gap.len() as u32;
@@ -149,7 +157,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
             cur = next;
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu)
+        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
     }
 }
 

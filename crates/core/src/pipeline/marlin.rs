@@ -10,12 +10,17 @@
 //! idle and arriving frames display stale boxes — the accumulated latency
 //! the paper identifies as MARLIN's weakness on fast scenes.
 
-use super::mpdt::{fill_held, finish_trace, nearest_delivered, run_detection};
+use super::mpdt::{
+    fill_held, finish_trace, kernel_attrs, nearest_delivered, record_arrival,
+    record_detection_span, run_detection,
+};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
+use crate::telemetry::{Attr, EventKind, Recorder, SpanKind, Track};
 use crate::tracker::ObjectTracker;
 use crate::velocity::VelocityEstimator;
+use adavp_vision::perf;
 use adavp_detector::{DetectionResult, Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
@@ -96,8 +101,9 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
         let mut gpu = Resource::new("gpu");
         let mut cpu = Resource::new("cpu");
         let mut meter = EnergyMeter::new();
+        let mut rec = Recorder::new(self.config.telemetry);
         if n == 0 {
-            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu);
+            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish());
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
@@ -112,11 +118,26 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
         // Most recently published boxes — what a degraded detection cycle
         // keeps showing (inherit-with-flag).
         let mut last_shown: Vec<LabeledBox> = Vec::new();
+        let mut perf_mark = perf::snapshot();
 
         'run: loop {
             // ---- Detection phase (tracker idle). ------------------------
+            // Fold the previous cycle's tracker work into its span first:
+            // in this sequential design the tracking phase of cycle k ends
+            // exactly when detection k+1 starts.
+            if rec.on() {
+                if let Some(prev) = cycles.last() {
+                    let delta = perf::snapshot().since(&perf_mark).counts();
+                    let mut attrs = kernel_attrs(&delta);
+                    attrs.push(Attr::u64("buffered", prev.buffered as u64));
+                    attrs.push(Attr::u64("tracked", prev.tracked as u64));
+                    rec.annotate_last(Track::Gpu, attrs);
+                }
+                perf_mark = perf::snapshot();
+            }
             let cycle_key = cycles.len() as u64;
             let arrival = SimTime::from_ms(stream.arrival_ms(detect_at));
+            record_arrival(&mut rec, detect_at, arrival.as_ms());
             let outcome = run_detection(
                 &mut self.detector,
                 stream.frame(detect_at),
@@ -130,6 +151,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 &degr,
             );
             let (ds, de) = (outcome.start, outcome.end);
+            record_detection_span(&mut rec, cycle_key, detect_at, self.setting, &outcome);
             // Degraded detection (timeout / exhausted retries): publish the
             // stale tracker estimate — MARLIN's graceful-degradation rule.
             let (boxes, src) = match &outcome.result {
@@ -183,6 +205,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                     lat.held_frame_ms,
                     &mut meter,
                     &faults,
+                    &mut rec,
                 );
                 continue 'run;
             }
@@ -193,8 +216,18 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 // Fresh boxes: re-calibrate. On a degraded cycle the
                 // tracker keeps following its stale calibration instead.
                 let fe = SimTime::from_ms(lat.feature_extraction_ms);
-                let (_, fe_end) = cpu.schedule(ov_end, fe);
+                let (fe_start, fe_end) = cpu.schedule(ov_end, fe);
                 meter.record(Activity::FeatureExtraction, fe);
+                if rec.on() {
+                    rec.span(
+                        Track::Cpu,
+                        SpanKind::FeatureExtraction,
+                        "extract features".to_string(),
+                        fe_start.as_ms(),
+                        fe_end.as_ms(),
+                        vec![Attr::u64("boxes", boxes.len() as u64)],
+                    );
+                }
                 let pairs: Vec<_> = boxes.iter().map(|l| (l.class, l.bbox)).collect();
                 tracker.reset(&stream.frame(detect_at).image, &pairs);
                 cursor = fe_end;
@@ -222,7 +255,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 let objs = tracker.boxes().len();
                 let track = SimTime::from_ms(lat.track_ms(objs));
                 let draw = SimTime::from_ms(lat.overlay_ms(objs));
-                let (_, te) = cpu.schedule(cursor.max(arrive), track + draw);
+                let (ts, te) = cpu.schedule(cursor.max(arrive), track + draw);
                 meter.record(Activity::Tracking, track);
                 meter.record(Activity::Overlay, draw);
                 let stats = tracker.step(&stream.frame(next).image, (next - last_processed) as u32);
@@ -232,6 +265,21 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                         vel.record(v);
                         step_velocity = Some(v);
                     }
+                }
+                if rec.steps() {
+                    let mut attrs =
+                        vec![Attr::u64("frame", next), Attr::u64("objects", objs as u64)];
+                    if let Some(v) = step_velocity {
+                        attrs.push(Attr::f64("velocity", v));
+                    }
+                    rec.span(
+                        Track::Cpu,
+                        SpanKind::TrackerStep,
+                        "track step".to_string(),
+                        ts.as_ms(),
+                        te.as_ms(),
+                        attrs,
+                    );
                 }
                 // Skipped frames inherit.
                 let gap: Vec<u64> = (last_processed + 1..next).collect();
@@ -244,6 +292,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                     lat.held_frame_ms,
                     &mut meter,
                     &faults,
+                    &mut rec,
                 );
                 let tracked_boxes: Vec<LabeledBox> = tracker
                     .current_boxes()
@@ -271,6 +320,15 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 let diverged_now = diverge_after.is_some_and(|da| tracked_count >= da);
                 if diverged_now {
                     if let Some(c) = cycles.last_mut() {
+                        if !c.diverged && rec.on() {
+                            rec.event(
+                                Track::Cpu,
+                                EventKind::Divergence,
+                                "tracker diverged".to_string(),
+                                te.as_ms(),
+                                vec![Attr::u64("cycle", cycle_key)],
+                            );
+                        }
                         c.diverged = true;
                     }
                 }
@@ -280,6 +338,19 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                     || tracker.all_stale()
                     || next - cycle_start_frame >= self.marlin.max_cycle_frames
                     || (diverged_now && degr.redetect_on_divergence);
+                if trigger && rec.on() {
+                    let mut attrs = vec![Attr::u64("frame", next)];
+                    if let Some(v) = step_velocity {
+                        attrs.push(Attr::f64("velocity", v));
+                    }
+                    rec.event(
+                        Track::Cpu,
+                        EventKind::Trigger,
+                        "re-detect trigger".to_string(),
+                        te.as_ms(),
+                        attrs,
+                    );
+                }
                 if next == n - 1 && !trigger {
                     // Clip exhausted while tracking.
                     break 'run;
@@ -307,10 +378,21 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 lat.held_frame_ms,
                 &mut meter,
                 &faults,
+                &mut rec,
             );
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu)
+        // The run ended mid-tracking-phase: fold the final cycle's work in.
+        if rec.on() {
+            if let Some(prev) = cycles.last() {
+                let delta = perf::snapshot().since(&perf_mark).counts();
+                let mut attrs = kernel_attrs(&delta);
+                attrs.push(Attr::u64("buffered", prev.buffered as u64));
+                attrs.push(Attr::u64("tracked", prev.tracked as u64));
+                rec.annotate_last(Track::Gpu, attrs);
+            }
+        }
+        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
     }
 }
 

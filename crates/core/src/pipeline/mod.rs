@@ -29,6 +29,7 @@ pub use mpdt::MpdtPipeline;
 
 use crate::adaptation::AdaptationModel;
 use crate::latency::LatencyModel;
+use crate::telemetry::{TelemetryConfig, TelemetryLog};
 use crate::tracker::TrackerConfig;
 use adavp_detector::ModelSetting;
 use adavp_metrics::f1::LabeledBox;
@@ -136,6 +137,9 @@ pub struct ProcessingTrace {
     pub gpu_busy_ms: f64,
     /// Total CPU busy time (ms).
     pub cpu_busy_ms: f64,
+    /// Sim-time span/event log recorded during the run. Empty unless
+    /// [`PipelineConfig::telemetry`] enabled recording.
+    pub telemetry: TelemetryLog,
 }
 
 impl ProcessingTrace {
@@ -340,6 +344,10 @@ pub struct PipelineConfig {
     pub faults: FaultPlan,
     /// How the pipeline degrades when faults bite.
     pub degradation: DegradationPolicy,
+    /// Telemetry recording. Disabled by default; when enabled, every
+    /// pipeline emits sim-time spans and events through a per-run
+    /// [`crate::telemetry::Recorder`] into [`ProcessingTrace::telemetry`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PipelineConfig {
@@ -350,6 +358,7 @@ impl Default for PipelineConfig {
             adaptive_selection: true,
             faults: FaultPlan::none(),
             degradation: DegradationPolicy::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -419,6 +428,7 @@ mod tests {
             finished_ms: 0.0,
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
+            telemetry: TelemetryLog::default(),
         };
         let f = trace.source_fractions();
         assert!((f.detected - 0.25).abs() < 1e-12);
@@ -453,6 +463,7 @@ mod tests {
             finished_ms: 0.0,
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
+            telemetry: TelemetryLog::default(),
         };
         let f = trace.source_fractions();
         assert!((f.dropped - 0.5).abs() < 1e-12);

@@ -13,8 +13,10 @@ use super::{
     CycleRecord, DegradationPolicy, DetectorFault, FrameOutput, FrameSource, PipelineConfig,
     ProcessingTrace, SettingPolicy, VideoProcessor,
 };
+use crate::telemetry::{Attr, EventKind, Recorder, SpanKind, TelemetryLog, Track};
 use crate::tracker::{FrameSelector, ObjectTracker};
 use crate::velocity::VelocityEstimator;
+use adavp_vision::perf::{self, KernelCounts};
 use adavp_detector::{DetectionResult, Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
@@ -159,6 +161,91 @@ pub(super) fn run_detection<D: Detector>(
     }
 }
 
+/// Records one detection cycle's GPU span from its [`DetectionOutcome`]
+/// (shared by every pipeline). Fault information becomes span attributes;
+/// degraded cycles additionally raise a [`EventKind::Fault`] instant on
+/// the GPU track so they stand out at a glance.
+pub(super) fn record_detection_span(
+    rec: &mut Recorder,
+    cycle: u64,
+    frame: u64,
+    setting: ModelSetting,
+    outcome: &DetectionOutcome,
+) {
+    if !rec.on() {
+        return;
+    }
+    let mut attrs = vec![
+        Attr::u64("cycle", cycle),
+        Attr::u64("frame", frame),
+        Attr::str("setting", &setting.to_string()),
+    ];
+    if let Some(fault) = outcome.fault {
+        let (kind, detail) = match fault {
+            DetectorFault::Spike { multiplier } => ("spike", Attr::f64("multiplier", multiplier)),
+            DetectorFault::Timeout { multiplier } => {
+                ("timeout", Attr::f64("multiplier", multiplier))
+            }
+            DetectorFault::Retried { attempts } => {
+                ("retried", Attr::u64("attempts", attempts as u64))
+            }
+            DetectorFault::Failed { attempts } => ("failed", Attr::u64("attempts", attempts as u64)),
+        };
+        attrs.push(Attr::str("fault", kind));
+        attrs.push(detail);
+        if outcome.degraded() {
+            rec.event(
+                Track::Gpu,
+                EventKind::Fault,
+                format!("degraded: {kind}"),
+                outcome.end.as_ms(),
+                vec![Attr::u64("cycle", cycle)],
+            );
+        }
+    }
+    rec.span(
+        Track::Gpu,
+        SpanKind::Detection,
+        format!("detect {setting}"),
+        outcome.start.as_ms(),
+        outcome.end.as_ms(),
+        attrs,
+    );
+}
+
+/// Span attributes for a cycle's deterministic kernel-count delta plus the
+/// ScratchPool hit-rate — the fold of `adavp_vision::perf` into telemetry.
+/// Only count fields appear; the wall-clock `*_ns` fields would break the
+/// byte-identity contract.
+pub(super) fn kernel_attrs(delta: &KernelCounts) -> Vec<Attr> {
+    let mut attrs = vec![
+        Attr::u64("lk_calls", delta.lk_calls),
+        Attr::u64("lk_points", delta.lk_points),
+        Attr::u64("lk_iterations", delta.lk_iterations),
+        Attr::u64("pyramid_builds", delta.pyramid_builds),
+        Attr::u64("corner_scans", delta.corner_scans),
+    ];
+    if let Some(rate) = delta.scratch_hit_rate() {
+        attrs.push(Attr::f64("scratch_hit_rate", rate));
+    }
+    attrs
+}
+
+/// Records the camera delivering a frame (cheap: one instant per detection
+/// fetch, not per captured frame).
+pub(super) fn record_arrival(rec: &mut Recorder, frame: u64, arrival_ms: f64) {
+    if !rec.on() {
+        return;
+    }
+    rec.event(
+        Track::Camera,
+        EventKind::FrameArrival,
+        "frame".to_string(),
+        arrival_ms,
+        vec![Attr::u64("frame", frame)],
+    );
+}
+
 /// Picks the frame to process given camera drops: `preferred` when it was
 /// delivered, otherwise the nearest delivered frame — scanning back toward
 /// `lo`, then forward to `hi`. Falls back to `preferred` when the whole
@@ -201,8 +288,9 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
         let mut gpu = Resource::new("gpu");
         let mut cpu = Resource::new("cpu");
         let mut meter = EnergyMeter::new();
+        let mut rec = Recorder::new(self.config.telemetry);
         if n == 0 {
-            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu);
+            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish());
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
@@ -216,6 +304,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
         // --- Cycle 0: detect frame 0 (never dropped); nothing to track. --
         let mut setting = self.policy.initial_setting();
         let mut cur: u64 = 0;
+        record_arrival(&mut rec, 0, stream.arrival_ms(0));
         let mut outcome = run_detection(
             &mut self.detector,
             stream.frame(cur),
@@ -229,6 +318,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
             &degr,
         );
         let mut det_done = outcome.end;
+        record_detection_span(&mut rec, 0, cur, setting, &outcome);
         cycles.push(CycleRecord {
             index: 0,
             detected_frame: cur,
@@ -254,8 +344,18 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 None => (last_good.clone(), FrameSource::Held),
             };
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
-            let (_, ov_end) = cpu.schedule(det_done, overlay);
+            let (ov_start, ov_end) = cpu.schedule(det_done, overlay);
             meter.record(Activity::Overlay, overlay);
+            if rec.on() {
+                rec.span(
+                    Track::Cpu,
+                    SpanKind::Overlay,
+                    "overlay".to_string(),
+                    ov_start.as_ms(),
+                    ov_end.as_ms(),
+                    vec![Attr::u64("frame", cur), Attr::u64("boxes", boxes.len() as u64)],
+                );
+            }
             outputs[cur as usize] = Some(FrameOutput {
                 frame_index: cur,
                 source: src,
@@ -283,6 +383,23 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     Activity::ModelSwitch,
                     SimTime::from_ms(ModelSetting::switch_cost_ms()),
                 );
+                if rec.on() {
+                    let mut attrs = vec![
+                        Attr::str("from", &setting.to_string()),
+                        Attr::str("to", &next_setting.to_string()),
+                        Attr::bool("degraded_step_down", degraded_prev),
+                    ];
+                    if let Some(v) = vel.effective_velocity() {
+                        attrs.push(Attr::f64("velocity", v));
+                    }
+                    rec.event(
+                        Track::Gpu,
+                        EventKind::SettingSwitch,
+                        "switch".to_string(),
+                        det_done.as_ms(),
+                        attrs,
+                    );
+                }
             }
 
             // (c) Fetch the newest captured frame that was actually
@@ -291,9 +408,11 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
             let candidate = newest.max(cur + 1).min(n - 1);
             let next = nearest_delivered(&faults, cur + 1, candidate, n - 1);
             let next_arrival = SimTime::from_ms(stream.arrival_ms(next));
+            record_arrival(&mut rec, next, next_arrival.as_ms());
 
             // (d) Start detecting it on the GPU (through the fault layer).
             let cycle_key = cycles.len() as u64;
+            let perf_mark = perf::snapshot();
             let next_outcome = run_detection(
                 &mut self.detector,
                 stream.frame(next),
@@ -307,6 +426,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 &degr,
             );
             let (s2, d2) = (next_outcome.start, next_outcome.end);
+            record_detection_span(&mut rec, cycle_key, next, next_setting, &next_outcome);
 
             // (e) Meanwhile the tracker works through the gap frames
             //     cur+1 .. next-1 using this cycle's boxes, cancelling
@@ -320,8 +440,18 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
             let mut tracked_count = 0u32;
             if !gap.is_empty() {
                 let fe = SimTime::from_ms(lat.feature_extraction_ms);
-                let (_, fe_end) = cpu.schedule(det_done, fe);
+                let (fe_start, fe_end) = cpu.schedule(det_done, fe);
                 meter.record(Activity::FeatureExtraction, fe);
+                if rec.on() {
+                    rec.span(
+                        Track::Cpu,
+                        SpanKind::FeatureExtraction,
+                        "extract features".to_string(),
+                        fe_start.as_ms(),
+                        fe_end.as_ms(),
+                        vec![Attr::u64("boxes", boxes.len() as u64)],
+                    );
+                }
                 let pairs: Vec<_> = boxes.iter().map(|l| (l.class, l.bbox)).collect();
                 tracker.reset(&stream.frame(cur).image, &pairs);
 
@@ -340,6 +470,15 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                             // from here on. Stop tracking so the in-flight
                             // detection re-calibrates as early as possible;
                             // remaining frames inherit.
+                            if !diverged && rec.on() {
+                                rec.event(
+                                    Track::Cpu,
+                                    EventKind::Divergence,
+                                    "tracker diverged".to_string(),
+                                    cursor.as_ms(),
+                                    vec![Attr::u64("cycle", cycle_key)],
+                                );
+                            }
                             diverged = true;
                             if degr.redetect_on_divergence {
                                 break;
@@ -353,15 +492,34 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     let objs = tracker.boxes().len();
                     let track = SimTime::from_ms(lat.track_ms(objs));
                     let draw = SimTime::from_ms(lat.overlay_ms(objs));
-                    let (_, te) = cpu.schedule(cursor, track + draw);
+                    let (ts, te) = cpu.schedule(cursor, track + draw);
                     meter.record(Activity::Tracking, track);
                     meter.record(Activity::Overlay, draw);
+                    let mut step_velocity = None;
                     if let Some(stats) =
                         tracker.step(&stream.frame(fidx).image, (fidx - last_processed) as u32)
                     {
                         if let Some(v) = stats.mean_velocity {
                             vel.record(v);
+                            step_velocity = Some(v);
                         }
+                    }
+                    if rec.steps() {
+                        let mut attrs = vec![
+                            Attr::u64("frame", fidx),
+                            Attr::u64("objects", objs as u64),
+                        ];
+                        if let Some(v) = step_velocity {
+                            attrs.push(Attr::f64("velocity", v));
+                        }
+                        rec.span(
+                            Track::Cpu,
+                            SpanKind::TrackerStep,
+                            "track step".to_string(),
+                            ts.as_ms(),
+                            te.as_ms(),
+                            attrs,
+                        );
                     }
                     outputs[fidx as usize] = Some(FrameOutput {
                         frame_index: fidx,
@@ -389,10 +547,21 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     lat.held_frame_ms,
                     &mut meter,
                     &faults,
+                    &mut rec,
                 );
                 if self.config.adaptive_selection {
                     selector.update(tracked_count as usize, gap.len());
                 }
+            }
+
+            // Fold this cycle's deterministic tracker work (kernel counts,
+            // ScratchPool hit-rate) into the detection span recorded above.
+            if rec.on() {
+                let delta = perf::snapshot().since(&perf_mark).counts();
+                let mut attrs = kernel_attrs(&delta);
+                attrs.push(Attr::u64("buffered", gap.len() as u64));
+                attrs.push(Attr::u64("tracked", tracked_count as u64));
+                rec.annotate_last(Track::Gpu, attrs);
             }
 
             cycles.push(CycleRecord {
@@ -415,14 +584,15 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
             setting = next_setting;
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu)
+        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
     }
 }
 
 /// Fills every gap frame without an output with the nearest earlier
 /// processed boxes (the paper's rule for skipped frames). Frames the fault
 /// plan dropped inherit the same way but are flagged
-/// [`FrameSource::Dropped`] — inherit-with-flag.
+/// [`FrameSource::Dropped`] — inherit-with-flag — and raise a camera-track
+/// [`EventKind::FrameDrop`] instant at the frame's nominal arrival time.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn fill_held(
     outputs: &mut [Option<FrameOutput>],
@@ -433,6 +603,7 @@ pub(super) fn fill_held(
     held_ms: f64,
     meter: &mut EnergyMeter,
     faults: &FaultPlan,
+    rec: &mut Recorder,
 ) {
     let mut last_boxes: Vec<LabeledBox> = detected_boxes.to_vec();
     let mut last_display = detected_display;
@@ -447,6 +618,15 @@ pub(super) fn fill_held(
                 let display = arrive.max(last_display) + SimTime::from_ms(held_ms);
                 meter.record(Activity::Overlay, SimTime::from_ms(held_ms));
                 let source = if faults.frame_dropped(fidx as usize) {
+                    if rec.on() {
+                        rec.event(
+                            Track::Camera,
+                            EventKind::FrameDrop,
+                            "frame dropped".to_string(),
+                            arrive.as_ms(),
+                            vec![Attr::u64("frame", fidx)],
+                        );
+                    }
                     FrameSource::Dropped
                 } else {
                     FrameSource::Held
@@ -471,6 +651,7 @@ pub(super) fn finish_trace(
     meter: EnergyMeter,
     gpu: &Resource,
     cpu: &Resource,
+    telemetry: TelemetryLog,
 ) -> ProcessingTrace {
     let mut filled = Vec::with_capacity(outputs.len());
     let mut last: Option<FrameOutput> = None;
@@ -498,6 +679,7 @@ pub(super) fn finish_trace(
         finished_ms,
         gpu_busy_ms: gpu.total_busy().as_ms(),
         cpu_busy_ms: cpu.total_busy().as_ms(),
+        telemetry,
     }
 }
 

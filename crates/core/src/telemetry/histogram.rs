@@ -1,0 +1,273 @@
+//! Fixed-bucket histograms with exact percentiles.
+//!
+//! The telemetry layer replaces the means-only view of [`crate::analysis`]
+//! with distributions. Two determinism rules shape the implementation:
+//!
+//! 1. **Bucket counts are integers** bucketed against a fixed edge table,
+//!    so accumulation order can never perturb them.
+//! 2. **Percentiles are exact** (nearest-rank over the retained samples,
+//!    ordered by [`f64::total_cmp`]) rather than interpolated from buckets
+//!    — `p50` of a recorded distribution is a value that was actually
+//!    recorded, and merging histograms in any order yields bit-identical
+//!    percentiles.
+//!
+//! Aggregate statistics ([`Histogram::mean`]) likewise sum in sorted order,
+//! never insertion order, so a histogram assembled from parallel shards is
+//! bit-identical to its sequential twin.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact p50/p90/p99 of a recorded distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+/// Bucket edges for detection-cycle / frame latencies in milliseconds.
+///
+/// Spans the Table II regime (tracker steps: a few ms) through detection
+/// latencies (60-850 ms) up to the degradation budget (2000 ms) and beyond.
+pub const LATENCY_MS_EDGES: [f64; 18] = [
+    5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 650.0, 850.0,
+    1000.0, 1500.0, 2000.0, 4000.0,
+];
+
+/// Bucket edges for content-change velocity in px/frame (Eq. 3 regime:
+/// the trained thresholds all fall between ~0.3 and ~4 px/frame).
+pub const VELOCITY_EDGES: [f64; 12] = [
+    0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 8.0, 16.0,
+];
+
+/// A fixed-bucket histogram that also retains every sample for exact
+/// percentiles. See the module docs for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given ascending bucket upper edges.
+    /// Values above the last edge land in an implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, non-finite, or not strictly ascending.
+    pub fn with_edges(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "edges must be strictly ascending");
+        }
+        assert!(edges.iter().all(|e| e.is_finite()), "edges must be finite");
+        Self {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            samples: Vec::new(),
+        }
+    }
+
+    /// A histogram with the standard latency buckets ([`LATENCY_MS_EDGES`]).
+    pub fn latency_ms() -> Self {
+        Self::with_edges(&LATENCY_MS_EDGES)
+    }
+
+    /// A histogram with the standard velocity buckets ([`VELOCITY_EDGES`]).
+    pub fn velocity() -> Self {
+        Self::with_edges(&VELOCITY_EDGES)
+    }
+
+    /// Records one sample. Non-finite values are ignored (they carry no
+    /// ordering and would poison the percentile ranks).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let bucket = self.edges.partition_point(|&e| e < v);
+        self.counts[bucket] += 1;
+        self.samples.push(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Bucket upper edges this histogram was built with.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket (values
+    /// above the last edge).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn sorted_samples(&self) -> Vec<f64> {
+        let mut s = self.samples.clone();
+        s.sort_by(f64::total_cmp);
+        s
+    }
+
+    /// Exact nearest-rank percentile: the smallest recorded value such that
+    /// at least `p`% of samples are ≤ it. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p <= 100.0`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sorted = self.sorted_samples();
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Exact p50/p90/p99, or `None` when empty.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: self.percentile(50.0)?,
+            p90: self.percentile(90.0)?,
+            p99: self.percentile(99.0)?,
+        })
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted_samples().first().copied()
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted_samples().last().copied()
+    }
+
+    /// Mean over the recorded samples, summed in sorted order so the result
+    /// does not depend on insertion order.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sorted = self.sorted_samples();
+        Some(sorted.iter().sum::<f64>() / sorted.len() as f64)
+    }
+
+    /// Folds another histogram into this one. Percentiles of the merged
+    /// histogram are independent of merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms use different bucket edges.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "cannot merge mismatched buckets");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentiles_on_known_distribution() {
+        // 1..=100: nearest-rank percentiles are exactly the pth value.
+        let mut h = Histogram::with_edges(&[10.0, 50.0, 90.0]);
+        // Insert in a scrambled order to prove order independence.
+        for i in (1..=100u32).rev() {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(90.0), Some(90.0));
+        assert_eq!(h.percentile(99.0), Some(99.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert_eq!(h.percentile(1.0), Some(1.0));
+        let p = h.percentiles().unwrap();
+        assert_eq!((p.p50, p.p90, p.p99), (50.0, 90.0, 99.0));
+    }
+
+    #[test]
+    fn percentile_is_a_recorded_value() {
+        let mut h = Histogram::latency_ms();
+        for v in [3.0, 7.0, 400.0] {
+            h.record(v);
+        }
+        // Nearest-rank, never interpolated: p50 of 3 samples is the 2nd.
+        assert_eq!(h.percentile(50.0), Some(7.0));
+        assert_eq!(h.percentile(99.0), Some(400.0));
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(400.0));
+    }
+
+    #[test]
+    fn bucket_counts_with_overflow() {
+        let mut h = Histogram::with_edges(&[1.0, 2.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 99.0] {
+            h.record(v);
+        }
+        // Edges are inclusive upper bounds; 99 overflows.
+        assert_eq!(h.bucket_counts(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = Histogram::velocity();
+        let mut b = Histogram::velocity();
+        let mut all = Histogram::velocity();
+        for (i, v) in [0.3, 1.2, 0.9, 5.0, 2.2, 0.1].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            all.record(*v);
+        }
+        let mut merged = b.clone();
+        merged.merge(&a);
+        assert_eq!(merged.count(), all.count());
+        assert_eq!(merged.bucket_counts(), all.bucket_counts());
+        assert_eq!(merged.percentiles(), all.percentiles());
+        assert_eq!(merged.mean(), all.mean());
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        let mut h = Histogram::latency_ms();
+        assert!(h.is_empty());
+        assert_eq!(h.percentiles(), None);
+        assert_eq!(h.mean(), None);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty(), "non-finite samples are ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_rejected() {
+        let _ = Histogram::with_edges(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge mismatched buckets")]
+    fn mismatched_merge_rejected() {
+        let mut a = Histogram::latency_ms();
+        a.merge(&Histogram::velocity());
+    }
+}

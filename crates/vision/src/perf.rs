@@ -100,13 +100,81 @@ impl KernelCounters {
 
     /// Adds `other` into `self` field-wise (used when merging worker-thread
     /// counters back into the spawning thread).
+    ///
+    /// **Overflow invariant:** all counter arithmetic saturates —
+    /// [`since`](Self::since) saturates down and `merge` saturates up — so
+    /// a counter can pin at a bound but never wraps. Downstream consumers
+    /// (telemetry span attributes, parity tests) may therefore treat every
+    /// field as monotone under merge without overflow checks of their own.
     pub fn merge(&mut self, other: &KernelCounters) {
         macro_rules! add {
             ($f:ident, $s:expr, $o:expr) => {
-                $s.$f = $s.$f.wrapping_add($o.$f);
+                $s.$f = $s.$f.saturating_add($o.$f);
             };
         }
         for_each_field!(add, self, other);
+    }
+
+    /// The deterministic subset of the counters: work counts only, with
+    /// every wall-clock `*_ns` field stripped. See [`KernelCounts`].
+    pub fn counts(&self) -> KernelCounts {
+        KernelCounts {
+            pyramid_builds: self.pyramid_builds,
+            gaussian_blurs: self.gaussian_blurs,
+            downsamples: self.downsamples,
+            gradient_fields: self.gradient_fields,
+            corner_scans: self.corner_scans,
+            lk_calls: self.lk_calls,
+            lk_points: self.lk_points,
+            lk_iterations: self.lk_iterations,
+            buffers_allocated: self.buffers_allocated,
+            buffers_reused: self.buffers_reused,
+        }
+    }
+}
+
+/// The deterministic, count-only view of [`KernelCounters`].
+///
+/// The full struct mixes structural work counts (deterministic for a given
+/// input, identical across runs and thread counts) with wall-clock `*_ns`
+/// timings (inherently noisy). Parity tests and the telemetry layer must
+/// assert on — and record — *only* the former; this sub-struct makes the
+/// split explicit. Obtain via [`KernelCounters::counts`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounts {
+    /// Full pyramid constructions.
+    pub pyramid_builds: u64,
+    /// Gaussian blur passes.
+    pub gaussian_blurs: u64,
+    /// 2x2 box downsample passes.
+    pub downsamples: u64,
+    /// Scharr gradient fields computed.
+    pub gradient_fields: u64,
+    /// Corner-response scans.
+    pub corner_scans: u64,
+    /// Calls into pyramidal Lucas-Kanade.
+    pub lk_calls: u64,
+    /// Points given to Lucas-Kanade.
+    pub lk_points: u64,
+    /// Newton iterations executed inside Lucas-Kanade.
+    pub lk_iterations: u64,
+    /// Pixel/gradient buffers freshly allocated from the heap.
+    pub buffers_allocated: u64,
+    /// Pixel/gradient buffers recycled from a [`crate::scratch::ScratchPool`].
+    pub buffers_reused: u64,
+}
+
+impl KernelCounts {
+    /// [`crate::scratch::ScratchPool`] hit rate:
+    /// `buffers_reused / (buffers_allocated + buffers_reused)`.
+    /// `None` when no buffer was requested at all.
+    pub fn scratch_hit_rate(&self) -> Option<f64> {
+        let total = self.buffers_allocated + self.buffers_reused;
+        if total == 0 {
+            None
+        } else {
+            Some(self.buffers_reused as f64 / total as f64)
+        }
     }
 }
 
@@ -226,6 +294,34 @@ mod tests {
         let s = snapshot();
         assert_eq!(s.pyramid_builds, 4);
         assert_eq!(s.buffers_reused, 14);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = KernelCounters::default();
+        a.lk_points = u64::MAX - 1;
+        let mut b = KernelCounters::default();
+        b.lk_points = 5;
+        a.merge(&b);
+        assert_eq!(a.lk_points, u64::MAX, "merge must saturate, not wrap");
+    }
+
+    #[test]
+    fn counts_strips_wall_clock_fields() {
+        let mut c = KernelCounters::default();
+        c.lk_calls = 3;
+        c.buffers_allocated = 1;
+        c.buffers_reused = 3;
+        c.flow_ns = 123_456; // wall-clock noise must not survive
+        let k = c.counts();
+        assert_eq!(k.lk_calls, 3);
+        assert_eq!(k.scratch_hit_rate(), Some(0.75));
+        assert_eq!(KernelCounts::default().scratch_hit_rate(), None);
+        // Two counters differing only in ns fields have equal counts.
+        let mut d = c;
+        d.flow_ns = 999;
+        d.corner_ns = 1;
+        assert_eq!(c.counts(), d.counts());
     }
 
     #[test]

@@ -34,6 +34,29 @@ if [ "${1:-}" != "--no-bench" ]; then
     echo "== fault sweep smoke (clean→stress battery, writes faults.csv/json)"
     cargo run --release -p adavp-bench --bin experiments -- faults \
         --scale smoke --out target/ci-results
+
+    echo "== telemetry trace smoke (Chrome export parses and is run-to-run byte-identical)"
+    cargo run --release --bin adavp -- trace --scenario highway --seed 7 \
+        --frames 90 --chrome target/ci-results/trace_a.json
+    cargo run --release --bin adavp -- trace --scenario highway --seed 7 \
+        --frames 90 --chrome target/ci-results/trace_b.json
+    cmp target/ci-results/trace_a.json target/ci-results/trace_b.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'EOF'
+import json
+with open("target/ci-results/trace_a.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+tids = {e["tid"] for e in events}
+assert len(tids) >= 3, f"expected >=3 tracks, got {sorted(tids)}"
+assert any(e.get("ph") == "X" for e in events), "no spans in chrome trace"
+print(f"chrome trace OK: {len(events)} events on {len(tids)} tracks")
+EOF
+    fi
+
+    echo "== telemetry determinism suite (chrome trace bytes across jobs)"
+    cargo test -q -p adavp-bench --test parallel_determinism \
+        chrome_trace_bytes_identical_across_jobs --release
 fi
 
 echo "CI OK"

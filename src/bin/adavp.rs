@@ -6,6 +6,7 @@
 //! adavp generate --scenario highway --seed 7 --frames 90 --out frames/
 //! adavp run --scenario city-street --seed 3 --frames 300 --system adavp
 //! adavp run --scenario highway --system mpdt-608 --gt true
+//! adavp trace --scenario highway --system adavp --chrome trace.json
 //! ```
 
 use adavp::core::adaptation::AdaptationModel;
@@ -16,6 +17,7 @@ use adavp::core::pipeline::{
     ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
     PipelineConfig, SettingPolicy, VideoProcessor,
 };
+use adavp::core::telemetry::{self, report, TelemetryConfig};
 use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::video::clip::VideoClip;
 use adavp::video::export::export_clip;
@@ -30,7 +32,8 @@ fn usage() -> ExitCode {
          adavp scenarios\n  \
          adavp generate --scenario <name> [--seed N] [--frames N] [--stride N] --out <dir>\n  \
          adavp run --scenario <name> [--seed N] [--frames N] [--system <sys>] [--gt oracle|true]\n              \
-                 [--trace-out <file.json>]\n\n\
+                 [--trace-out <file.json>]\n  \
+         adavp trace --scenario <name> [--seed N] [--frames N] [--system <sys>] [--chrome <file.json>]\n\n\
          systems: adavp (default), mpdt-320/416/512/608, marlin-320/416/512/608,\n          \
          without-tracking-512, continuous-320, continuous-608, tiny"
     );
@@ -54,9 +57,8 @@ fn find_scenario(name: &str) -> Option<Scenario> {
     Scenario::ALL.into_iter().find(|s| s.spec().name == name)
 }
 
-fn build_system(name: &str) -> Option<Box<dyn VideoProcessor>> {
+fn build_system(name: &str, cfg: PipelineConfig) -> Option<Box<dyn VideoProcessor>> {
     let det = SimulatedDetector::new(DetectorConfig::default());
-    let cfg = PipelineConfig::default();
     let fixed = |s: &str| -> Option<ModelSetting> {
         Some(match s {
             "320" => ModelSetting::Yolo320,
@@ -164,7 +166,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             let system = flags.get("system").map(String::as_str).unwrap_or("adavp");
-            let Some(mut pipeline) = build_system(system) else {
+            let Some(mut pipeline) = build_system(system, PipelineConfig::default()) else {
                 eprintln!("unknown system: {system}");
                 return usage();
             };
@@ -219,6 +221,70 @@ fn main() -> ExitCode {
                     Ok(()) => println!("trace:     written to {}", path.display()),
                     Err(e) => {
                         eprintln!("failed to write trace: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(name) = flags.get("scenario") else {
+                return usage();
+            };
+            let Some(scenario) = find_scenario(name) else {
+                eprintln!("unknown scenario: {name} (try `adavp scenarios`)");
+                return ExitCode::from(2);
+            };
+            let system = flags.get("system").map(String::as_str).unwrap_or("adavp");
+            let cfg = PipelineConfig {
+                telemetry: TelemetryConfig::enabled(),
+                ..PipelineConfig::default()
+            };
+            let Some(mut pipeline) = build_system(system, cfg) else {
+                eprintln!("unknown system: {system}");
+                return usage();
+            };
+            let clip = VideoClip::generate(name, &scenario.spec(), seed, frames);
+            let trace = pipeline.process(&clip);
+            println!("system:    {}", trace.pipeline);
+            println!("video:     {name} (seed {seed}, {frames} frames)");
+            println!(
+                "telemetry: {} spans, {} events",
+                trace.telemetry.spans.len(),
+                trace.telemetry.events.len()
+            );
+            println!();
+            print!("{}", report::flame_report(&trace.telemetry));
+            let dist = telemetry::distributions([&trace]);
+            let mut rows: Vec<(String, &telemetry::Histogram)> =
+                vec![("all cycles".into(), &dist.cycle_ms)];
+            for (s, h) in &dist.cycle_ms_by_setting {
+                rows.push((s.to_string(), h));
+            }
+            println!();
+            print!("{}", report::percentile_table("cycle latency (ms)", &rows));
+            if !dist.velocity.is_empty() {
+                println!();
+                print!(
+                    "{}",
+                    report::percentile_table(
+                        "content velocity (px/frame)",
+                        &[("measured".into(), &dist.velocity)],
+                    )
+                );
+            }
+            if let Some(path) = flags.get("chrome").map(PathBuf::from) {
+                let label = format!("{system} / {name}");
+                match telemetry::chrome::write_chrome_trace(
+                    &[(label.as_str(), &trace.telemetry)],
+                    &path,
+                ) {
+                    Ok(()) => println!(
+                        "\nchrome trace written to {} (load in chrome://tracing or ui.perfetto.dev)",
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("failed to write chrome trace: {e}");
                         return ExitCode::FAILURE;
                     }
                 }

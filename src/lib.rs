@@ -17,7 +17,7 @@
 //! | [`detector`] | `adavp-detector` | simulated YOLOv3 model settings (tiny/320/416/512/608/704) |
 //! | [`metrics`] | `adavp-metrics` | box matching, F1, per-video accuracy, stats |
 //! | [`sim`] | `adavp-sim` | virtual time, event queue, resources, energy meter |
-//! | [`core`] | `adavp-core` | object tracker, MPDT/AdaVP/MARLIN/baseline pipelines, adaptation, threaded runtime |
+//! | [`core`] | `adavp-core` | object tracker, MPDT/AdaVP/MARLIN/baseline pipelines, adaptation, threaded runtime, [`core::telemetry`] (span tracing, histograms, Chrome trace export) |
 //!
 //! # Quickstart
 //!

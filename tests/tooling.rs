@@ -5,7 +5,8 @@
 use adavp::core::analysis::{analyze, f1_by_source, switch_gaps, usage_shares};
 use adavp::core::eval::{evaluate_on_clip, EvalConfig};
 use adavp::core::export::{trace_to_json, write_frame_csv, write_trace_json};
-use adavp::core::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy};
+use adavp::core::pipeline::{MpdtPipeline, PipelineConfig, SettingPolicy, VideoProcessor};
+use adavp::core::telemetry::{self, chrome::chrome_trace_json, TelemetryConfig, Track};
 use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::video::clip::VideoClip;
 use adavp::video::export::{draw_boxes, export_clip, read_pgm, write_pgm};
@@ -71,6 +72,196 @@ fn json_export_of_real_trace_round_trips_key_fields() {
     let csv = fs::read_to_string(dir.join("frames.csv")).unwrap();
     assert_eq!(csv.lines().count(), ev.trace.outputs.len() + 1);
     let _ = fs::remove_dir_all(dir);
+}
+
+/// Minimal recursive-descent JSON well-formedness checker. No JSON parser
+/// is available offline, and the Chrome exporter builds its document by
+/// string concatenation — so validate it the hard way: the whole byte
+/// stream must parse as exactly one JSON value.
+mod json_check {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = skip_ws(b, 0);
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at offset {i}"))
+        }
+    }
+
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        i
+    }
+
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        match b.get(i) {
+            Some(b'{') => composite(b, i + 1, b'}', true),
+            Some(b'[') => composite(b, i + 1, b']', false),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => Err(format!("unexpected {other:?} at offset {i}")),
+        }
+    }
+
+    fn composite(b: &[u8], mut i: usize, close: u8, keyed: bool) -> Result<usize, String> {
+        i = skip_ws(b, i);
+        if b.get(i) == Some(&close) {
+            return Ok(i + 1);
+        }
+        loop {
+            if keyed {
+                i = string(b, skip_ws(b, i))?;
+                i = skip_ws(b, i);
+                if b.get(i) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {i}"));
+                }
+                i += 1;
+            }
+            i = value(b, skip_ws(b, i))?;
+            i = skip_ws(b, i);
+            match b.get(i) {
+                Some(b',') => i += 1,
+                Some(c) if *c == close => return Ok(i + 1),
+                other => return Err(format!("expected ',' or close, got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn literal(b: &[u8], i: usize, word: &[u8]) -> Result<usize, String> {
+        if b.get(i..i + word.len()) == Some(word) {
+            Ok(i + word.len())
+        } else {
+            Err(format!("bad literal at offset {i}"))
+        }
+    }
+
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected string at offset {i}"));
+        }
+        let mut j = i + 1;
+        while let Some(&c) = b.get(j) {
+            match c {
+                b'"' => return Ok(j + 1),
+                b'\\' => {
+                    match b.get(j + 1) {
+                        Some(b'u') => {
+                            let hex = b.get(j + 2..j + 6).ok_or("truncated \\u escape")?;
+                            if !hex.iter().all(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at offset {j}"));
+                            }
+                            j += 6;
+                        }
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => j += 2,
+                        other => return Err(format!("bad escape {other:?} at offset {j}")),
+                    }
+                }
+                0x00..=0x1F => return Err(format!("raw control byte in string at {j}")),
+                _ => j += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], mut i: usize) -> Result<usize, String> {
+        let start = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        let digits = |b: &[u8], mut i: usize| {
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            i
+        };
+        let d = digits(b, i);
+        if d == i {
+            return Err(format!("expected digits at offset {start}"));
+        }
+        i = d;
+        if b.get(i) == Some(&b'.') {
+            let f = digits(b, i + 1);
+            if f == i + 1 {
+                return Err(format!("bare decimal point at offset {i}"));
+            }
+            i = f;
+        }
+        if matches!(b.get(i), Some(b'e' | b'E')) {
+            i += 1;
+            if matches!(b.get(i), Some(b'+' | b'-')) {
+                i += 1;
+            }
+            let e = digits(b, i);
+            if e == i {
+                return Err(format!("empty exponent at offset {i}"));
+            }
+            i = e;
+        }
+        Ok(i)
+    }
+}
+
+/// The acceptance path behind `adavp trace --chrome`: an MPDT run with
+/// telemetry enabled must export valid Chrome trace-event JSON carrying
+/// all three resource tracks (GPU detector / CPU tracker / camera).
+#[test]
+fn chrome_trace_export_is_valid_json_with_three_tracks() {
+    let mut spec = Scenario::CityStreet.spec();
+    spec.width = 240;
+    spec.height = 140;
+    spec.size_range = (20.0, 36.0);
+    let clip = VideoClip::generate("telemetry", &spec, 19, 120);
+    let mut p = MpdtPipeline::new(
+        SimulatedDetector::new(DetectorConfig::default()),
+        SettingPolicy::Fixed(ModelSetting::Yolo512),
+        PipelineConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..PipelineConfig::default()
+        },
+    );
+    let trace = p.process(&clip);
+
+    // All three modeled resources carry activity.
+    assert!(trace.telemetry.spans_on(Track::Gpu).count() > 0);
+    assert!(trace.telemetry.spans_on(Track::Cpu).count() > 0);
+    assert!(
+        trace
+            .telemetry
+            .events
+            .iter()
+            .any(|e| e.track == Track::Camera),
+        "camera track recorded no events"
+    );
+
+    let json = chrome_trace_json(&[("mpdt-512 / telemetry", &trace.telemetry)]);
+    json_check::validate(&json).expect("chrome trace must be valid JSON");
+    for track in ["gpu detector", "cpu tracker", "camera"] {
+        assert!(json.contains(track), "missing track {track}");
+    }
+    assert!(json.contains("\"ph\": \"X\""), "no spans exported");
+    assert!(json.contains("\"ph\": \"i\""), "no instants exported");
+
+    // The flame report and percentile summary printed by the CLI render
+    // from the same log without panicking and mention real span names.
+    let flame = telemetry::report::flame_report(&trace.telemetry);
+    assert!(flame.contains("detect"), "{flame}");
+    let dist = telemetry::distributions([&trace]);
+    let p = dist.cycle_ms.percentiles().expect("cycles recorded");
+    assert!(p.p50 > 0.0 && p.p50 <= p.p99);
+
+    // The validator itself must reject malformed documents, or the
+    // assertion above pins nothing.
+    assert!(json_check::validate("{\"a\": [1, 2,]}").is_err());
+    assert!(json_check::validate("{\"a\": 1} extra").is_err());
+    assert!(json_check::validate("{\"a\": 01e}").is_err());
 }
 
 #[test]

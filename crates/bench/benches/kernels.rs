@@ -11,7 +11,9 @@ use adavp_video::object::ObjectClass;
 use adavp_video::render::Renderer;
 use adavp_video::scenario::Scenario;
 use adavp_video::world::World;
-use adavp_vision::features::{good_features_from_gradients, good_features_to_track, GoodFeaturesParams};
+use adavp_vision::features::{
+    good_features_from_gradients, good_features_to_track, GoodFeaturesParams,
+};
 use adavp_vision::flow::{LkParams, PyramidalLk};
 use adavp_vision::geometry::{BoundingBox, Point2};
 use adavp_vision::gradient::scharr_gradients;

@@ -106,11 +106,18 @@ fn main() {
     // --- End-to-end fig6: render + train + evaluate. ---
     let (fig6_seq_s, phases_seq, model_seq, csv_seq) = fig6_run(1, "jobs1");
     let (fig6_par_s, phases_par, model_par, csv_par) = fig6_run(jobs, "jobsN");
-    assert_eq!(model_seq, model_par, "trained thresholds differ across jobs");
+    assert_eq!(
+        model_seq, model_par,
+        "trained thresholds differ across jobs"
+    );
     for s in ModelSetting::ADAPTIVE {
         let (a, b) = (model_seq.thresholds_for(s), model_par.thresholds_for(s));
         for k in 0..3 {
-            assert_eq!(a[k].to_bits(), b[k].to_bits(), "threshold bits differ at {s}[{k}]");
+            assert_eq!(
+                a[k].to_bits(),
+                b[k].to_bits(),
+                "threshold bits differ at {s}[{k}]"
+            );
         }
     }
     assert_eq!(csv_seq, csv_par, "fig6 CSV bytes differ across jobs");

@@ -316,7 +316,9 @@ contention_busy_ms = 80
         assert!(parse_profile_fixture("volume = 11").is_err());
         assert!(parse_profile_fixture("seed = eleven").is_err());
         // Comments and blanks alone are the quiet profile.
-        assert!(parse_profile_fixture("# nothing\n\n").expect("ok").is_quiet());
+        assert!(parse_profile_fixture("# nothing\n\n")
+            .expect("ok")
+            .is_quiet());
     }
 
     #[test]

@@ -214,11 +214,7 @@ mod tests {
             &Executor::sequential(),
         );
         let d = r.distributions();
-        let cycles: usize = r
-            .evaluations
-            .iter()
-            .map(|e| e.trace.cycles.len())
-            .sum();
+        let cycles: usize = r.evaluations.iter().map(|e| e.trace.cycles.len()).sum();
         assert_eq!(d.cycle_ms.count(), cycles as u64);
         let p = d.cycle_ms.percentiles().expect("cycles recorded");
         assert!(p.p50 <= p.p90 && p.p90 <= p.p99);

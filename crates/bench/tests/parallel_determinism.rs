@@ -153,7 +153,10 @@ fn fault_sweep_is_deterministic_across_jobs() {
         let rows = sweep_with(&mut ctx, &scenarios);
         let path = std::env::temp_dir().join(format!("adavp_fault_determinism_{tag}.csv"));
         write_csv(&path, &SWEEP_HEADER, &sweep_rows(&rows)).expect("write csv");
-        (std::fs::read(&path).expect("read csv"), sweep_to_json(&rows))
+        (
+            std::fs::read(&path).expect("read csv"),
+            sweep_to_json(&rows),
+        )
     };
 
     let (csv_a, json_a) = run(1, "jobs1");

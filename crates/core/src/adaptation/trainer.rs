@@ -267,8 +267,7 @@ fn merge_observations(obs: &[SettingObservation; 4]) -> [Vec<TrainingExample>; 4
 /// Returns `examples[si]` = chunk samples with velocity measured under
 /// `ModelSetting::ADAPTIVE[si]`.
 pub fn collect_examples(clip: &VideoClip, cfg: &TrainerConfig) -> [Vec<TrainingExample>; 4] {
-    let obs: [SettingObservation; 4] =
-        std::array::from_fn(|si| observe_setting(clip, si, cfg));
+    let obs: [SettingObservation; 4] = std::array::from_fn(|si| observe_setting(clip, si, cfg));
     merge_observations(&obs)
 }
 

@@ -135,7 +135,15 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
             t = de;
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
+        finish_trace(
+            self.name(),
+            outputs,
+            cycles,
+            meter,
+            &gpu,
+            &cpu,
+            rec.finish(),
+        )
     }
 }
 

@@ -53,7 +53,15 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
         let mut meter = EnergyMeter::new();
         let mut rec = Recorder::new(self.config.telemetry);
         if n == 0 {
-            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish());
+            return finish_trace(
+                self.name(),
+                outputs,
+                cycles,
+                meter,
+                &gpu,
+                &cpu,
+                rec.finish(),
+            );
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
@@ -157,7 +165,15 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
             cur = next;
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
+        finish_trace(
+            self.name(),
+            outputs,
+            cycles,
+            meter,
+            &gpu,
+            &cpu,
+            rec.finish(),
+        )
     }
 }
 

@@ -20,7 +20,6 @@ use super::{
 use crate::telemetry::{Attr, EventKind, Recorder, SpanKind, Track};
 use crate::tracker::ObjectTracker;
 use crate::velocity::VelocityEstimator;
-use adavp_vision::perf;
 use adavp_detector::{DetectionResult, Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
@@ -28,6 +27,7 @@ use adavp_sim::resource::Resource;
 use adavp_sim::time::SimTime;
 use adavp_video::buffer::FrameStream;
 use adavp_video::clip::VideoClip;
+use adavp_vision::perf;
 
 /// Nominal tracking-step horizon a divergence fraction maps onto: a
 /// divergence at fraction `f` fires after `1 + f × 15` steps of the cycle.
@@ -103,7 +103,15 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
         let mut meter = EnergyMeter::new();
         let mut rec = Recorder::new(self.config.telemetry);
         if n == 0 {
-            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish());
+            return finish_trace(
+                self.name(),
+                outputs,
+                cycles,
+                meter,
+                &gpu,
+                &cpu,
+                rec.finish(),
+            );
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
@@ -392,7 +400,15 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 rec.annotate_last(Track::Gpu, attrs);
             }
         }
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
+        finish_trace(
+            self.name(),
+            outputs,
+            cycles,
+            meter,
+            &gpu,
+            &cpu,
+            rec.finish(),
+        )
     }
 }
 

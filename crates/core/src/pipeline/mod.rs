@@ -488,7 +488,10 @@ mod tests {
     #[test]
     fn next_setting_without_velocity_fixed_and_cycling() {
         let f = SettingPolicy::Fixed(ModelSetting::Yolo320);
-        assert_eq!(f.next_setting(ModelSetting::Yolo608, None), ModelSetting::Yolo320);
+        assert_eq!(
+            f.next_setting(ModelSetting::Yolo608, None),
+            ModelSetting::Yolo320
+        );
         let c = SettingPolicy::Cycling;
         assert_ne!(
             c.next_setting(ModelSetting::Yolo512, None),

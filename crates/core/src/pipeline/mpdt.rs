@@ -16,7 +16,6 @@ use super::{
 use crate::telemetry::{Attr, EventKind, Recorder, SpanKind, TelemetryLog, Track};
 use crate::tracker::{FrameSelector, ObjectTracker};
 use crate::velocity::VelocityEstimator;
-use adavp_vision::perf::{self, KernelCounts};
 use adavp_detector::{DetectionResult, Detector, ModelSetting};
 use adavp_metrics::f1::LabeledBox;
 use adavp_sim::energy::{Activity, EnergyMeter};
@@ -25,6 +24,7 @@ use adavp_sim::resource::Resource;
 use adavp_sim::time::SimTime;
 use adavp_video::buffer::FrameStream;
 use adavp_video::clip::{Frame, VideoClip};
+use adavp_vision::perf::{self, KernelCounts};
 
 /// The parallel detection + tracking pipeline. See the module docs.
 #[derive(Debug, Clone)]
@@ -189,7 +189,9 @@ pub(super) fn record_detection_span(
             DetectorFault::Retried { attempts } => {
                 ("retried", Attr::u64("attempts", attempts as u64))
             }
-            DetectorFault::Failed { attempts } => ("failed", Attr::u64("attempts", attempts as u64)),
+            DetectorFault::Failed { attempts } => {
+                ("failed", Attr::u64("attempts", attempts as u64))
+            }
         };
         attrs.push(Attr::str("fault", kind));
         attrs.push(detail);
@@ -290,7 +292,15 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
         let mut meter = EnergyMeter::new();
         let mut rec = Recorder::new(self.config.telemetry);
         if n == 0 {
-            return finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish());
+            return finish_trace(
+                self.name(),
+                outputs,
+                cycles,
+                meter,
+                &gpu,
+                &cpu,
+                rec.finish(),
+            );
         }
         let stream = FrameStream::new(clip);
         let lat = self.config.latency;
@@ -353,7 +363,10 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     "overlay".to_string(),
                     ov_start.as_ms(),
                     ov_end.as_ms(),
-                    vec![Attr::u64("frame", cur), Attr::u64("boxes", boxes.len() as u64)],
+                    vec![
+                        Attr::u64("frame", cur),
+                        Attr::u64("boxes", boxes.len() as u64),
+                    ],
                 );
             }
             outputs[cur as usize] = Some(FrameOutput {
@@ -505,10 +518,8 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                         }
                     }
                     if rec.steps() {
-                        let mut attrs = vec![
-                            Attr::u64("frame", fidx),
-                            Attr::u64("objects", objs as u64),
-                        ];
+                        let mut attrs =
+                            vec![Attr::u64("frame", fidx), Attr::u64("objects", objs as u64)];
                         if let Some(v) = step_velocity {
                             attrs.push(Attr::f64("velocity", v));
                         }
@@ -584,7 +595,15 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
             setting = next_setting;
         }
 
-        finish_trace(self.name(), outputs, cycles, meter, &gpu, &cpu, rec.finish())
+        finish_trace(
+            self.name(),
+            outputs,
+            cycles,
+            meter,
+            &gpu,
+            &cpu,
+            rec.finish(),
+        )
     }
 }
 
@@ -765,7 +784,10 @@ mod tests {
         let f = trace.source_fractions();
         assert!(f.detected > 0.0);
         assert!(f.tracked > 0.0, "tracker must process some frames");
-        assert!(f.held > 0.0, "frame selection must skip some frames (Obs. 4)");
+        assert!(
+            f.held > 0.0,
+            "frame selection must skip some frames (Obs. 4)"
+        );
         assert!(
             f.tracked + f.held > f.detected,
             "most frames are not detector-processed"

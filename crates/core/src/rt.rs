@@ -141,6 +141,7 @@ where
     let buffer = FrameBuffer::default();
     let latest_fetched = AtomicU64::new(0);
     let (det_tx, det_rx) = channel::bounded::<DetectionMsg>(4);
+    // adavp-lint: allow(wallclock) — the threaded runtime paces virtual frame arrivals against the host clock by design; sim pipelines never reach this path
     let start = std::time::Instant::now();
     let compress = cfg.us_per_virtual_ms;
     let frame_interval_us = (clip.frame_interval_ms() * compress as f64) as u64;

@@ -363,7 +363,14 @@ impl Recorder {
     }
 
     /// Records an instant event (no-op when disabled).
-    pub fn event(&mut self, track: Track, kind: EventKind, name: String, at_ms: f64, attrs: Vec<Attr>) {
+    pub fn event(
+        &mut self,
+        track: Track,
+        kind: EventKind,
+        name: String,
+        at_ms: f64,
+        attrs: Vec<Attr>,
+    ) {
         if !self.config.enabled {
             return;
         }
@@ -534,8 +541,21 @@ mod tests {
     #[test]
     fn disabled_recorder_records_nothing() {
         let mut r = Recorder::off();
-        r.span(Track::Gpu, SpanKind::Detection, "d".into(), 0.0, 1.0, vec![]);
-        r.event(Track::Cpu, EventKind::SettingSwitch, "s".into(), 0.0, vec![]);
+        r.span(
+            Track::Gpu,
+            SpanKind::Detection,
+            "d".into(),
+            0.0,
+            1.0,
+            vec![],
+        );
+        r.event(
+            Track::Cpu,
+            EventKind::SettingSwitch,
+            "s".into(),
+            0.0,
+            vec![],
+        );
         assert!(r.finish().is_empty());
     }
 

@@ -1,0 +1,292 @@
+//! The lint engine: applies the rule table to one source string or to the
+//! whole workspace, resolves policy allows and inline waivers, tracks
+//! waiver hit counts (a waiver that suppresses nothing is *stale*), and
+//! renders the violation and waiver-audit reports.
+
+use crate::lexer::{self, Token};
+use crate::policy::{parse_waiver, InlineWaiver, Policy, WaiverParse};
+use crate::rules::{pattern_display, RuleKind, RULES};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn display(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Where a waiver was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaiverSource {
+    /// `// adavp-lint: allow(<rule>) — <reason>` at a call site.
+    Inline,
+    /// `[[allow]]` entry in `lint.toml`.
+    Policy,
+}
+
+/// One active waiver plus how many findings it suppressed this run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverUse {
+    pub rule: String,
+    /// `path:line` for inline waivers, the path prefix for policy allows.
+    pub site: String,
+    pub reason: String,
+    pub source: WaiverSource,
+    pub hits: usize,
+}
+
+/// Lint result for one source file (see [`lint_source`]).
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    pub findings: Vec<Finding>,
+    pub inline_waivers: Vec<WaiverUse>,
+    /// Suppression count per `policy.allows` index.
+    pub policy_hits: Vec<usize>,
+}
+
+/// Aggregated result over a workspace run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<WaiverUse>,
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// Waivers that suppressed nothing: dead policy weight that `--fix-check`
+    /// refuses, so scopes cannot silently rot wider than reality.
+    pub fn stale_waivers(&self) -> Vec<&WaiverUse> {
+        self.waivers.iter().filter(|w| w.hits == 0).collect()
+    }
+
+    /// Violations + stale waivers both clean.
+    pub fn fix_check_ok(&self) -> bool {
+        self.findings.is_empty() && self.stale_waivers().is_empty()
+    }
+
+    /// One line per violation.
+    pub fn violation_report(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}", f.display());
+        }
+        out
+    }
+
+    /// The `--report` audit table of every active waiver.
+    pub fn waiver_report(&self) -> String {
+        let mut out = String::new();
+        let stale = self.stale_waivers().len();
+        let _ = writeln!(
+            out,
+            "adavp-lint waiver audit: {} active waiver(s), {} stale",
+            self.waivers.len(),
+            stale
+        );
+        let _ = writeln!(
+            out,
+            "  {:<20} {:<44} {:<6} {:>4}  reason",
+            "rule", "site", "kind", "hits"
+        );
+        for w in &self.waivers {
+            let kind = match w.source {
+                WaiverSource::Inline => "inline",
+                WaiverSource::Policy => "policy",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<20} {:<44} {:<6} {:>4}  {}",
+                w.rule, w.site, kind, w.hits, w.reason
+            );
+        }
+        out
+    }
+}
+
+/// Lint a single file's source. `rel_path` is the workspace-relative path
+/// (`/`-separated) used for rule scoping and in findings.
+pub fn lint_source(rel_path: &str, src: &str, policy: &Policy) -> FileOutcome {
+    let known = crate::rules::rule_names();
+    let lexed = lexer::strip_cfg_test(lexer::lex(src));
+    let mut out = FileOutcome {
+        policy_hits: vec![0; policy.allows.len()],
+        ..FileOutcome::default()
+    };
+
+    let mut waivers: Vec<(InlineWaiver, usize)> = Vec::new();
+    for c in &lexed.comments {
+        match parse_waiver(&c.text, c.line, &known) {
+            WaiverParse::NotAWaiver => {}
+            WaiverParse::Invalid(message) => out.findings.push(Finding {
+                rule: "waiver-syntax".to_string(),
+                path: rel_path.to_string(),
+                line: c.line,
+                message,
+            }),
+            WaiverParse::Waiver(w) => waivers.push((w, 0)),
+        }
+    }
+
+    for rule in RULES {
+        if !policy.applies(rule.name, rel_path) {
+            continue;
+        }
+        let candidates: Vec<(u32, String)> = match rule.kind {
+            RuleKind::Forbid(patterns) => patterns
+                .iter()
+                .flat_map(|pat| {
+                    find_sequence(&lexed.tokens, pat).into_iter().map(|line| {
+                        (
+                            line,
+                            format!("`{}`: {}", pattern_display(pat), rule.summary),
+                        )
+                    })
+                })
+                .collect(),
+            RuleKind::RequireInCrateRoot(pat) => {
+                if is_crate_root(rel_path) && find_sequence(&lexed.tokens, pat).is_empty() {
+                    vec![(1, rule.summary.to_string())]
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        for (line, message) in candidates {
+            if let Some(i) = policy.allows.iter().position(|a| {
+                a.rule == rule.name && crate::policy::prefix_matches(&a.path, rel_path)
+            }) {
+                out.policy_hits[i] += 1;
+                continue;
+            }
+            if let Some((_, hits)) = waivers
+                .iter_mut()
+                .find(|(w, _)| w.rule == rule.name && (w.line == line || w.line + 1 == line))
+            {
+                *hits += 1;
+                continue;
+            }
+            out.findings.push(Finding {
+                rule: rule.name.to_string(),
+                path: rel_path.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+
+    out.findings
+        .sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out.inline_waivers = waivers
+        .into_iter()
+        .map(|(w, hits)| WaiverUse {
+            rule: w.rule,
+            site: format!("{rel_path}:{}", w.line),
+            reason: w.reason,
+            source: WaiverSource::Inline,
+            hits,
+        })
+        .collect();
+    out
+}
+
+/// Lint the whole workspace rooted at `root` (must contain `lint.toml`).
+/// Walks `src/` and `crates/` (skipping `target/` and hidden directories)
+/// in sorted order, so output is deterministic.
+pub fn lint_workspace(root: &Path) -> Result<Outcome, String> {
+    let policy = crate::policy::load_policy(root)?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["src", "crates"] {
+        collect_rs_files(&root.join(top), &mut files).map_err(|e| format!("walking {top}: {e}"))?;
+    }
+    files.sort();
+
+    let mut outcome = Outcome::default();
+    let mut policy_hits = vec![0usize; policy.allows.len()];
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let fo = lint_source(&rel, &src, &policy);
+        outcome.findings.extend(fo.findings);
+        outcome.waivers.extend(fo.inline_waivers);
+        for (acc, n) in policy_hits.iter_mut().zip(&fo.policy_hits) {
+            *acc += n;
+        }
+        outcome.files_scanned += 1;
+    }
+    outcome.waivers.extend(
+        policy
+            .allows
+            .iter()
+            .zip(policy_hits)
+            .map(|(a, hits)| WaiverUse {
+                rule: a.rule.clone(),
+                site: a.path.clone(),
+                reason: a.reason.clone(),
+                source: WaiverSource::Policy,
+                hits,
+            }),
+    );
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    outcome
+        .waivers
+        .sort_by(|a, b| (&a.site, &a.rule).cmp(&(&b.site, &b.rule)));
+    Ok(outcome)
+}
+
+/// Crate roots are the only files where `RequireInCrateRoot` rules apply.
+fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs" || rel_path.ends_with("/src/lib.rs")
+}
+
+/// Every line where `pat` occurs as a consecutive token sequence.
+fn find_sequence(tokens: &[Token], pat: &[&str]) -> Vec<u32> {
+    if pat.is_empty() || tokens.len() < pat.len() {
+        return Vec::new();
+    }
+    tokens
+        .windows(pat.len())
+        .filter(|w| w.iter().zip(pat).all(|(t, p)| t.text == *p))
+        .map(|w| w[0].line)
+        .collect()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

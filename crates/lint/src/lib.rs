@@ -1,0 +1,44 @@
+//! `adavp-lint` — workspace determinism lint.
+//!
+//! Every number AdaVP reports (MPDT accuracy/latency traces, fault sweeps,
+//! Chrome telemetry exports) is pinned by byte-identity tests across
+//! `--jobs` values. Those tests catch reintroduced nondeterminism only
+//! probabilistically: a wall-clock read or an unordered `HashMap` iteration
+//! can survive many runs before the bytes diverge. This crate enforces the
+//! contract at the *source* level instead, with a small hand-written Rust
+//! lexer (comment- and string-aware, so `Instant::now` in a doc comment or
+//! an error message never fires) and a policy table of determinism and
+//! hygiene rules.
+//!
+//! The pieces:
+//!
+//! * [`lexer`] — minimal tokenizer: identifiers/punctuation with line
+//!   numbers, comments and string/char literals stripped, `#[cfg(test)]`
+//!   items removed (test code may legitimately touch the host).
+//! * [`rules`] — the static rule table (forbidden token sequences plus the
+//!   `#![forbid(unsafe_code)]` crate-root requirement).
+//! * [`policy`] — `lint.toml` parsing (per-rule path scopes, audited
+//!   `[[allow]]` entries) and the inline-waiver grammar
+//!   `// adavp-lint: allow(<rule>) — <reason>`.
+//! * [`engine`] — applies rules to one source string or to the whole
+//!   workspace, tracks waiver hit counts, and renders the violation and
+//!   waiver-audit reports. Stale waivers (zero suppressed findings) fail
+//!   `--fix-check`.
+//!
+//! The binary (`cargo run -p adavp-lint -- --fix-check`) gates CI before
+//! clippy; `tests/tooling.rs` at the workspace root also invokes
+//! [`lint_workspace`] as a library so plain `cargo test` enforces the pass.
+//! DESIGN.md §13 documents the rule table and waiver grammar.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+pub use engine::{
+    lint_source, lint_workspace, FileOutcome, Finding, Outcome, WaiverSource, WaiverUse,
+};
+pub use policy::{load_policy, parse_policy, Policy, PolicyAllow};
+pub use rules::{rule_names, Rule, RuleKind, RULES};

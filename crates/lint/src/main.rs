@@ -1,0 +1,97 @@
+//! `adavp-lint` binary: lint the workspace against `lint.toml`.
+//!
+//! ```text
+//! adavp-lint [--root <dir>] [--report] [--fix-check]
+//! ```
+//!
+//! * default: print violations, exit 1 if any.
+//! * `--report`: also print the audit table of every active waiver.
+//! * `--fix-check`: additionally fail on stale waivers (waiver present,
+//!   rule no longer triggered) — the CI mode.
+//!
+//! Exit codes: 0 clean, 1 violations or stale waivers, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report = false;
+    let mut fix_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--report" => report = true,
+            "--fix-check" => fix_check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: adavp-lint [--root <dir>] [--report] [--fix-check]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("adavp-lint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let started = std::time::Instant::now();
+    let outcome = match adavp_lint::lint_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("adavp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    if !outcome.findings.is_empty() {
+        eprint!("{}", outcome.violation_report());
+        eprintln!(
+            "adavp-lint: {} violation(s) — see DESIGN.md §13 for the rule table \
+             and waiver grammar",
+            outcome.findings.len()
+        );
+        failed = true;
+    }
+    if report {
+        print!("{}", outcome.waiver_report());
+    }
+    if fix_check {
+        let stale = outcome.stale_waivers();
+        if !stale.is_empty() {
+            for w in &stale {
+                eprintln!(
+                    "stale waiver: [{}] at {} — rule no longer triggers; remove it ({})",
+                    w.rule, w.site, w.reason
+                );
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "adavp-lint: {} files clean, {} active waiver(s) ({} ms)",
+        outcome.files_scanned,
+        outcome.waivers.len(),
+        started.elapsed().as_millis()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: adavp-lint [--root <dir>] [--report] [--fix-check]");
+    ExitCode::from(2)
+}

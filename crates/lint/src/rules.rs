@@ -1,0 +1,100 @@
+//! The determinism rule table.
+//!
+//! Rules come in two shapes: *forbid* rules flag any occurrence of one of a
+//! set of token sequences, and *require* rules demand a token sequence in
+//! every crate root (`src/lib.rs`) they are scoped to. Which files a rule
+//! applies to is decided by `lint.toml` (see [`crate::policy`]), never here:
+//! the same table serves the whole workspace, and the policy file is the
+//! single audited place where scope is granted or waived.
+
+/// How a rule matches.
+#[derive(Debug, Clone, Copy)]
+pub enum RuleKind {
+    /// Flag every occurrence of any of these token sequences.
+    Forbid(&'static [&'static [&'static str]]),
+    /// Files named `src/lib.rs` in scope must contain this token sequence.
+    RequireInCrateRoot(&'static [&'static str]),
+}
+
+/// One named rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub kind: RuleKind,
+}
+
+/// The full rule table, in the order findings are reported.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "wallclock",
+        summary: "host clock read; deterministic code must use sim time",
+        kind: RuleKind::Forbid(&[&["Instant", "::", "now"], &["SystemTime"]]),
+    },
+    Rule {
+        name: "env",
+        summary: "process environment is host state; pass configuration explicitly",
+        kind: RuleKind::Forbid(&[&["std", "::", "env"]]),
+    },
+    Rule {
+        name: "ambient-rng",
+        summary: "ambient RNG breaks seeded reproducibility; use a seeded StdRng",
+        kind: RuleKind::Forbid(&[
+            &["thread_rng"],
+            &["rand", "::", "random"],
+            &["OsRng"],
+            &["from_entropy"],
+        ]),
+    },
+    Rule {
+        name: "unordered-map",
+        summary: "iteration order is unspecified; use BTreeMap/BTreeSet or sorted vecs",
+        kind: RuleKind::Forbid(&[&["HashMap"], &["HashSet"]]),
+    },
+    Rule {
+        name: "pipeline-host-state",
+        summary: "CycleRecord-producing pipeline paths must not touch host state",
+        kind: RuleKind::Forbid(&[
+            &["std", "::", "fs"],
+            &["std", "::", "net"],
+            &["std", "::", "process"],
+            &["std", "::", "thread"],
+            &["std", "::", "time"],
+            &["std", "::", "env"],
+            &["Instant"],
+            &["SystemTime"],
+            &["thread_rng"],
+            &["OsRng"],
+        ]),
+    },
+    Rule {
+        name: "forbid-unsafe",
+        summary: "crate root is missing #![forbid(unsafe_code)]",
+        kind: RuleKind::RequireInCrateRoot(&[
+            "#",
+            "!",
+            "[",
+            "forbid",
+            "(",
+            "unsafe_code",
+            ")",
+            "]",
+        ]),
+    },
+];
+
+/// All rule names, for policy/waiver validation.
+pub fn rule_names() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.name).collect()
+}
+
+/// Look a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Render a forbidden token sequence for messages (`["Instant","::","now"]`
+/// → `Instant::now`).
+pub fn pattern_display(pat: &[&str]) -> String {
+    pat.concat()
+}

@@ -1,0 +1,248 @@
+//! Fixture-based engine tests: known-bad snippets per rule must flag,
+//! known-good snippets must stay clean, waivers must suppress (and count),
+//! stale waivers must surface, and mentions inside comments or string
+//! literals must never fire.
+
+use adavp_lint::{lint_source, parse_policy, rule_names, Policy};
+
+const POLICY: &str = r#"
+[rule.wallclock]
+include = ["fix"]
+[rule.env]
+include = ["fix"]
+[rule.ambient-rng]
+include = ["fix"]
+[rule.unordered-map]
+include = ["fix"]
+[rule.pipeline-host-state]
+include = ["fix/pipeline"]
+[rule.forbid-unsafe]
+include = ["fix"]
+
+[[allow]]
+rule = "wallclock"
+path = "fix/bench"
+reason = "fixture bench timing"
+"#;
+
+fn policy() -> Policy {
+    parse_policy(POLICY, &rule_names()).expect("fixture policy parses")
+}
+
+fn rules_flagged(path: &str, src: &str) -> Vec<String> {
+    lint_source(path, src, &policy())
+        .findings
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn known_bad_snippets_flag_per_rule() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "wallclock",
+            "fix/a.rs",
+            "fn f() -> std::time::Instant { Instant::now() }",
+        ),
+        (
+            "wallclock",
+            "fix/b.rs",
+            "fn f() { let _ = std::time::SystemTime::now(); }",
+        ),
+        (
+            "env",
+            "fix/c.rs",
+            "fn f() { let _ = std::env::var(\"X\"); }",
+        ),
+        (
+            "ambient-rng",
+            "fix/d.rs",
+            "fn f() { let mut rng = rand::thread_rng(); }",
+        ),
+        (
+            "ambient-rng",
+            "fix/e.rs",
+            "fn f() { let x: f64 = rand::random(); }",
+        ),
+        (
+            "unordered-map",
+            "fix/g.rs",
+            "use std::collections::HashMap;\nfn f() {}",
+        ),
+        (
+            "unordered-map",
+            "fix/h.rs",
+            "use std::collections::HashSet;\nfn f() {}",
+        ),
+        (
+            "pipeline-host-state",
+            "fix/pipeline/mpdt.rs",
+            "fn f() { let _ = std::thread::current(); }",
+        ),
+        (
+            "pipeline-host-state",
+            "fix/pipeline/marlin.rs",
+            "fn f() { let _ = std::fs::read(\"x\"); }",
+        ),
+        ("forbid-unsafe", "fix/src/lib.rs", "pub fn no_header() {}"),
+    ];
+    for (rule, path, src) in cases {
+        let flagged = rules_flagged(path, src);
+        assert!(
+            flagged.iter().any(|r| r == rule),
+            "expected `{rule}` to flag {path}, got {flagged:?}"
+        );
+    }
+}
+
+#[test]
+fn known_good_snippets_are_clean() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "fix/good.rs",
+            "use std::collections::BTreeMap;\n\
+             fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); let _ = m; }",
+        ),
+        (
+            "fix/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn crate_root_with_header() {}",
+        ),
+        (
+            "fix/seeded.rs",
+            "use rand::{rngs::StdRng, Rng, SeedableRng};\n\
+             fn f(seed: u64) -> f64 { StdRng::seed_from_u64(seed).gen() }",
+        ),
+    ];
+    for (path, src) in cases {
+        let flagged = rules_flagged(path, src);
+        assert!(
+            flagged.is_empty(),
+            "{path} should be clean, got {flagged:?}"
+        );
+    }
+}
+
+#[test]
+fn out_of_scope_paths_are_ignored() {
+    assert!(
+        rules_flagged("other/a.rs", "fn f() { let _ = Instant::now(); }").is_empty(),
+        "rule fired outside its include scope"
+    );
+}
+
+#[test]
+fn comment_and_string_mentions_do_not_fire() {
+    let src = r##"
+        /// Docs may say Instant::now or HashMap freely.
+        // So may plain comments: std::env, thread_rng, SystemTime.
+        fn f() {
+            let msg = "uses HashMap and Instant::now() and rand::random";
+            let raw = r#"std::env::var and thread_rng"#;
+            let ch = 'H'; // not the start of HashMap
+            let _ = (msg, raw, ch);
+        }
+    "##;
+    let flagged = rules_flagged("fix/strings.rs", src);
+    assert!(flagged.is_empty(), "false positives: {flagged:?}");
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let src = "pub fn live() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   use std::collections::HashMap;\n\
+                   #[test]\n\
+                   fn t() { let _ = (HashMap::<u8, u8>::new(), std::time::Instant::now()); }\n\
+               }\n";
+    let flagged = rules_flagged("fix/tested.rs", src);
+    assert!(flagged.is_empty(), "test module leaked: {flagged:?}");
+}
+
+#[test]
+fn waiver_is_honored_same_line_and_next_line() {
+    let src = "fn f() {\n\
+               let _ = Instant::now(); // adavp-lint: allow(wallclock) — fixture trailing\n\
+               // adavp-lint: allow(wallclock) — fixture next line\n\
+               let _ = Instant::now();\n\
+               }\n";
+    let out = lint_source("fix/waived.rs", src, &policy());
+    assert!(
+        out.findings.is_empty(),
+        "waivers ignored: {:?}",
+        out.findings
+    );
+    assert_eq!(out.inline_waivers.len(), 2);
+    for w in &out.inline_waivers {
+        assert_eq!(w.hits, 1, "waiver at {} did not count its hit", w.site);
+    }
+}
+
+#[test]
+fn waiver_does_not_reach_other_rules_or_far_lines() {
+    let src = "// adavp-lint: allow(wallclock) — wrong rule for the finding below\n\
+               fn f() { let _ = std::env::var(\"X\"); }\n\
+               fn g() {\n\
+               let _ = Instant::now();\n\
+               }\n";
+    let out = lint_source("fix/miswaived.rs", src, &policy());
+    let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(
+        rules.contains(&"env"),
+        "waiver for wallclock ate an env finding"
+    );
+    assert!(
+        rules.contains(&"wallclock"),
+        "waiver suppressed a finding two lines away"
+    );
+}
+
+#[test]
+fn waiver_without_reason_is_itself_a_finding() {
+    let src = "// adavp-lint: allow(wallclock)\nfn f() { let _ = Instant::now(); }\n";
+    let out = lint_source("fix/noreason.rs", src, &policy());
+    let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(
+        rules.contains(&"waiver-syntax"),
+        "missing reason accepted: {rules:?}"
+    );
+    assert!(
+        rules.contains(&"wallclock"),
+        "malformed waiver still suppressed the finding"
+    );
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_flagged() {
+    let src = "// adavp-lint: allow(made-up-rule) — nope\nfn f() {}\n";
+    let out = lint_source("fix/unknown.rs", src, &policy());
+    assert_eq!(out.findings.len(), 1);
+    assert_eq!(out.findings[0].rule, "waiver-syntax");
+}
+
+#[test]
+fn stale_inline_waiver_is_detected() {
+    let src = "// adavp-lint: allow(wallclock) — nothing left to waive\nfn f() {}\n";
+    let out = lint_source("fix/stale.rs", src, &policy());
+    assert!(out.findings.is_empty());
+    assert_eq!(out.inline_waivers.len(), 1);
+    assert_eq!(out.inline_waivers[0].hits, 0, "stale waiver counted a hit");
+}
+
+#[test]
+fn policy_allow_suppresses_and_counts_hits() {
+    let src = "fn f() { let _ = (Instant::now(), Instant::now()); }\n";
+    let out = lint_source("fix/bench/timing.rs", src, &policy());
+    assert!(
+        out.findings.is_empty(),
+        "policy allow ignored: {:?}",
+        out.findings
+    );
+    assert_eq!(out.policy_hits, vec![2]);
+
+    // The same snippet outside the allowed prefix still flags.
+    let out = lint_source("fix/timing.rs", src, &policy());
+    assert_eq!(out.findings.len(), 2);
+    assert_eq!(out.policy_hits, vec![0]);
+}

@@ -1,0 +1,170 @@
+//! Live-workspace tests: the committed tree must lint clean with zero
+//! stale waivers, the `--report` audit table must list exactly the waivers
+//! the policy grants, the pass must stay fast, and an injected violation
+//! in a deterministic crate must be caught by the real policy.
+
+use adavp_lint::{lint_source, lint_workspace, load_policy, Outcome, WaiverSource};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn lint_live() -> Outcome {
+    lint_workspace(&workspace_root()).expect("workspace lints")
+}
+
+#[test]
+fn live_workspace_is_clean_with_no_stale_waivers() {
+    let outcome = lint_live();
+    assert!(
+        outcome.findings.is_empty(),
+        "determinism violations:\n{}",
+        outcome.violation_report()
+    );
+    let stale: Vec<String> = outcome
+        .stale_waivers()
+        .iter()
+        .map(|w| format!("[{}] {}", w.rule, w.site))
+        .collect();
+    assert!(stale.is_empty(), "stale waivers: {stale:?}");
+    assert!(outcome.fix_check_ok());
+    assert!(
+        outcome.files_scanned >= 70,
+        "suspiciously few files scanned: {}",
+        outcome.files_scanned
+    );
+}
+
+#[test]
+fn report_lists_exactly_the_audited_waivers() {
+    let outcome = lint_live();
+    // (rule, file, source) for every active waiver; inline sites carry a
+    // `:line` suffix which we drop so comment reflows don't churn the test.
+    let mut got: Vec<(String, String, WaiverSource)> = outcome
+        .waivers
+        .iter()
+        .map(|w| {
+            let file = w.site.split(':').next().unwrap_or(&w.site).to_string();
+            (w.rule.clone(), file, w.source)
+        })
+        .collect();
+    got.sort();
+    let mut expected = vec![
+        (
+            "env".into(),
+            "crates/bench/src".into(),
+            WaiverSource::Policy,
+        ),
+        (
+            "env".into(),
+            "crates/vision/src/bin/kernels_bench.rs".into(),
+            WaiverSource::Policy,
+        ),
+        (
+            "env".into(),
+            "src/bin/adavp.rs".into(),
+            WaiverSource::Policy,
+        ),
+        (
+            "wallclock".into(),
+            "crates/bench/src".into(),
+            WaiverSource::Policy,
+        ),
+        (
+            "wallclock".into(),
+            "crates/core/src/rt.rs".into(),
+            WaiverSource::Inline,
+        ),
+        (
+            "wallclock".into(),
+            "crates/vision/src/bin/kernels_bench.rs".into(),
+            WaiverSource::Policy,
+        ),
+        (
+            "wallclock".into(),
+            "crates/vision/src/perf.rs".into(),
+            WaiverSource::Inline,
+        ),
+    ];
+    expected.sort();
+    assert_eq!(got, expected, "waiver audit drifted from the granted set");
+    for w in &outcome.waivers {
+        assert!(w.hits > 0, "waiver [{}] {} is stale", w.rule, w.site);
+        assert!(
+            !w.reason.trim().is_empty(),
+            "waiver {} lost its reason",
+            w.site
+        );
+    }
+    // The rendered table carries every site and reason.
+    let report = outcome.waiver_report();
+    for w in &outcome.waivers {
+        assert!(report.contains(&w.site), "report missing {}", w.site);
+        assert!(
+            report.contains(&w.reason),
+            "report missing reason for {}",
+            w.site
+        );
+    }
+}
+
+#[test]
+fn workspace_pass_completes_under_two_seconds() {
+    let start = std::time::Instant::now();
+    let _ = lint_live();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "lint took {elapsed:?}, budget is 2 s"
+    );
+}
+
+#[test]
+fn injected_violations_in_deterministic_crates_are_caught() {
+    let policy = load_policy(&workspace_root()).expect("lint.toml loads");
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "wallclock",
+            "crates/sim/src/time.rs",
+            "pub fn t() -> u128 { std::time::Instant::now().elapsed().as_nanos() }",
+        ),
+        (
+            "unordered-map",
+            "crates/core/src/export.rs",
+            "use std::collections::HashMap;\npub fn f() {}",
+        ),
+        (
+            "ambient-rng",
+            "crates/video/src/world.rs",
+            "pub fn f() -> f64 { rand::random() }",
+        ),
+        (
+            "env",
+            "crates/detector/src/model.rs",
+            "pub fn f() -> Option<String> { std::env::var(\"SEED\").ok() }",
+        ),
+        (
+            "pipeline-host-state",
+            "crates/core/src/pipeline/mpdt.rs",
+            "pub fn f() { std::thread::yield_now(); }",
+        ),
+        (
+            "forbid-unsafe",
+            "crates/metrics/src/lib.rs",
+            "pub fn crate_root_without_header() {}",
+        ),
+    ];
+    for (rule, path, src) in cases {
+        let out = lint_source(path, src, &policy);
+        assert!(
+            out.findings.iter().any(|f| f.rule == *rule),
+            "the real policy failed to catch `{rule}` injected at {path}: {:?}",
+            out.findings
+        );
+    }
+}

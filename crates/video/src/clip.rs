@@ -87,7 +87,8 @@ impl VideoClip {
         bands: usize,
     ) -> Self {
         let mut world = World::new(spec.clone(), seed);
-        let renderer = Renderer::new(spec.width, spec.height, seed, spec.noise_amp).with_bands(bands);
+        let renderer =
+            Renderer::new(spec.width, spec.height, seed, spec.noise_amp).with_bands(bands);
         let interval = spec.frame_interval_ms();
         let mut frames = Vec::with_capacity(num_frames as usize);
         for i in 0..num_frames {

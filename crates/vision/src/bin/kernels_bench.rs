@@ -191,11 +191,7 @@ fn main() {
         black_box(lk.track_pyramids_sequential(black_box(&p), black_box(&next_pyr), &pts));
     });
     let optimized_ns = bench_ns(|| {
-        black_box(lk.track_pyramids_sequential(
-            black_box(&prev_pyr),
-            black_box(&next_pyr),
-            &pts,
-        ));
+        black_box(lk.track_pyramids_sequential(black_box(&prev_pyr), black_box(&next_pyr), &pts));
     });
     #[cfg(feature = "parallel")]
     let parallel_ns = bench_ns(|| {

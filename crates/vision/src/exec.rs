@@ -49,9 +49,7 @@ impl Executor {
     /// An executor running up to `jobs` work items concurrently
     /// (`jobs = 0` is treated as 1).
     pub fn new(jobs: usize) -> Self {
-        Self {
-            jobs: jobs.max(1),
-        }
+        Self { jobs: jobs.max(1) }
     }
 
     /// The single-threaded executor (runs every map inline).

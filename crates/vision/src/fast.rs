@@ -155,10 +155,8 @@ pub fn fast_corners(
     // sequential scan for any band count).
     let y_end = h.saturating_sub(3);
     let scan_rows = y_end.saturating_sub(3) as usize;
-    let per_band = crate::parallel::map_bands(
-        scan_rows,
-        crate::parallel::scan_bands(scan_rows),
-        |s, e| {
+    let per_band =
+        crate::parallel::map_bands(scan_rows, crate::parallel::scan_bands(scan_rows), |s, e| {
             let mut band = vec![0.0f32; (e - s) * w as usize];
             let mut band_any = false;
             for (bi, y) in (3 + s as u32..3 + e as u32).enumerate() {
@@ -173,8 +171,7 @@ pub fn fast_corners(
                 }
             }
             (band, band_any)
-        },
-    );
+        });
     let mut scores = vec![0.0f32; w as usize * h as usize];
     let mut any = false;
     let mut row = 3usize;

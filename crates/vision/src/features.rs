@@ -115,10 +115,8 @@ pub fn good_features_from_gradients(
     // independent of the band count).
     let y_end = h.saturating_sub(margin);
     let scan_rows = y_end.saturating_sub(margin) as usize;
-    let per_band = crate::parallel::map_bands(
-        scan_rows,
-        crate::parallel::scan_bands(scan_rows),
-        |s, e| {
+    let per_band =
+        crate::parallel::map_bands(scan_rows, crate::parallel::scan_bands(scan_rows), |s, e| {
             let mut band: Vec<(f32, u32, u32)> = Vec::new();
             for y in margin + s as u32..margin + e as u32 {
                 for x in margin..w.saturating_sub(margin) {
@@ -147,8 +145,7 @@ pub fn good_features_from_gradients(
                 }
             }
             band
-        },
-    );
+        });
     let mut responses: Vec<(f32, u32, u32)> = Vec::new();
     for band in per_band {
         responses.extend(band);

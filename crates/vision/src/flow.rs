@@ -442,7 +442,8 @@ impl PyramidalLk {
                         for wx in -r..=r {
                             let px = pl.x + wx as f32;
                             let py = pl.y + wy as f32;
-                            res += (cache.prev[i] - next.level(0).sample_fast(px + d.x, py + d.y)).abs();
+                            res += (cache.prev[i] - next.level(0).sample_fast(px + d.x, py + d.y))
+                                .abs();
                             i += 1;
                         }
                     }
@@ -882,7 +883,9 @@ mod tests {
         })
         .is_err());
         // Errors render something human-readable.
-        assert!(LkParamsError::ZeroPyramidLevels.to_string().contains("pyramid"));
+        assert!(LkParamsError::ZeroPyramidLevels
+            .to_string()
+            .contains("pyramid"));
     }
 
     #[test]

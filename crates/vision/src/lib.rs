@@ -85,7 +85,9 @@ pub mod scratch;
 
 pub use exec::Executor;
 pub use fast::{fast_corners, FastParams};
-pub use features::{good_features_from_gradients, good_features_to_track, Corner, GoodFeaturesParams};
+pub use features::{
+    good_features_from_gradients, good_features_to_track, Corner, GoodFeaturesParams,
+};
 pub use flow::{FlowResult, LkParams, LkParamsError, PyramidalLk};
 pub use geometry::{BoundingBox, Point2, Vec2};
 pub use image::GrayImage;

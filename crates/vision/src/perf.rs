@@ -240,6 +240,7 @@ pub(crate) struct ScopedTimer {
 impl ScopedTimer {
     pub(crate) fn new(field: fn(&mut KernelCounters) -> &mut u64) -> Self {
         Self {
+            // adavp-lint: allow(wallclock) — perf counters time real kernel work; counts() strips every *_ns field before any deterministic export
             start: Instant::now(),
             field,
         }

@@ -239,7 +239,9 @@ mod tests {
 
     #[test]
     fn pooled_build_matches_plain_build() {
-        let img = GrayImage::from_fn(96, 64, |x, y| (x.wrapping_mul(7) ^ y.wrapping_mul(13)) as u8);
+        let img = GrayImage::from_fn(96, 64, |x, y| {
+            (x.wrapping_mul(7) ^ y.wrapping_mul(13)) as u8
+        });
         let plain = Pyramid::build(&img, 4);
         let mut pool = ScratchPool::new();
         let pooled = Pyramid::build_with(&img, 4, &mut pool);
@@ -290,7 +292,9 @@ mod tests {
     #[test]
     fn cached_gradients_match_fresh_computation() {
         use crate::gradient::scharr_gradients;
-        let img = GrayImage::from_fn(48, 40, |x, y| (x.wrapping_mul(31) ^ y.wrapping_mul(17)) as u8);
+        let img = GrayImage::from_fn(48, 40, |x, y| {
+            (x.wrapping_mul(31) ^ y.wrapping_mul(17)) as u8
+        });
         let pyr = Pyramid::build(&img, 3);
         for (l, g) in pyr.gradients().iter().enumerate() {
             let fresh = scharr_gradients(pyr.level(l));

@@ -13,6 +13,12 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== determinism lint (adavp-lint --fix-check; DESIGN.md §13)"
+cargo run --release -p adavp-lint -- --fix-check
+
+echo "== rustfmt"
+cargo fmt --all -- --check
+
 echo "== clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -22,9 +22,20 @@ use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::video::clip::VideoClip;
 use adavp::video::export::export_clip;
 use adavp::video::scenario::Scenario;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Flags each subcommand accepts, for unknown-flag diagnostics.
+const KNOWN_FLAGS: &[(&str, &[&str])] = &[
+    ("scenarios", &[]),
+    ("generate", &["frames", "out", "scenario", "seed", "stride"]),
+    (
+        "run",
+        &["frames", "gt", "scenario", "seed", "system", "trace-out"],
+    ),
+    ("trace", &["chrome", "frames", "scenario", "seed", "system"]),
+];
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -40,8 +51,10 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
+// A BTreeMap (not HashMap) so unknown-flag listings and other diagnostics
+// built from the map iterate in a deterministic order.
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
@@ -101,6 +114,17 @@ fn main() -> ExitCode {
         return usage();
     };
     let flags = parse_flags(&args[1..]);
+    if let Some((_, known)) = KNOWN_FLAGS.iter().find(|(c, _)| c == cmd) {
+        let unknown: Vec<String> = flags
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .map(|k| format!("--{k}"))
+            .collect();
+        if !unknown.is_empty() {
+            eprintln!("unknown flag(s) for `{cmd}`: {}\n", unknown.join(", "));
+            return usage();
+        }
+    }
     let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
     let frames: u32 = flags
         .get("frames")

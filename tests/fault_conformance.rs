@@ -381,12 +381,7 @@ fn mpdt_divergence_truncates_tracking() {
     };
     let c = clip(120);
     let run = |config: PipelineConfig| {
-        MpdtPipeline::new(
-            det(),
-            SettingPolicy::Fixed(ModelSetting::Yolo512),
-            config,
-        )
-        .process(&c)
+        MpdtPipeline::new(det(), SettingPolicy::Fixed(ModelSetting::Yolo512), config).process(&c)
     };
     let clean = run(PipelineConfig::default());
     let faulted = run(cfg(profile));
@@ -471,7 +466,11 @@ fn stress_runs_are_byte_reproducible() {
                 ModelSetting::Yolo512,
                 config,
             )),
-            _ => Box::new(ContinuousPipeline::new(det(), ModelSetting::Yolo320, config)),
+            _ => Box::new(ContinuousPipeline::new(
+                det(),
+                ModelSetting::Yolo320,
+                config,
+            )),
         };
         let trace = p.process(&c);
         (trace_to_json(&trace, None), trace)
@@ -495,12 +494,7 @@ fn stress_runs_are_byte_reproducible() {
 fn quiet_plan_is_the_happy_path() {
     let c = clip(90);
     let run = |config: PipelineConfig| {
-        MpdtPipeline::new(
-            det(),
-            SettingPolicy::Fixed(ModelSetting::Yolo512),
-            config,
-        )
-        .process(&c)
+        MpdtPipeline::new(det(), SettingPolicy::Fixed(ModelSetting::Yolo512), config).process(&c)
     };
     let default = run(PipelineConfig::default());
     let explicit = run(cfg(FaultProfile::none()));

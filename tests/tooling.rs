@@ -1,6 +1,7 @@
 //! Integration tests for the tooling layers: trace analysis, JSON/CSV
 //! export, PGM frame export — everything a user consumes downstream of a
-//! pipeline run.
+//! pipeline run — plus the determinism lint run as a library, so plain
+//! `cargo test` enforces the byte-reproducibility contract without ci.sh.
 
 use adavp::core::analysis::{analyze, f1_by_source, switch_gaps, usage_shares};
 use adavp::core::eval::{evaluate_on_clip, EvalConfig};
@@ -151,19 +152,17 @@ mod json_check {
         while let Some(&c) = b.get(j) {
             match c {
                 b'"' => return Ok(j + 1),
-                b'\\' => {
-                    match b.get(j + 1) {
-                        Some(b'u') => {
-                            let hex = b.get(j + 2..j + 6).ok_or("truncated \\u escape")?;
-                            if !hex.iter().all(u8::is_ascii_hexdigit) {
-                                return Err(format!("bad \\u escape at offset {j}"));
-                            }
-                            j += 6;
+                b'\\' => match b.get(j + 1) {
+                    Some(b'u') => {
+                        let hex = b.get(j + 2..j + 6).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at offset {j}"));
                         }
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => j += 2,
-                        other => return Err(format!("bad escape {other:?} at offset {j}")),
+                        j += 6;
                     }
-                }
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => j += 2,
+                    other => return Err(format!("bad escape {other:?} at offset {j}")),
+                },
                 0x00..=0x1F => return Err(format!("raw control byte in string at {j}")),
                 _ => j += 1,
             }
@@ -282,4 +281,32 @@ fn frame_export_with_pipeline_boxes() {
     let n = export_clip(&clip, &dir, 40).unwrap();
     assert_eq!(n, 3);
     let _ = fs::remove_dir_all(dir);
+}
+
+/// The determinism lint (DESIGN.md §13) run as a library over the live
+/// workspace: `cargo test -q` alone — the tier-1 gate — fails on any
+/// reintroduced wall-clock read, ambient RNG, unordered map in a
+/// deterministic crate, missing `#![forbid(unsafe_code)]`, or stale
+/// waiver, without needing scripts/ci.sh.
+#[test]
+fn determinism_lint_passes_on_live_workspace() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = adavp_lint::lint_workspace(root).expect("adavp-lint runs on the workspace");
+    assert!(
+        outcome.findings.is_empty(),
+        "determinism violations (add a reasoned waiver only if the host \
+         read is genuinely by design):\n{}",
+        outcome.violation_report()
+    );
+    let stale: Vec<String> = outcome
+        .stale_waivers()
+        .iter()
+        .map(|w| format!("[{}] {}", w.rule, w.site))
+        .collect();
+    assert!(stale.is_empty(), "stale waivers, remove them: {stale:?}");
+    assert!(
+        outcome.files_scanned >= 70,
+        "lint walked only {} files",
+        outcome.files_scanned
+    );
 }

@@ -227,6 +227,12 @@ pub(super) fn kernel_attrs(delta: &KernelCounts) -> Vec<Attr> {
         Attr::u64("pyramid_builds", delta.pyramid_builds),
         Attr::u64("corner_scans", delta.corner_scans),
     ];
+    if delta.fixed_point_rows > 0 {
+        // Structural count of rows taking the fixed-point kernel variants;
+        // omitted entirely when the `fixed-point` feature is off so scalar
+        // builds keep their trace shape.
+        attrs.push(Attr::u64("fixed_point_rows", delta.fixed_point_rows));
+    }
     if let Some(rate) = delta.scratch_hit_rate() {
         attrs.push(Attr::f64("scratch_hit_rate", rate));
     }

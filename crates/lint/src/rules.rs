@@ -52,6 +52,18 @@ pub const RULES: &[Rule] = &[
         kind: RuleKind::Forbid(&[&["HashMap"], &["HashSet"]]),
     },
     Rule {
+        name: "cpu-probe",
+        summary: "runtime CPU-feature probing; SIMD dispatch must be compile-time (DESIGN.md §14)",
+        kind: RuleKind::Forbid(&[
+            &["is_x86_feature_detected"],
+            &["is_aarch64_feature_detected"],
+            &["is_arm_feature_detected"],
+            &["is_riscv_feature_detected"],
+            &["std", "::", "arch"],
+            &["core", "::", "arch"],
+        ]),
+    },
+    Rule {
         name: "pipeline-host-state",
         summary: "CycleRecord-producing pipeline paths must not touch host state",
         kind: RuleKind::Forbid(&[

@@ -14,6 +14,8 @@ include = ["fix"]
 include = ["fix"]
 [rule.unordered-map]
 include = ["fix"]
+[rule.cpu-probe]
+include = ["fix"]
 [rule.pipeline-host-state]
 include = ["fix/pipeline"]
 [rule.forbid-unsafe]
@@ -76,6 +78,21 @@ fn known_bad_snippets_flag_per_rule() {
             "use std::collections::HashSet;\nfn f() {}",
         ),
         (
+            "cpu-probe",
+            "fix/i.rs",
+            "fn f() -> bool { is_x86_feature_detected!(\"avx2\") }",
+        ),
+        (
+            "cpu-probe",
+            "fix/j.rs",
+            "fn f() { if std::arch::is_aarch64_feature_detected!(\"neon\") {} }",
+        ),
+        (
+            "cpu-probe",
+            "fix/k.rs",
+            "use core::arch::x86_64::_mm256_add_ps;\nfn f() {}",
+        ),
+        (
             "pipeline-host-state",
             "fix/pipeline/mpdt.rs",
             "fn f() { let _ = std::thread::current(); }",
@@ -112,6 +129,13 @@ fn known_good_snippets_are_clean() {
             "fix/seeded.rs",
             "use rand::{rngs::StdRng, Rng, SeedableRng};\n\
              fn f(seed: u64) -> f64 { StdRng::seed_from_u64(seed).gen() }",
+        ),
+        (
+            // Compile-time ISA queries are the sanctioned dispatch mechanism.
+            "fix/static_dispatch.rs",
+            "fn isa() -> &'static str {\n\
+             if cfg!(target_feature = \"avx2\") { \"x86-64-v3\" } else { \"baseline\" }\n\
+             }",
         ),
     ];
     for (path, src) in cases {

@@ -8,7 +8,10 @@
 
 use adavp_vision::flow::{LkParams, PyramidalLk};
 use adavp_vision::geometry::Point2;
-use adavp_vision::gradient::{gaussian_blur_into, scharr_gradients_into, GradientField};
+use adavp_vision::gradient::{
+    gaussian_blur_into, gaussian_blur_into_scalar, scharr_gradients_i16_into,
+    scharr_gradients_into, scharr_gradients_into_scalar, GradientField, GradientFieldI16,
+};
 use adavp_vision::image::GrayImage;
 use adavp_vision::perf;
 use adavp_vision::pyramid::Pyramid;
@@ -57,7 +60,16 @@ fn bench_ns<F: FnMut()>(mut f: F) -> u64 {
 struct Entry {
     name: &'static str,
     ns_per_op: u64,
+    /// Input pixels consumed per op, used to derive Mpix/s throughput.
+    pixels: u64,
     note: &'static str,
+}
+
+impl Entry {
+    fn mpix_per_s(&self) -> f64 {
+        // pixels/ns == Gpix/s, so scale by 1000 for Mpix/s.
+        self.pixels as f64 / self.ns_per_op.max(1) as f64 * 1000.0
+    }
 }
 
 fn main() {
@@ -72,6 +84,11 @@ fn main() {
 
     eprintln!("image: {IMG_W}x{IMG_H}, pyramid levels: {PYRAMID_LEVELS}");
 
+    let frame_pixels = (IMG_W * IMG_H) as u64;
+    let pyramid_pixels: u64 = (0..PYRAMID_LEVELS)
+        .map(|l| ((IMG_W >> l) * (IMG_H >> l)) as u64)
+        .sum();
+
     // --- Gaussian blur -----------------------------------------------------
     let mut blur_out = GrayImage::new(IMG_W, IMG_H);
     entries.push(Entry {
@@ -80,8 +97,24 @@ fn main() {
             gaussian_blur_into(black_box(&img), &mut blur_out, &mut pool);
             black_box(&blur_out);
         }),
+        pixels: frame_pixels,
         note: "separable 5-tap blur, pooled intermediate, 256x256",
     });
+    let mut blur_scalar_out = GrayImage::new(IMG_W, IMG_H);
+    entries.push(Entry {
+        name: "gaussian_blur_scalar_256",
+        ns_per_op: bench_ns(|| {
+            gaussian_blur_into_scalar(black_box(&img), &mut blur_scalar_out, &mut pool);
+            black_box(&blur_scalar_out);
+        }),
+        pixels: frame_pixels,
+        note: "scalar u32 baseline for the 5-tap blur",
+    });
+    assert_eq!(
+        blur_out.as_bytes(),
+        blur_scalar_out.as_bytes(),
+        "fixed-point blur diverged from scalar baseline"
+    );
 
     // --- Downsample --------------------------------------------------------
     let mut down_out = GrayImage::new(IMG_W / 2, IMG_H / 2);
@@ -91,8 +124,24 @@ fn main() {
             black_box(&img).downsample_into(&mut down_out);
             black_box(&down_out);
         }),
+        pixels: frame_pixels,
         note: "2x2 box downsample into reused buffer, 256x256 -> 128x128",
     });
+    let mut down_scalar_out = GrayImage::new(IMG_W / 2, IMG_H / 2);
+    entries.push(Entry {
+        name: "downsample_scalar_256",
+        ns_per_op: bench_ns(|| {
+            black_box(&img).downsample_into_scalar(&mut down_scalar_out);
+            black_box(&down_scalar_out);
+        }),
+        pixels: frame_pixels,
+        note: "scalar u32 baseline for the 2x2 box downsample",
+    });
+    assert_eq!(
+        down_out.as_bytes(),
+        down_scalar_out.as_bytes(),
+        "fixed-point downsample diverged from scalar baseline"
+    );
 
     // --- Scharr gradients --------------------------------------------------
     let mut field = GradientField::empty();
@@ -102,8 +151,40 @@ fn main() {
             scharr_gradients_into(black_box(&img), &mut field, &mut pool);
             black_box(&field);
         }),
+        pixels: frame_pixels,
         note: "separable Scharr gx+gy into reused field, 256x256",
     });
+    let mut field_scalar = GradientField::empty();
+    entries.push(Entry {
+        name: "scharr_scalar_256",
+        ns_per_op: bench_ns(|| {
+            scharr_gradients_into_scalar(black_box(&img), &mut field_scalar, &mut pool);
+            black_box(&field_scalar);
+        }),
+        pixels: frame_pixels,
+        note: "scalar baseline for the separable Scharr kernel",
+    });
+    assert!(
+        field.gx_plane() == field_scalar.gx_plane() && field.gy_plane() == field_scalar.gy_plane(),
+        "vectorized Scharr diverged from scalar baseline"
+    );
+    let mut field_i16 = GradientFieldI16::empty();
+    entries.push(Entry {
+        name: "scharr_i16_256",
+        ns_per_op: bench_ns(|| {
+            scharr_gradients_i16_into(black_box(&img), &mut field_i16, &mut pool);
+            black_box(&field_i16);
+        }),
+        pixels: frame_pixels,
+        note: "fixed-point i16 Scharr (un-normalized taps)",
+    });
+    let mut widened = GradientField::empty();
+    field_i16.to_f32_into(&mut widened);
+    assert!(
+        widened.gx_plane() == field_scalar.gx_plane()
+            && widened.gy_plane() == field_scalar.gy_plane(),
+        "i16 Scharr widened to f32 diverged from scalar baseline"
+    );
 
     // --- Pyramid build: fresh vs pooled ------------------------------------
     entries.push(Entry {
@@ -111,6 +192,7 @@ fn main() {
         ns_per_op: bench_ns(|| {
             black_box(Pyramid::build(black_box(&img), PYRAMID_LEVELS));
         }),
+        pixels: pyramid_pixels,
         note: "allocating build (no pool reuse)",
     });
     // Steady state: recycle each pyramid back into the pool.
@@ -124,6 +206,7 @@ fn main() {
     entries.push(Entry {
         name: "pyramid_build_pooled_256x3",
         ns_per_op: pooled_ns,
+        pixels: pyramid_pixels,
         note: "steady-state build via ScratchPool (allocation-free)",
     });
 
@@ -138,6 +221,7 @@ fn main() {
                 None,
             ));
         }),
+        pixels: frame_pixels,
         note: "Shi-Tomasi incl. gradient computation, 256x256",
     });
     let cached_grad = adavp_vision::gradient::scharr_gradients(&img);
@@ -150,6 +234,7 @@ fn main() {
                 None,
             ));
         }),
+        pixels: frame_pixels,
         note: "Shi-Tomasi reusing a cached gradient field",
     });
 
@@ -229,16 +314,36 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"config\": {{\"image\": \"{IMG_W}x{IMG_H}\", \"pyramid_levels\": {PYRAMID_LEVELS}, \
-         \"threads\": {}, \"parallel_feature\": {}}},",
+         \"threads\": {}, \"parallel_feature\": {}, \"features\": {{\"parallel\": {}, \
+         \"simd\": {}, \"fixed_point\": {}}}, \"target_isa\": \"{}\"}},",
         adavp_vision::parallel::max_threads(),
         cfg!(feature = "parallel"),
+        cfg!(feature = "parallel"),
+        cfg!(feature = "simd"),
+        cfg!(feature = "fixed-point"),
+        // Compile-time ISA level (no runtime probing): reflects the baseline the
+        // binary was built for, e.g. the x86-64-v3 pin in .cargo/config.toml.
+        if cfg!(target_feature = "avx2") {
+            "x86-64-v3"
+        } else if cfg!(target_feature = "sse4.2") {
+            "x86-64-v2"
+        } else if cfg!(target_arch = "x86_64") {
+            "x86-64-baseline"
+        } else {
+            "other"
+        },
     );
     json.push_str("  \"kernels\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"note\": \"{}\"}}",
-            e.name, e.ns_per_op, e.note
+            "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"pixels\": {}, \"mpix_per_s\": {:.1}, \
+             \"note\": \"{}\"}}",
+            e.name,
+            e.ns_per_op,
+            e.pixels,
+            e.mpix_per_s(),
+            e.note
         );
         json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }

@@ -112,36 +112,33 @@ pub fn good_features_from_gradients(
 
     // Min-eigenvalue response map, scanned in parallel row bands (band
     // results concatenate back to exact raster order, so output is
-    // independent of the band count).
+    // independent of the band count). Within a band, each row is evaluated
+    // as contiguous x-spans through [`min_eig_span`] — row slices hoisted
+    // once per span, the 3x3 window fully unrolled — instead of per-pixel
+    // indexed accessor calls; the per-pixel accumulation order is
+    // unchanged, so responses are bit-identical to the retained
+    // [`good_features_from_gradients_reference`]. With a mask, the spans
+    // shrink to a conservative superset of the masked columns and the
+    // exact `inside_mask` test still gates every emitted candidate.
     let y_end = h.saturating_sub(margin);
+    let x_end = w.saturating_sub(margin);
     let scan_rows = y_end.saturating_sub(margin) as usize;
     let per_band =
         crate::parallel::map_bands(scan_rows, crate::parallel::scan_bands(scan_rows), |s, e| {
             let mut band: Vec<(f32, u32, u32)> = Vec::new();
+            let mut spans: Vec<(u32, u32)> = Vec::new();
             for y in margin + s as u32..margin + e as u32 {
-                for x in margin..w.saturating_sub(margin) {
-                    if !inside_mask(x, y) {
-                        continue;
-                    }
-                    let mut sxx = 0.0f32;
-                    let mut sxy = 0.0f32;
-                    let mut syy = 0.0f32;
-                    for dy in -r..=r {
-                        for dx in -r..=r {
-                            let gx = grad.gx((x as i64 + dx) as u32, (y as i64 + dy) as u32);
-                            let gy = grad.gy((x as i64 + dx) as u32, (y as i64 + dy) as u32);
-                            sxx += gx * gx;
-                            sxy += gx * gy;
-                            syy += gy * gy;
+                spans.clear();
+                match mask {
+                    None => spans.push((margin, x_end)),
+                    Some(boxes) => mask_row_spans(boxes, y, margin, x_end, &mut spans),
+                }
+                for &(x0, x1) in &spans {
+                    min_eig_span(grad, r, y, x0, x1, |x, min_eig| {
+                        if min_eig > 0.0 && inside_mask(x, y) {
+                            band.push((min_eig, x, y));
                         }
-                    }
-                    // Minimum eigenvalue of [[sxx, sxy], [sxy, syy]].
-                    let trace_half = (sxx + syy) / 2.0;
-                    let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
-                    let min_eig = trace_half - det_term.sqrt();
-                    if min_eig > 0.0 {
-                        band.push((min_eig, x, y));
-                    }
+                    });
                 }
             }
             band
@@ -167,6 +164,244 @@ pub fn good_features_from_gradients(
     });
 
     // Greedy min-distance suppression on a coarse grid for O(n) neighbor checks.
+    let cell = params.min_distance.max(1.0);
+    let grid_w = (w as f32 / cell).ceil() as usize + 1;
+    let grid_h = (h as f32 / cell).ceil() as usize + 1;
+    let mut grid: Vec<Vec<Point2>> = vec![Vec::new(); grid_w * grid_h];
+    let min_d2 = params.min_distance * params.min_distance;
+
+    let mut out = Vec::new();
+    for (resp, x, y) in responses {
+        let p = Point2::new(x as f32, y as f32);
+        let cx = (p.x / cell) as usize;
+        let cy = (p.y / cell) as usize;
+        let mut ok = true;
+        'outer: for ny in cy.saturating_sub(1)..=(cy + 1).min(grid_h - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(grid_w - 1) {
+                for q in &grid[ny * grid_w + nx] {
+                    if p.distance_sq(*q) < min_d2 {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if ok {
+            grid[cy * grid_w + cx].push(p);
+            out.push(Corner {
+                point: p,
+                response: resp,
+            });
+            if params.max_corners != 0 && out.len() >= params.max_corners {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates the Shi-Tomasi minimum eigenvalue for every pixel
+/// `x0 <= x < x1` of row `y`, calling `emit(x, min_eig)` in increasing-`x`
+/// order.
+///
+/// The `block_radius == 1` case (the tracker's default, and the 7 ms
+/// dominator at 256x256) hoists the six gradient row slices once and fully
+/// unrolls the 3x3 window so the compiler vectorizes across pixels; the
+/// `sxx`/`sxy`/`syy` accumulation order matches the reference per-pixel
+/// loop statement for statement, so responses are bit-identical. Larger
+/// radii take a generic path with per-`dy` hoisted rows, same order.
+#[inline]
+fn min_eig_span(
+    grad: &GradientField,
+    r: i64,
+    y: u32,
+    x0: u32,
+    x1: u32,
+    mut emit: impl FnMut(u32, f32),
+) {
+    if x0 >= x1 {
+        return;
+    }
+    if r == 1 {
+        let lo = (x0 - 1) as usize;
+        let hi = (x1 + 1) as usize;
+        let gxa = &grad.gx_row(y - 1)[lo..hi];
+        let gya = &grad.gy_row(y - 1)[lo..hi];
+        let gxb = &grad.gx_row(y)[lo..hi];
+        let gyb = &grad.gy_row(y)[lo..hi];
+        let gxc = &grad.gx_row(y + 1)[lo..hi];
+        let gyc = &grad.gy_row(y + 1)[lo..hi];
+        for i in 0..(x1 - x0) as usize {
+            let mut sxx = 0.0f32;
+            let mut sxy = 0.0f32;
+            let mut syy = 0.0f32;
+            macro_rules! tap {
+                ($gxr:ident, $gyr:ident, $j:expr) => {{
+                    let gx = $gxr[$j];
+                    let gy = $gyr[$j];
+                    sxx += gx * gx;
+                    sxy += gx * gy;
+                    syy += gy * gy;
+                }};
+            }
+            tap!(gxa, gya, i);
+            tap!(gxa, gya, i + 1);
+            tap!(gxa, gya, i + 2);
+            tap!(gxb, gyb, i);
+            tap!(gxb, gyb, i + 1);
+            tap!(gxb, gyb, i + 2);
+            tap!(gxc, gyc, i);
+            tap!(gxc, gyc, i + 1);
+            tap!(gxc, gyc, i + 2);
+            // Minimum eigenvalue of [[sxx, sxy], [sxy, syy]].
+            let trace_half = (sxx + syy) / 2.0;
+            let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
+            emit(x0 + i as u32, trace_half - det_term.sqrt());
+        }
+    } else {
+        for x in x0..x1 {
+            let mut sxx = 0.0f32;
+            let mut sxy = 0.0f32;
+            let mut syy = 0.0f32;
+            for dy in -r..=r {
+                let row_y = (y as i64 + dy) as u32;
+                let gxr = grad.gx_row(row_y);
+                let gyr = grad.gy_row(row_y);
+                for dx in -r..=r {
+                    let xi = (x as i64 + dx) as usize;
+                    let gx = gxr[xi];
+                    let gy = gyr[xi];
+                    sxx += gx * gx;
+                    sxy += gx * gy;
+                    syy += gy * gy;
+                }
+            }
+            let trace_half = (sxx + syy) / 2.0;
+            let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
+            emit(x, trace_half - det_term.sqrt());
+        }
+    }
+}
+
+/// Collects the sorted, disjoint x-spans of row `y` (clamped to
+/// `[margin, x_end)`) that could contain a masked pixel: a *conservative
+/// superset* of `BoundingBox::contains` coverage, widened by a pixel on
+/// each side so floating-point edge rounding can never exclude a pixel the
+/// exact per-pixel test would accept. Callers re-check every candidate
+/// with the exact test, so the widening only costs a few evaluations.
+fn mask_row_spans(
+    boxes: &[BoundingBox],
+    y: u32,
+    margin: u32,
+    x_end: u32,
+    out: &mut Vec<(u32, u32)>,
+) {
+    let yf = y as f32;
+    for b in boxes {
+        if yf + 1.0 < b.top || yf - 1.0 >= b.top + b.height {
+            continue;
+        }
+        let lo = ((b.left - 1.0).floor().max(0.0) as i64).clamp(margin as i64, x_end as i64);
+        let hi =
+            (((b.left + b.width + 2.0).ceil()).max(0.0) as i64).clamp(margin as i64, x_end as i64);
+        if lo < hi {
+            out.push((lo as u32, hi as u32));
+        }
+    }
+    out.sort_unstable();
+    // Merge overlapping/adjacent spans so each pixel is scanned once and
+    // emission order stays strictly increasing in x.
+    let mut merged: usize = 0;
+    for i in 1..out.len() {
+        if out[i].0 <= out[merged].1 {
+            out[merged].1 = out[merged].1.max(out[i].1);
+        } else {
+            merged += 1;
+            out[merged] = out[i];
+        }
+    }
+    out.truncate(if out.is_empty() { 0 } else { merged + 1 });
+}
+
+/// The pre-vectorization [`good_features_from_gradients`]: per-pixel
+/// indexed gradient accessors, no span hoisting. Retained verbatim as the
+/// baseline for parity tests and benchmarks; produces identical corners.
+pub fn good_features_from_gradients_reference(
+    grad: &GradientField,
+    params: &GoodFeaturesParams,
+    mask: Option<&[BoundingBox]>,
+) -> Vec<Corner> {
+    let _timer = perf::ScopedTimer::new(|c| &mut c.corner_ns);
+    perf::record(|c| c.corner_scans += 1);
+    let w = grad.width();
+    let h = grad.height();
+    if w < 3 || h < 3 {
+        return Vec::new();
+    }
+    let r = params.block_radius as i64;
+    let margin = params.block_radius + 1;
+
+    let inside_mask = |x: u32, y: u32| -> bool {
+        match mask {
+            None => true,
+            Some(boxes) => {
+                let p = Point2::new(x as f32, y as f32);
+                boxes.iter().any(|b| b.contains(p))
+            }
+        }
+    };
+
+    let y_end = h.saturating_sub(margin);
+    let scan_rows = y_end.saturating_sub(margin) as usize;
+    let per_band =
+        crate::parallel::map_bands(scan_rows, crate::parallel::scan_bands(scan_rows), |s, e| {
+            let mut band: Vec<(f32, u32, u32)> = Vec::new();
+            for y in margin + s as u32..margin + e as u32 {
+                for x in margin..w.saturating_sub(margin) {
+                    if !inside_mask(x, y) {
+                        continue;
+                    }
+                    let mut sxx = 0.0f32;
+                    let mut sxy = 0.0f32;
+                    let mut syy = 0.0f32;
+                    for dy in -r..=r {
+                        for dx in -r..=r {
+                            let gx = grad.gx((x as i64 + dx) as u32, (y as i64 + dy) as u32);
+                            let gy = grad.gy((x as i64 + dx) as u32, (y as i64 + dy) as u32);
+                            sxx += gx * gx;
+                            sxy += gx * gy;
+                            syy += gy * gy;
+                        }
+                    }
+                    let trace_half = (sxx + syy) / 2.0;
+                    let det_term = ((sxx - syy) / 2.0).powi(2) + sxy * sxy;
+                    let min_eig = trace_half - det_term.sqrt();
+                    if min_eig > 0.0 {
+                        band.push((min_eig, x, y));
+                    }
+                }
+            }
+            band
+        });
+    let mut responses: Vec<(f32, u32, u32)> = Vec::new();
+    for band in per_band {
+        responses.extend(band);
+    }
+    if responses.is_empty() {
+        return Vec::new();
+    }
+    let max_response = responses
+        .iter()
+        .fold(0.0f32, |acc, &(resp, _, _)| acc.max(resp));
+
+    let threshold = max_response * params.quality_level;
+    responses.retain(|&(resp, _, _)| resp >= threshold);
+    responses.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.2, a.1).cmp(&(b.2, b.1)))
+    });
+
     let cell = params.min_distance.max(1.0);
     let grid_w = (w as f32 / cell).ceil() as usize + 1;
     let grid_h = (h as f32 / cell).ceil() as usize + 1;
@@ -310,6 +545,38 @@ mod tests {
             let a = good_features_to_track(&img, &params, m);
             let b = good_features_from_gradients(&grad, &params, m);
             assert_eq!(a, b, "gradient-reusing path must match exactly");
+        }
+    }
+
+    #[test]
+    fn span_scan_matches_reference_bit_for_bit() {
+        let img = GrayImage::from_fn(64, 48, |x, y| {
+            ((x.wrapping_mul(113) ^ y.wrapping_mul(59)).wrapping_add(x * y / 3)) as u8
+        });
+        let grad = scharr_gradients(&img);
+        let masks: [Option<&[BoundingBox]>; 4] = [
+            None,
+            Some(&[BoundingBox::new(4.0, 4.0, 30.0, 20.0)]),
+            // Overlapping + fractional-edge boxes exercise span merging
+            // and the conservative widening.
+            Some(&[
+                BoundingBox::new(10.5, 3.25, 20.0, 18.5),
+                BoundingBox::new(25.0, 10.0, 30.0, 30.0),
+                BoundingBox::new(-5.0, -5.0, 12.0, 100.0),
+            ]),
+            Some(&[]),
+        ];
+        for radius in [1u32, 2] {
+            let params = GoodFeaturesParams {
+                max_corners: 0,
+                block_radius: radius,
+                ..Default::default()
+            };
+            for m in masks {
+                let fast = good_features_from_gradients(&grad, &params, m);
+                let reference = good_features_from_gradients_reference(&grad, &params, m);
+                assert_eq!(fast, reference, "diverged for radius {radius}, mask {m:?}");
+            }
         }
     }
 

@@ -32,6 +32,7 @@ use crate::gradient::GradientField;
 use crate::image::GrayImage;
 use crate::perf;
 use crate::pyramid::Pyramid;
+use crate::simd;
 use std::fmt;
 
 /// Parameters for [`PyramidalLk`].
@@ -153,24 +154,80 @@ impl FlowResult {
     }
 }
 
-/// Per-point window samples, captured once per pyramid level and reused by
+/// Per-point window state, captured once per pyramid level and reused by
 /// every Newton iteration (previous-frame intensities and gradients do not
 /// change while the displacement estimate is refined).
+///
+/// Besides the flat sample buffers, the cache holds the per-column
+/// bilinear *tap tables* (`px`/`x0`/`tx` for the fixed previous-frame
+/// window, `qx0`/`qtx` for the displaced next-frame window): the window's
+/// x-coordinates are the same on every row, so floors and fractions are
+/// computed once per level (or once per Newton iteration) instead of once
+/// per tap, and whole rows are then filled through the vectorized
+/// [`simd::bilinear_span_u8`]/[`simd::bilinear_span_f32`] helpers whenever
+/// the integer tap columns form a contiguous in-bounds run
+/// ([`simd::contiguous_start`]). Rows where floating-point rounding breaks
+/// the run fall back to per-tap sampling — bit-identical, just slower.
 #[derive(Default)]
 struct WindowCache {
     prev: Vec<f32>,
     gx: Vec<f32>,
     gy: Vec<f32>,
+    /// One row of next-frame window samples (scratch for the Newton loop).
+    cur: Vec<f32>,
+    /// Per-column window x-coordinates: `pl.x + wx`.
+    px: Vec<f32>,
+    /// Per-column integer tap columns: `px.floor()`.
+    x0: Vec<i64>,
+    /// Per-column horizontal fractions: `px - px.floor()`.
+    tx: Vec<f32>,
+    /// Newton-displaced tap columns: `(px + d.x).floor()`.
+    qx0: Vec<i64>,
+    /// Newton-displaced horizontal fractions.
+    qtx: Vec<f32>,
 }
 
 impl WindowCache {
-    fn clear_with_capacity(&mut self, n: usize) {
+    /// Resets the cache for a window of side `side` and precomputes the
+    /// per-column tap tables for a window centred at x-coordinate `cx`.
+    fn begin_level(&mut self, side: usize, r: i32, cx: f32) {
+        let n = side * side;
         self.prev.clear();
         self.prev.reserve(n);
         self.gx.clear();
         self.gx.reserve(n);
         self.gy.clear();
         self.gy.reserve(n);
+        self.cur.clear();
+        self.cur.resize(side, 0.0);
+        self.px.clear();
+        self.x0.clear();
+        self.tx.clear();
+        self.qx0.clear();
+        self.qtx.clear();
+        for wx in -r..=r {
+            // Exactly the per-tap expressions of the baseline: the fraction
+            // of `pl.x + wx` is NOT constant across wx (f32 rounding can
+            // shift it and even the floor), so each column gets its own
+            // floor/fraction rather than a shared one.
+            let px = cx + wx as f32;
+            let xf = px.floor();
+            self.px.push(px);
+            self.x0.push(xf as i64);
+            self.tx.push(px - xf);
+        }
+    }
+
+    /// Recomputes the displaced tap tables for displacement `dx`.
+    fn displace(&mut self, dx: f32) {
+        self.qx0.clear();
+        self.qtx.clear();
+        for &px in &self.px {
+            let qx = px + dx;
+            let xf = qx.floor();
+            self.qx0.push(xf as i64);
+            self.qtx.push(qx - xf);
+        }
     }
 }
 
@@ -362,24 +419,71 @@ impl PyramidalLk {
 
             // One pass over the window: capture the previous-frame intensity
             // and gradient samples (constant across iterations at this
-            // level) and accumulate the structure tensor.
-            cache.clear_with_capacity(win_pixels as usize);
+            // level), row by row through the vectorized span fills, then
+            // accumulate the structure tensor over the flat buffers in the
+            // same tap order as the baseline's interleaved loop.
+            let side = (2 * r + 1) as usize;
+            let w_img = prev_img.width() as usize;
+            let h_img = prev_img.height() as i64;
+            cache.begin_level(side, r, pl.x);
+            for wy in -r..=r {
+                let py = pl.y + wy as f32;
+                let yf = py.floor();
+                let y0 = yf as i64;
+                let ty = py - yf;
+                let base = cache.prev.len();
+                cache.prev.resize(base + side, 0.0);
+                cache.gx.resize(base + side, 0.0);
+                cache.gy.resize(base + side, 0.0);
+                // `cfg!` folds at compile time: without the `simd` feature
+                // every row takes the per-tap path (same arithmetic).
+                let span = if cfg!(feature = "simd") && y0 >= 0 && y0 + 1 < h_img {
+                    simd::contiguous_start(&cache.x0, w_img)
+                } else {
+                    None
+                };
+                match span {
+                    Some(s) => {
+                        let (ya, yb) = (y0 as u32, y0 as u32 + 1);
+                        simd::bilinear_span_u8(
+                            &prev_img.row(ya)[s..s + side + 1],
+                            &prev_img.row(yb)[s..s + side + 1],
+                            &cache.tx,
+                            ty,
+                            &mut cache.prev[base..base + side],
+                        );
+                        simd::bilinear_span_f32(
+                            &grad.gx_row(ya)[s..s + side + 1],
+                            &grad.gx_row(yb)[s..s + side + 1],
+                            &cache.tx,
+                            ty,
+                            &mut cache.gx[base..base + side],
+                        );
+                        simd::bilinear_span_f32(
+                            &grad.gy_row(ya)[s..s + side + 1],
+                            &grad.gy_row(yb)[s..s + side + 1],
+                            &cache.tx,
+                            ty,
+                            &mut cache.gy[base..base + side],
+                        );
+                    }
+                    None => {
+                        for k in 0..side {
+                            let px = cache.px[k];
+                            cache.gx[base + k] = grad.sample_gx_fast(px, py);
+                            cache.gy[base + k] = grad.sample_gy_fast(px, py);
+                            cache.prev[base + k] = prev_img.sample_fast(px, py);
+                        }
+                    }
+                }
+            }
             let mut gxx = 0.0f32;
             let mut gxy = 0.0f32;
             let mut gyy = 0.0f32;
-            for wy in -r..=r {
-                for wx in -r..=r {
-                    let px = pl.x + wx as f32;
-                    let py = pl.y + wy as f32;
-                    let gx = grad.sample_gx_fast(px, py);
-                    let gy = grad.sample_gy_fast(px, py);
-                    gxx += gx * gx;
-                    gxy += gx * gy;
-                    gyy += gy * gy;
-                    cache.gx.push(gx);
-                    cache.gy.push(gy);
-                    cache.prev.push(prev_img.sample_fast(px, py));
-                }
+            for (gx, gy) in cache.gx.iter().zip(&cache.gy) {
+                gxx += gx * gx;
+                gxy += gx * gy;
+                gyy += gy * gy;
             }
             let trace_half = (gxx + gyy) / 2.0;
             let det_term = (((gxx - gyy) / 2.0).powi(2) + gxy * gxy).sqrt();
@@ -395,6 +499,12 @@ impl PyramidalLk {
             }
 
             // Newton iterations: only the next-frame window is resampled.
+            // The displaced window's x-taps are the same on every row, so
+            // their floors/fractions are computed once per iteration
+            // (`displace`), and each row is fetched through one vectorized
+            // bilinear span when the taps stay a contiguous interior run.
+            let nw_img = next_img.width() as usize;
+            let nh_img = next_img.height() as i64;
             let mut iterations = 0u64;
             for _ in 0..self.params.max_iterations {
                 let target = pl + d;
@@ -403,17 +513,42 @@ impl PyramidalLk {
                     break;
                 }
                 iterations += 1;
+                cache.displace(d.x);
+                let qspan = if cfg!(feature = "simd") {
+                    simd::contiguous_start(&cache.qx0, nw_img)
+                } else {
+                    None
+                };
                 let mut bx = 0.0f32;
                 let mut by = 0.0f32;
                 let mut i = 0usize;
                 for wy in -r..=r {
-                    for wx in -r..=r {
-                        let px = pl.x + wx as f32;
-                        let py = pl.y + wy as f32;
-                        let diff = cache.prev[i] - next_img.sample_fast(px + d.x, py + d.y);
-                        bx += diff * cache.gx[i];
-                        by += diff * cache.gy[i];
-                        i += 1;
+                    let py = pl.y + wy as f32;
+                    let qy = py + d.y;
+                    let yf = qy.floor();
+                    let y0 = yf as i64;
+                    let ty = qy - yf;
+                    if let (Some(s), true) = (qspan, y0 >= 0 && y0 + 1 < nh_img) {
+                        simd::bilinear_span_u8(
+                            &next_img.row(y0 as u32)[s..s + side + 1],
+                            &next_img.row(y0 as u32 + 1)[s..s + side + 1],
+                            &cache.qtx,
+                            ty,
+                            &mut cache.cur,
+                        );
+                        for k in 0..side {
+                            let diff = cache.prev[i] - cache.cur[k];
+                            bx += diff * cache.gx[i];
+                            by += diff * cache.gy[i];
+                            i += 1;
+                        }
+                    } else {
+                        for k in 0..side {
+                            let diff = cache.prev[i] - next_img.sample_fast(cache.px[k] + d.x, qy);
+                            bx += diff * cache.gx[i];
+                            by += diff * cache.gy[i];
+                            i += 1;
+                        }
                     }
                 }
                 let step = Vec2::new((gyy * bx - gxy * by) / det, (gxx * by - gxy * bx) / det);
@@ -428,23 +563,46 @@ impl PyramidalLk {
             }
 
             if level == 0 {
-                // Final residual check at full resolution.
+                // Final residual check at full resolution, same span
+                // structure as the Newton rows.
                 let target = pl + d;
-                if !next
-                    .level(0)
-                    .in_bounds_with_margin(target.x, target.y, (r + 1) as f32)
-                {
+                let next0 = next.level(0);
+                if !next0.in_bounds_with_margin(target.x, target.y, (r + 1) as f32) {
                     lost = true;
                 } else {
+                    cache.displace(d.x);
+                    let qspan = if cfg!(feature = "simd") {
+                        simd::contiguous_start(&cache.qx0, next0.width() as usize)
+                    } else {
+                        None
+                    };
+                    let nh0 = next0.height() as i64;
                     let mut res = 0.0f32;
                     let mut i = 0usize;
                     for wy in -r..=r {
-                        for wx in -r..=r {
-                            let px = pl.x + wx as f32;
-                            let py = pl.y + wy as f32;
-                            res += (cache.prev[i] - next.level(0).sample_fast(px + d.x, py + d.y))
-                                .abs();
-                            i += 1;
+                        let py = pl.y + wy as f32;
+                        let qy = py + d.y;
+                        let yf = qy.floor();
+                        let y0 = yf as i64;
+                        let ty = qy - yf;
+                        if let (Some(s), true) = (qspan, y0 >= 0 && y0 + 1 < nh0) {
+                            simd::bilinear_span_u8(
+                                &next0.row(y0 as u32)[s..s + side + 1],
+                                &next0.row(y0 as u32 + 1)[s..s + side + 1],
+                                &cache.qtx,
+                                ty,
+                                &mut cache.cur,
+                            );
+                            for k in 0..side {
+                                res += (cache.prev[i] - cache.cur[k]).abs();
+                                i += 1;
+                            }
+                        } else {
+                            for k in 0..side {
+                                res += (cache.prev[i] - next0.sample_fast(cache.px[k] + d.x, qy))
+                                    .abs();
+                                i += 1;
+                            }
                         }
                     }
                     final_residual = res / win_pixels;

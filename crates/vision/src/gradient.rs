@@ -16,6 +16,7 @@
 use crate::image::GrayImage;
 use crate::perf;
 use crate::scratch::ScratchPool;
+use crate::simd;
 
 /// Horizontal and vertical image derivatives as `f32` planes.
 ///
@@ -107,6 +108,18 @@ impl GradientField {
         &self.gy[y as usize * w..(y as usize + 1) * w]
     }
 
+    /// The full horizontal-derivative plane, row-major.
+    #[inline]
+    pub fn gx_plane(&self) -> &[f32] {
+        &self.gx
+    }
+
+    /// The full vertical-derivative plane, row-major.
+    #[inline]
+    pub fn gy_plane(&self) -> &[f32] {
+        &self.gy
+    }
+
     /// Bilinearly-interpolated horizontal derivative at fractional coordinates.
     pub fn sample_gx(&self, x: f32, y: f32) -> f32 {
         sample_plane(&self.gx, self.width, self.height, x, y)
@@ -193,11 +206,111 @@ pub fn scharr_gradients(img: &GrayImage) -> GradientField {
 /// ```
 ///
 /// are separable: `Gx` is a vertical `[3 10 3]` smooth followed by a
-/// horizontal central difference (and transposed for `Gy`). Each pass runs
-/// on row slices with no per-pixel bounds checks away from the borders.
-/// Results are bit-identical to the direct 3x3 evaluation because every
-/// intermediate value is an integer below 2^24.
+/// horizontal central difference (and transposed for `Gy`). With the
+/// `simd` feature (default) a fused row-ring pass runs through the
+/// [`crate::simd`] row helpers (borders handled outside the vectorized
+/// spans); without it the retained [`scharr_gradients_into_scalar`]
+/// two-pass baseline runs. Results are bit-identical to the direct 3x3
+/// evaluation either way, because every intermediate value is an integer
+/// below 2^24 and the lanes are independent pixels.
 pub fn scharr_gradients_into(img: &GrayImage, field: &mut GradientField, pool: &mut ScratchPool) {
+    #[cfg(feature = "simd")]
+    scharr_gradients_into_vec(img, field, pool);
+    #[cfg(not(feature = "simd"))]
+    scharr_gradients_into_scalar(img, field, pool);
+}
+
+/// The fused single-pass implementation behind [`scharr_gradients_into`]
+/// when the `simd` feature is on.
+#[cfg(feature = "simd")]
+fn scharr_gradients_into_vec(img: &GrayImage, field: &mut GradientField, pool: &mut ScratchPool) {
+    let _timer = perf::ScopedTimer::new(|c| &mut c.gradient_ns);
+    perf::record(|c| c.gradient_fields += 1);
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    let len = w * h;
+    field.width = img.width();
+    field.height = img.height();
+    // Every element of both planes is overwritten below, so a bare resize
+    // (no clear) suffices — the old clear-then-resize re-zeroed two full
+    // f32 planes per frame for nothing.
+    field.gx.resize(len, 0.0);
+    field.gy.resize(len, 0.0);
+
+    // Row scratch (max smoothed value 16 * 255 = 4080, fits u16):
+    //   vrow[x]    = 3 p(x, y-1) + 10 p(x, y) + 3 p(x, y+1)
+    //   ring[r][x] = 3 p(x-1, r) + 10 p(x, r) + 3 p(x+1, r)
+    // One fused pass: the ring holds the horizontally smoothed rows y-1,
+    // y, y+1 (row y+1 is produced just before it is needed, overwriting
+    // the slot of row y-2), and both gradient rows for y are emitted while
+    // everything is still in L1 — no full-plane intermediates. The
+    // per-element arithmetic is exactly the retained two-pass scalar
+    // baseline's, so the planes are bit-identical.
+    let mut vrow = pool.take_u16(w);
+    let mut ring = [pool.take_u16(w), pool.take_u16(w), pool.take_u16(w)];
+    let data = img.as_bytes();
+    let hsm = |mid: &[u8], dst: &mut [u16]| {
+        dst[0] = 13 * mid[0] as u16 + 3 * mid[1.min(w - 1)] as u16;
+        if w > 2 {
+            simd::smooth313_h_row(mid, &mut dst[1..w - 1]);
+        }
+        if w > 1 {
+            dst[w - 1] = 3 * mid[w - 2] as u16 + 13 * mid[w - 1] as u16;
+        }
+    };
+    if len > 0 {
+        hsm(&data[..w], &mut ring[0]);
+        if h > 1 {
+            hsm(&data[w..2 * w], &mut ring[1]);
+        }
+    }
+
+    // Per row: gx = (vsmooth(x+1) - vsmooth(x-1)) / 32 with replicated
+    // borders, gy = (hsmooth(y+1) - hsmooth(y-1)) / 32 with clamped rows.
+    const NORM: f32 = 1.0 / 32.0;
+    for y in 0..h {
+        if y > 0 && y + 1 < h {
+            let nxt = y + 1;
+            hsm(&data[nxt * w..(nxt + 1) * w], &mut ring[nxt % 3]);
+        }
+        let up_r = y.saturating_sub(1);
+        let dn_r = (y + 1).min(h - 1);
+        simd::smooth313_v_row(
+            &data[up_r * w..up_r * w + w],
+            &data[y * w..y * w + w],
+            &data[dn_r * w..dn_r * w + w],
+            &mut vrow,
+        );
+
+        let gxr = &mut field.gx[y * w..(y + 1) * w];
+        if w >= 2 {
+            gxr[0] = (vrow[1] as i32 - vrow[0] as i32) as f32 * NORM;
+            simd::diff_norm_row(&vrow[2..], &vrow[..w - 2], NORM, &mut gxr[1..w - 1]);
+            gxr[w - 1] = (vrow[w - 1] as i32 - vrow[w - 2] as i32) as f32 * NORM;
+        } else {
+            gxr[0] = 0.0;
+        }
+
+        let gyr = &mut field.gy[y * w..(y + 1) * w];
+        simd::diff_norm_row(&ring[dn_r % 3], &ring[up_r % 3], NORM, gyr);
+    }
+
+    pool.recycle_u16(vrow);
+    let [r0, r1, r2] = ring;
+    pool.recycle_u16(r0);
+    pool.recycle_u16(r1);
+    pool.recycle_u16(r2);
+}
+
+/// The pre-vectorization [`scharr_gradients_into`]: plain per-pixel loops
+/// and clear-then-resize plane reuse. Retained verbatim as the scalar
+/// baseline for parity tests and the `scharr_scalar_256` bench entry;
+/// produces bit-identical planes.
+pub fn scharr_gradients_into_scalar(
+    img: &GrayImage,
+    field: &mut GradientField,
+    pool: &mut ScratchPool,
+) {
     let _timer = perf::ScopedTimer::new(|c| &mut c.gradient_ns);
     perf::record(|c| c.gradient_fields += 1);
     let w = img.width() as usize;
@@ -210,9 +323,6 @@ pub fn scharr_gradients_into(img: &GrayImage, field: &mut GradientField, pool: &
     field.gy.clear();
     field.gy.resize(len, 0.0);
 
-    // Smoothed planes (max value 16 * 255 = 4080, fits u16):
-    //   vsmooth[y][x] = 3 p(x, y-1) + 10 p(x, y) + 3 p(x, y+1)
-    //   hsmooth[y][x] = 3 p(x-1, y) + 10 p(x, y) + 3 p(x+1, y)
     let mut vsmooth = pool.take_u16(len);
     let mut hsmooth = pool.take_u16(len);
     let data = img.as_bytes();
@@ -235,8 +345,6 @@ pub fn scharr_gradients_into(img: &GrayImage, field: &mut GradientField, pool: &
         }
     }
 
-    // Differentiation passes: gx = (vsmooth(x+1) - vsmooth(x-1)) / 32,
-    // gy = (hsmooth(y+1) - hsmooth(y-1)) / 32, replicate borders.
     const NORM: f32 = 1.0 / 32.0;
     for y in 0..h {
         let vrow = &vsmooth[y * w..(y + 1) * w];
@@ -264,6 +372,163 @@ pub fn scharr_gradients_into(img: &GrayImage, field: &mut GradientField, pool: &
     pool.recycle_u16(hsmooth);
 }
 
+/// Raw fixed-point Scharr derivatives: row-major `i16` planes holding
+/// `32 * gradient` (range `[-4080, 4080]`).
+///
+/// This is the narrowest exact representation of an 8-bit image's Scharr
+/// response — half the bytes of a [`GradientField`], which matters when a
+/// consumer stores or streams many fields and can defer the (lossless)
+/// widening to [`GradientFieldI16::to_f32_into`].
+#[derive(Debug, Clone)]
+pub struct GradientFieldI16 {
+    width: u32,
+    height: u32,
+    gx: Vec<i16>,
+    gy: Vec<i16>,
+}
+
+impl GradientFieldI16 {
+    /// An empty 0x0 field, ready to be filled by
+    /// [`scharr_gradients_i16_into`].
+    pub fn empty() -> Self {
+        Self {
+            width: 0,
+            height: 0,
+            gx: Vec::new(),
+            gy: Vec::new(),
+        }
+    }
+
+    /// Consumes the field, returning its `(gx, gy)` planes for recycling.
+    pub fn into_planes(self) -> (Vec<i16>, Vec<i16>) {
+        (self.gx, self.gy)
+    }
+
+    /// Field width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Field height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw horizontal derivative (`32 * gx`) at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn gx_raw(&self, x: u32, y: u32) -> i16 {
+        self.gx[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Raw vertical derivative (`32 * gy`) at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn gy_raw(&self, x: u32, y: u32) -> i16 {
+        self.gy[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Widens this field into a normalized `f32` [`GradientField`].
+    ///
+    /// Lossless: every raw value is an integer in `[-4080, 4080]` and the
+    /// 1/32 normalization is a power of two, so the result is bit-identical
+    /// to computing [`scharr_gradients_into`] directly.
+    pub fn to_f32_into(&self, field: &mut GradientField) {
+        let len = self.gx.len();
+        field.width = self.width;
+        field.height = self.height;
+        field.gx.resize(len, 0.0);
+        field.gy.resize(len, 0.0);
+        const NORM: f32 = 1.0 / 32.0;
+        simd::i16_norm_row(&self.gx, NORM, &mut field.gx);
+        simd::i16_norm_row(&self.gy, NORM, &mut field.gy);
+    }
+}
+
+/// [`scharr_gradients_into`] producing raw `i16` fixed-point planes
+/// (`32 * gradient`) instead of normalized `f32`.
+///
+/// Same separable smoothing passes; the final differencing stays in
+/// integer arithmetic ([`simd::diff_i16_row`]), so this writes half the
+/// output bytes of the `f32` kernel. Widening the result with
+/// [`GradientFieldI16::to_f32_into`] reproduces the `f32` kernel's planes
+/// bit for bit.
+pub fn scharr_gradients_i16_into(
+    img: &GrayImage,
+    field: &mut GradientFieldI16,
+    pool: &mut ScratchPool,
+) {
+    let _timer = perf::ScopedTimer::new(|c| &mut c.gradient_ns);
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    let len = w * h;
+    perf::record(|c| c.fixed_point_rows += h as u64);
+    field.width = img.width();
+    field.height = img.height();
+    field.gx.resize(len, 0);
+    field.gy.resize(len, 0);
+
+    // Same fused row-ring structure as the `f32` kernel; only the final
+    // differencing stays in `i16`.
+    let mut vrow = pool.take_u16(w);
+    let mut ring = [pool.take_u16(w), pool.take_u16(w), pool.take_u16(w)];
+    let data = img.as_bytes();
+    let hsm = |mid: &[u8], dst: &mut [u16]| {
+        dst[0] = 13 * mid[0] as u16 + 3 * mid[1.min(w - 1)] as u16;
+        if w > 2 {
+            simd::smooth313_h_row(mid, &mut dst[1..w - 1]);
+        }
+        if w > 1 {
+            dst[w - 1] = 3 * mid[w - 2] as u16 + 13 * mid[w - 1] as u16;
+        }
+    };
+    if len > 0 {
+        hsm(&data[..w], &mut ring[0]);
+        if h > 1 {
+            hsm(&data[w..2 * w], &mut ring[1]);
+        }
+    }
+
+    for y in 0..h {
+        if y > 0 && y + 1 < h {
+            let nxt = y + 1;
+            hsm(&data[nxt * w..(nxt + 1) * w], &mut ring[nxt % 3]);
+        }
+        let up_r = y.saturating_sub(1);
+        let dn_r = (y + 1).min(h - 1);
+        simd::smooth313_v_row(
+            &data[up_r * w..up_r * w + w],
+            &data[y * w..y * w + w],
+            &data[dn_r * w..dn_r * w + w],
+            &mut vrow,
+        );
+
+        let gxr = &mut field.gx[y * w..(y + 1) * w];
+        if w >= 2 {
+            gxr[0] = (vrow[1] as i32 - vrow[0] as i32) as i16;
+            simd::diff_i16_row(&vrow[2..], &vrow[..w - 2], &mut gxr[1..w - 1]);
+            gxr[w - 1] = (vrow[w - 1] as i32 - vrow[w - 2] as i32) as i16;
+        } else {
+            gxr[0] = 0;
+        }
+
+        let gyr = &mut field.gy[y * w..(y + 1) * w];
+        simd::diff_i16_row(&ring[dn_r % 3], &ring[up_r % 3], gyr);
+    }
+
+    pool.recycle_u16(vrow);
+    let [r0, r1, r2] = ring;
+    pool.recycle_u16(r0);
+    pool.recycle_u16(r1);
+    pool.recycle_u16(r2);
+}
+
 /// Separable Gaussian blur with a 5-tap binomial kernel `[1 4 6 4 1] / 16`.
 ///
 /// Used to pre-smooth images before pyramid downsampling so the Lucas-Kanade
@@ -280,12 +545,95 @@ pub fn gaussian_blur(img: &GrayImage) -> GrayImage {
 /// taking the intermediate plane from `pool`.
 ///
 /// Both separable passes run on row slices; only the four border
-/// rows/columns take the clamped slow path.
+/// rows/columns take the clamped slow path. With the `fixed-point` feature
+/// (default) the interior rows run through the `u16` [`crate::simd`]
+/// helpers ([`simd::blur5_h_row`] / [`simd::blur5_v_row`]); otherwise the
+/// retained [`gaussian_blur_into_scalar`] wide-integer path runs. Output
+/// bytes are identical either way (the accumulator maxes at
+/// `16 * 255 = 4080`, exact in both widths).
 ///
 /// # Panics
 ///
 /// Panics if `out` dimensions differ from `img`.
 pub fn gaussian_blur_into(img: &GrayImage, out: &mut GrayImage, pool: &mut ScratchPool) {
+    #[cfg(feature = "fixed-point")]
+    gaussian_blur_into_fixed(img, out, pool);
+    #[cfg(not(feature = "fixed-point"))]
+    gaussian_blur_into_scalar(img, out, pool);
+}
+
+/// Fixed-point [`gaussian_blur_into`]: `u16` accumulators and vectorized
+/// interior rows. Bit-identical to [`gaussian_blur_into_scalar`].
+///
+/// # Panics
+///
+/// Panics if `out` dimensions differ from `img`.
+pub fn gaussian_blur_into_fixed(img: &GrayImage, out: &mut GrayImage, pool: &mut ScratchPool) {
+    assert!(
+        out.width() == img.width() && out.height() == img.height(),
+        "blur output must match input dimensions"
+    );
+    const K: [u16; 5] = [1, 4, 6, 4, 1];
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    perf::record(|c| {
+        c.gaussian_blurs += 1;
+        c.fixed_point_rows += h as u64;
+    });
+    let data = img.as_bytes();
+
+    // Horizontal pass into a u16 plane (max 255 * 16 = 4080 < 65535, so
+    // the narrow accumulator is exact).
+    let mut tmp = pool.take_u16(w * h);
+    for y in 0..h {
+        let src = &data[y * w..(y + 1) * w];
+        let dst = &mut tmp[y * w..(y + 1) * w];
+        if w >= 5 {
+            // Borders (2 pixels each side) with clamped addressing.
+            for x in [0usize, 1, w - 2, w - 1] {
+                let mut acc = 0u16;
+                for (k, &kv) in K.iter().enumerate() {
+                    let sx = (x as i64 + k as i64 - 2).clamp(0, w as i64 - 1) as usize;
+                    acc += kv * src[sx] as u16;
+                }
+                dst[x] = acc / 16;
+            }
+            simd::blur5_h_row(src, &mut dst[2..w - 2]);
+        } else {
+            for (x, d) in dst.iter_mut().enumerate() {
+                let mut acc = 0u16;
+                for (k, &kv) in K.iter().enumerate() {
+                    let sx = (x as i64 + k as i64 - 2).clamp(0, w as i64 - 1) as usize;
+                    acc += kv * src[sx] as u16;
+                }
+                *d = acc / 16;
+            }
+        }
+    }
+
+    // Vertical pass over clamped row slices of the intermediate plane.
+    let out_bytes = out.as_mut_bytes();
+    for y in 0..h {
+        let yy = y as i64;
+        let row = |ry: i64| -> &[u16] {
+            let cy = ry.clamp(0, h as i64 - 1) as usize;
+            &tmp[cy * w..(cy + 1) * w]
+        };
+        let (r0, r1, r2, r3, r4) = (row(yy - 2), row(yy - 1), row(yy), row(yy + 1), row(yy + 2));
+        let dst = &mut out_bytes[y * w..(y + 1) * w];
+        simd::blur5_v_row(r0, r1, r2, r3, r4, dst);
+    }
+    pool.recycle_u16(tmp);
+}
+
+/// The pre-vectorization [`gaussian_blur_into`] with `u32` accumulators.
+/// Retained verbatim as the scalar baseline for parity tests and the
+/// `gaussian_blur_scalar_256` bench entry; produces identical bytes.
+///
+/// # Panics
+///
+/// Panics if `out` dimensions differ from `img`.
+pub fn gaussian_blur_into_scalar(img: &GrayImage, out: &mut GrayImage, pool: &mut ScratchPool) {
     assert!(
         out.width() == img.width() && out.height() == img.height(),
         "blur output must match input dimensions"
@@ -444,6 +792,69 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_scharr_matches_scalar_baseline_bit_for_bit() {
+        for (w, h) in [(16u32, 16u32), (7, 5), (1, 9), (9, 1), (2, 2), (33, 17)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x.wrapping_mul(151) ^ y.wrapping_mul(41)).wrapping_add(x + 3 * y)) as u8
+            });
+            let mut pool = ScratchPool::new();
+            let mut fast = GradientField::empty();
+            scharr_gradients_into(&img, &mut fast, &mut pool);
+            let mut scalar = GradientField::empty();
+            scharr_gradients_into_scalar(&img, &mut scalar, &mut pool);
+            assert_eq!(fast.gx, scalar.gx, "gx diverged at {w}x{h}");
+            assert_eq!(fast.gy, scalar.gy, "gy diverged at {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn i16_scharr_widens_to_f32_field_bit_for_bit() {
+        for (w, h) in [(16u32, 16u32), (7, 5), (1, 9), (9, 1), (2, 2), (33, 17)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                ((x.wrapping_mul(131) ^ y.wrapping_mul(37)).wrapping_add(x * y)) as u8
+            });
+            let mut pool = ScratchPool::new();
+            let mut raw = GradientFieldI16::empty();
+            scharr_gradients_i16_into(&img, &mut raw, &mut pool);
+            let mut widened = GradientField::empty();
+            raw.to_f32_into(&mut widened);
+            let mut oracle = GradientField::empty();
+            scharr_gradients_into(&img, &mut oracle, &mut pool);
+            assert_eq!((widened.width(), widened.height()), (w, h));
+            assert_eq!(widened.gx, oracle.gx, "gx diverged at {w}x{h}");
+            assert_eq!(widened.gy, oracle.gy, "gy diverged at {w}x{h}");
+            // Raw values really are 32x the normalized gradient.
+            for y in 0..h {
+                for x in 0..w {
+                    assert_eq!(raw.gx_raw(x, y) as f32, oracle.gx(x, y) * 32.0);
+                    assert_eq!(raw.gy_raw(x, y) as f32, oracle.gy(x, y) * 32.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_blur_matches_scalar_baseline_bytes() {
+        for (w, h) in [(10u32, 10u32), (5, 5), (4, 7), (3, 3), (1, 6), (31, 9)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                (x.wrapping_mul(89) ^ y.wrapping_mul(53)).wrapping_add(13 * x) as u8
+            });
+            let mut pool = ScratchPool::new();
+            let mut fixed = GrayImage::new(w, h);
+            gaussian_blur_into_fixed(&img, &mut fixed, &mut pool);
+            let mut scalar = GrayImage::new(w, h);
+            gaussian_blur_into_scalar(&img, &mut scalar, &mut pool);
+            assert_eq!(fixed, scalar, "blur bytes diverged at {w}x{h}");
+        }
+        // Saturating content: all-255 image must survive both paths.
+        let max = GrayImage::from_fn(9, 9, |_, _| 255);
+        let mut pool = ScratchPool::new();
+        let mut fixed = GrayImage::new(9, 9);
+        gaussian_blur_into_fixed(&max, &mut fixed, &mut pool);
+        assert!(fixed.as_bytes().iter().all(|&v| v == 255));
+    }
+
+    #[test]
     fn into_variant_reuses_field_buffers() {
         let a = GrayImage::from_fn(12, 10, |x, y| (x * 3 + y) as u8);
         let b = GrayImage::from_fn(8, 8, |x, y| (x ^ y) as u8);
@@ -455,8 +866,14 @@ mod tests {
         scharr_gradients_into(&b, &mut field, &mut pool);
         assert_eq!((field.width(), field.height()), (8, 8));
         let work = crate::perf::snapshot();
-        assert_eq!(work.buffers_allocated, 0, "smoothing planes must be pooled");
-        assert_eq!(work.buffers_reused, 2);
+        assert_eq!(
+            work.buffers_allocated, 0,
+            "smoothing scratch must be pooled"
+        );
+        // The fused pass takes 4 row buffers; the scalar baseline takes 2
+        // full planes.
+        let expected = if cfg!(feature = "simd") { 4 } else { 2 };
+        assert_eq!(work.buffers_reused, expected);
         let oracle = scharr_gradients(&b);
         for y in 0..8 {
             for x in 0..8 {

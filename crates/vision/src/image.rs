@@ -236,6 +236,10 @@ impl GrayImage {
     /// [`downsample`](Self::downsample) into a caller-provided image of the
     /// correct size (`(width/2).max(1) x (height/2).max(1)`), avoiding the
     /// output allocation. Row-slice fast path: no per-pixel bounds checks.
+    /// With the `fixed-point` feature (default) interior rows run through
+    /// the vectorized `u16` [`crate::simd::box2_row`] helper; the retained
+    /// [`downsample_into_scalar`](Self::downsample_into_scalar) `u32` path
+    /// produces identical bytes (the 2x2 sum maxes at `4 * 255 = 1020`).
     ///
     /// # Panics
     ///
@@ -252,6 +256,59 @@ impl GrayImage {
             // Interior fast path: source indices 2x, 2x+1, 2y, 2y+1 are
             // always in bounds, so work on raw row slices.
             let w = self.width as usize;
+            #[cfg(feature = "fixed-point")]
+            crate::perf::record(|c| c.fixed_point_rows += nh as u64);
+            for y in 0..nh as usize {
+                let r0 = &self.data[2 * y * w..2 * y * w + w];
+                let r1 = &self.data[(2 * y + 1) * w..(2 * y + 1) * w + w];
+                let dst = &mut out.data[y * nw as usize..(y + 1) * nw as usize];
+                #[cfg(feature = "fixed-point")]
+                crate::simd::box2_row(r0, r1, dst);
+                #[cfg(not(feature = "fixed-point"))]
+                for (x, d) in dst.iter_mut().enumerate() {
+                    let sum = r0[2 * x] as u32
+                        + r0[2 * x + 1] as u32
+                        + r1[2 * x] as u32
+                        + r1[2 * x + 1] as u32;
+                    *d = (sum / 4) as u8;
+                }
+            }
+        } else {
+            // Degenerate 1-pixel-wide/tall images: replicate-border path.
+            for y in 0..nh {
+                for x in 0..nw {
+                    let sx = (x * 2).min(self.width - 1);
+                    let sy = (y * 2).min(self.height - 1);
+                    let sx1 = (sx + 1).min(self.width - 1);
+                    let sy1 = (sy + 1).min(self.height - 1);
+                    let sum = self.get(sx, sy) as u32
+                        + self.get(sx1, sy) as u32
+                        + self.get(sx, sy1) as u32
+                        + self.get(sx1, sy1) as u32;
+                    out.set(x, y, (sum / 4) as u8);
+                }
+            }
+        }
+    }
+
+    /// The pre-vectorization [`downsample_into`](Self::downsample_into)
+    /// with per-pixel `u32` arithmetic. Retained verbatim as the scalar
+    /// baseline for parity tests and the `downsample_scalar_256` bench
+    /// entry; produces identical bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong dimensions.
+    pub fn downsample_into_scalar(&self, out: &mut GrayImage) {
+        let nw = (self.width / 2).max(1);
+        let nh = (self.height / 2).max(1);
+        assert!(
+            out.width == nw && out.height == nh,
+            "downsample output must be {nw}x{nh}"
+        );
+        crate::perf::record(|c| c.downsamples += 1);
+        if self.width >= 2 && self.height >= 2 {
+            let w = self.width as usize;
             for y in 0..nh as usize {
                 let r0 = &self.data[2 * y * w..2 * y * w + w];
                 let r1 = &self.data[(2 * y + 1) * w..(2 * y + 1) * w + w];
@@ -265,7 +322,6 @@ impl GrayImage {
                 }
             }
         } else {
-            // Degenerate 1-pixel-wide/tall images: replicate-border path.
             for y in 0..nh {
                 for x in 0..nw {
                     let sx = (x * 2).min(self.width - 1);
@@ -379,6 +435,22 @@ mod tests {
         let img = GrayImage::from_fn(2, 2, |x, y| ((x + y * 2) * 40) as u8);
         let d = img.downsample();
         assert_eq!(d.get(0, 0), ((40 + 80 + 120) / 4) as u8);
+    }
+
+    #[test]
+    fn downsample_matches_scalar_baseline_bytes() {
+        for (w, h) in [(8u32, 6u32), (9, 7), (2, 2), (1, 5), (5, 1), (33, 17)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                (x.wrapping_mul(67) ^ y.wrapping_mul(29)).wrapping_add(x) as u8
+            });
+            let fast = img.downsample();
+            let mut scalar = GrayImage::new((w / 2).max(1), (h / 2).max(1));
+            img.downsample_into_scalar(&mut scalar);
+            assert_eq!(fast, scalar, "downsample bytes diverged at {w}x{h}");
+        }
+        // Saturating content survives the u16 accumulator.
+        let max = GrayImage::from_fn(6, 6, |_, _| 255);
+        assert!(max.downsample().as_bytes().iter().all(|&v| v == 255));
     }
 
     #[test]

@@ -40,6 +40,15 @@
 //! * `parallel` *(default)* — multi-threaded LK tracking and corner scans
 //!   via scoped threads (no extra dependencies).
 //! * `serde` *(default)* — `Serialize`/`Deserialize` on [`image::GrayImage`].
+//! * `simd` *(default)* — chunked, autovectorization-friendly loop shapes
+//!   in the [`simd`] row helpers; bit-identical to the plain loops.
+//! * `fixed-point` *(default)* — u8/u16 integer arithmetic for blur and
+//!   downsampling instead of the retained `*_scalar` wide-integer paths;
+//!   proven exact, so output bytes are identical either way.
+//!
+//! All four features are *compile-time* switches: there is no runtime CPU
+//! probing anywhere (enforced by the `cpu-probe` adavp-lint rule), and
+//! every feature combination produces bit-identical results.
 //!
 //! # Example
 //!
@@ -82,6 +91,7 @@ pub mod parallel;
 pub mod perf;
 pub mod pyramid;
 pub mod scratch;
+pub mod simd;
 
 pub use exec::Executor;
 pub use fast::{fast_corners, FastParams};

@@ -54,6 +54,9 @@ pub struct KernelCounters {
     pub buffers_allocated: u64,
     /// Pixel/gradient buffers recycled from a [`crate::scratch::ScratchPool`].
     pub buffers_reused: u64,
+    /// Image rows processed by the fixed-point (`u8`/`u16`/`i16`) kernel
+    /// variants (blur, box downsample, raw Scharr).
+    pub fixed_point_rows: u64,
     /// Nanoseconds spent building pyramids (blur + downsample included).
     pub pyramid_ns: u64,
     /// Nanoseconds spent computing gradient fields.
@@ -76,6 +79,7 @@ macro_rules! for_each_field {
         $macro_body!(lk_iterations, $a, $b);
         $macro_body!(buffers_allocated, $a, $b);
         $macro_body!(buffers_reused, $a, $b);
+        $macro_body!(fixed_point_rows, $a, $b);
         $macro_body!(pyramid_ns, $a, $b);
         $macro_body!(gradient_ns, $a, $b);
         $macro_body!(flow_ns, $a, $b);
@@ -129,6 +133,7 @@ impl KernelCounters {
             lk_iterations: self.lk_iterations,
             buffers_allocated: self.buffers_allocated,
             buffers_reused: self.buffers_reused,
+            fixed_point_rows: self.fixed_point_rows,
         }
     }
 }
@@ -162,6 +167,10 @@ pub struct KernelCounts {
     pub buffers_allocated: u64,
     /// Pixel/gradient buffers recycled from a [`crate::scratch::ScratchPool`].
     pub buffers_reused: u64,
+    /// Image rows processed by the fixed-point kernel variants. Structural:
+    /// for a given input and feature set this is identical across runs and
+    /// thread counts (zero with the `fixed-point` feature disabled).
+    pub fixed_point_rows: u64,
 }
 
 impl KernelCounts {
@@ -195,6 +204,7 @@ impl KernelCounters {
             lk_iterations: 0,
             buffers_allocated: 0,
             buffers_reused: 0,
+            fixed_point_rows: 0,
             pyramid_ns: 0,
             gradient_ns: 0,
             flow_ns: 0,

@@ -12,7 +12,10 @@
 //!   intermediate buffer from a [`ScratchPool`], and [`Pyramid::recycle`]
 //!   returns them, so a tracker that builds one pyramid per frame reaches a
 //!   steady state with **zero** heap allocations (observable through
-//!   [`crate::perf`]).
+//!   [`crate::perf`]). Pooled buffers are handed back without re-zeroing
+//!   (`ScratchPool::take_sized` truncates instead of memsetting), so the
+//!   steady-state build does strictly less work than a fresh one — every
+//!   kernel overwrites its full output.
 //! * **Cached gradients** — [`Pyramid::gradients`] computes one Scharr
 //!   [`GradientField`] per level, exactly once, and caches it on the
 //!   pyramid. Lucas-Kanade shares the cached fields across all tracked

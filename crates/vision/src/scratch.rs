@@ -36,19 +36,28 @@ use crate::perf;
 pub struct ScratchPool {
     gray: Vec<Vec<u8>>,
     planes_u16: Vec<Vec<u16>>,
+    planes_i16: Vec<Vec<i16>>,
     planes_f32: Vec<Vec<f32>>,
 }
 
 /// Takes the pooled buffer with the largest capacity (best reuse odds), or
-/// allocates fresh. Resizes to `len` either way.
+/// allocates fresh. Resizes to `len` either way. A reused buffer that is
+/// already long enough is *truncated*, never re-zeroed: every `take_*`
+/// consumer fully overwrites its buffer, and the clear-then-resize memset
+/// this replaces made pooled pyramid builds slower than fresh allocation
+/// (the OS hands out calloc'd pages for free; re-zeroing reused ones is
+/// pure overhead).
 fn take_sized<T: Default + Clone>(pool: &mut Vec<Vec<T>>, len: usize) -> Vec<T> {
     let picked = (0..pool.len()).max_by_key(|&i| pool[i].capacity());
     match picked {
         Some(i) => {
             let mut buf = pool.swap_remove(i);
             perf::record(|c| c.buffers_reused += 1);
-            buf.clear();
-            buf.resize(len, T::default());
+            if buf.len() >= len {
+                buf.truncate(len);
+            } else {
+                buf.resize(len, T::default());
+            }
             buf
         }
         None => {
@@ -66,13 +75,14 @@ impl ScratchPool {
 
     /// Number of buffers currently parked in the pool.
     pub fn parked(&self) -> usize {
-        self.gray.len() + self.planes_u16.len() + self.planes_f32.len()
+        self.gray.len() + self.planes_u16.len() + self.planes_i16.len() + self.planes_f32.len()
     }
 
     /// Drops every parked buffer.
     pub fn clear(&mut self) {
         self.gray.clear();
         self.planes_u16.clear();
+        self.planes_i16.clear();
         self.planes_f32.clear();
     }
 
@@ -105,6 +115,16 @@ impl ScratchPool {
     /// Returns a `u16` plane to the pool.
     pub fn recycle_u16(&mut self, plane: Vec<u16>) {
         self.planes_u16.push(plane);
+    }
+
+    /// Takes a `len`-element `i16` plane (raw fixed-point gradients).
+    pub fn take_i16(&mut self, len: usize) -> Vec<i16> {
+        take_sized(&mut self.planes_i16, len)
+    }
+
+    /// Returns an `i16` plane to the pool.
+    pub fn recycle_i16(&mut self, plane: Vec<i16>) {
+        self.planes_i16.push(plane);
     }
 
     /// Takes a `len`-element `f32` plane (used by gradient fields).
@@ -158,9 +178,30 @@ mod tests {
         let f = pool.take_f32(6);
         assert_eq!(f.len(), 6);
         pool.recycle_f32(f);
-        assert_eq!(pool.parked(), 2);
+        let i = pool.take_i16(4);
+        assert_eq!(i.len(), 4);
+        pool.recycle_i16(i);
+        assert_eq!(pool.parked(), 3);
         pool.clear();
         assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn reuse_never_rezeroes_long_enough_buffers() {
+        let mut pool = ScratchPool::new();
+        pool.recycle_u16(vec![7u16; 64]);
+        let buf = pool.take_u16(32);
+        assert_eq!(buf.len(), 32);
+        assert!(
+            buf.iter().all(|&v| v == 7),
+            "steady-state take must truncate, not memset"
+        );
+        // A too-short parked buffer still grows with default fill.
+        pool.recycle_u16(vec![3u16; 8]);
+        let grown = pool.take_u16(16);
+        assert_eq!(grown.len(), 16);
+        assert_eq!(&grown[..8], &[3u16; 8]);
+        assert_eq!(&grown[8..], &[0u16; 8]);
     }
 
     #[test]

@@ -4,9 +4,13 @@ use adavp_vision::fast::{fast_corners, FastParams};
 use adavp_vision::features::{good_features_to_track, GoodFeaturesParams};
 use adavp_vision::flow::{LkParams, PyramidalLk};
 use adavp_vision::geometry::Point2;
-use adavp_vision::gradient::{gaussian_blur, scharr_gradients};
+use adavp_vision::gradient::{
+    gaussian_blur, gaussian_blur_into, gaussian_blur_into_scalar, scharr_gradients,
+    scharr_gradients_into, scharr_gradients_into_scalar, GradientField,
+};
 use adavp_vision::image::GrayImage;
 use adavp_vision::pyramid::Pyramid;
+use adavp_vision::scratch::ScratchPool;
 use proptest::prelude::*;
 
 /// Smooth textured image parameterized by three phases — every instance is
@@ -136,6 +140,70 @@ proptest! {
             &lk.track_pyramids(&prev_pyr, &next_pyr, &pts),
             "dispatching entry point diverged"
         );
+    }
+
+    #[test]
+    fn blur_fast_path_matches_scalar_on_arbitrary_images(
+        w in 1u32..70,
+        h in 1u32..70,
+        seed in any::<u32>(),
+    ) {
+        // The feature-gated fixed-point path must reproduce the scalar
+        // baseline byte-for-byte on every size, including 1-pixel strips
+        // and widths that are not a multiple of any SIMD lane count.
+        let mut s = seed | 1;
+        let img = GrayImage::from_fn(w, h, |_, _| {
+            s ^= s << 13; s ^= s >> 17; s ^= s << 5;
+            (s >> 8) as u8
+        });
+        let mut pool = ScratchPool::new();
+        let mut fast = GrayImage::new(w, h);
+        let mut scalar = GrayImage::new(w, h);
+        gaussian_blur_into(&img, &mut fast, &mut pool);
+        gaussian_blur_into_scalar(&img, &mut scalar, &mut pool);
+        prop_assert_eq!(fast.as_bytes(), scalar.as_bytes());
+    }
+
+    #[test]
+    fn downsample_fast_path_matches_scalar_on_arbitrary_images(
+        w in 1u32..70,
+        h in 1u32..70,
+        seed in any::<u32>(),
+    ) {
+        let mut s = seed | 1;
+        let img = GrayImage::from_fn(w, h, |_, _| {
+            s ^= s << 13; s ^= s >> 17; s ^= s << 5;
+            (s >> 8) as u8
+        });
+        let (nw, nh) = ((w / 2).max(1), (h / 2).max(1));
+        let mut fast = GrayImage::new(nw, nh);
+        let mut scalar = GrayImage::new(nw, nh);
+        img.downsample_into(&mut fast);
+        img.downsample_into_scalar(&mut scalar);
+        prop_assert_eq!(fast.as_bytes(), scalar.as_bytes());
+    }
+
+    #[test]
+    fn scharr_fast_path_bit_identical_to_scalar_on_arbitrary_images(
+        w in 1u32..70,
+        h in 1u32..70,
+        seed in any::<u32>(),
+    ) {
+        let mut s = seed | 1;
+        let img = GrayImage::from_fn(w, h, |_, _| {
+            s ^= s << 13; s ^= s >> 17; s ^= s << 5;
+            (s >> 8) as u8
+        });
+        let mut pool = ScratchPool::new();
+        let mut fast = GradientField::empty();
+        let mut scalar = GradientField::empty();
+        scharr_gradients_into(&img, &mut fast, &mut pool);
+        scharr_gradients_into_scalar(&img, &mut scalar, &mut pool);
+        // Bit-level comparison: the fused ring pass reorders work, never
+        // arithmetic, so even NaN-free float equality must be exact.
+        let bits = |p: &[f32]| p.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(fast.gx_plane()), bits(scalar.gx_plane()));
+        prop_assert_eq!(bits(fast.gy_plane()), bits(scalar.gy_plane()));
     }
 
     #[test]

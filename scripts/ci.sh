@@ -25,6 +25,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fault conformance suite (DESIGN.md §11 degradation policies)"
 cargo test -q --test fault_conformance
 
+echo "== SIMD/fixed-point kernel parity (DESIGN.md §14; golden bytes + adversarial shapes)"
+cargo test -q -p adavp-vision --test simd_parity
+cargo test -q -p adavp-vision --test simd_parity --no-default-features
+cargo test -q -p adavp-vision --test simd_parity --no-default-features --features simd
+cargo test -q -p adavp-vision --test simd_parity --no-default-features --features fixed-point
+
 if [ "${1:-}" != "--no-bench" ]; then
     echo "== kernel bench smoke (writes BENCH_kernels.json)"
     cargo run --release -p adavp-vision --bin kernels_bench -- BENCH_kernels.json

@@ -33,6 +33,10 @@
 //! * [`rt`] — a real multithreaded runtime (frame buffer + locks + events,
 //!   §IV-B "implementation") demonstrating the concurrency design with
 //!   actual threads.
+//! * [`serve`] — multi-stream fleet serving: the pipeline loop refactored
+//!   into a poll/step state machine, a batching detection scheduler over a
+//!   shared GPU pool, SLO-class admission control, and backpressure via
+//!   the degradation policy.
 //!
 //! # Example: run AdaVP on a clip
 //!
@@ -62,6 +66,7 @@ pub mod export;
 pub mod latency;
 pub mod pipeline;
 pub mod rt;
+pub mod serve;
 pub mod telemetry;
 pub mod tracker;
 pub mod velocity;

@@ -1,0 +1,455 @@
+//! The fleet driver: admission control + the discrete-event serving loop.
+//!
+//! One [`adavp_sim::EventQueue`] interleaves every admitted stream's
+//! poll/step pipeline with the batch scheduler's window deadlines and
+//! batch completions. Three event kinds exist:
+//!
+//! * `Wake(stream)` — poll one stream at its requested time.
+//! * `Window(batch)` — a batch-formation window deadline; a no-op when
+//!   the batch already closed on size.
+//! * `BatchDone(batch)` — a GPU batch completed; verdicts are delivered
+//!   to its members in submission order and each member is stepped.
+//!
+//! FIFO tie-breaking in the queue plus index-ordered initial wakes make
+//! the whole interleaving a pure function of the [`ServeConfig`], which is
+//! what lets the sweep layer fan fleets out across jobs byte-identically.
+//!
+//! **Admission control**: streams are sorted by `(SLO class, index)` and
+//! admitted while their estimated steady-state GPU demand — the batch-
+//! amortized detector cost over an estimated cycle period — fits inside
+//! `pool size × target utilization`. Everyone else is rejected up front
+//! and reported, keeping the tail latency of admitted streams bounded
+//! instead of letting every stream degrade together.
+
+use super::batch::BatchScheduler;
+use super::stream::{DetectionVerdict, NextWake, SloClass, StreamPipeline, StreamStats};
+use super::ServeConfig;
+use crate::telemetry::{Histogram, Percentiles};
+use adavp_sim::{EventQueue, FaultPlan, SimTime};
+use std::collections::BTreeMap;
+
+/// Admission-control policy for a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// When `false`, every requested stream is admitted (useful to
+    /// demonstrate what backpressure alone does under overload).
+    pub enabled: bool,
+    /// Fraction of the GPU pool the admitted set may demand in steady
+    /// state (headroom absorbs jitter, retries, and contention).
+    pub target_utilization: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            target_utilization: 0.85,
+        }
+    }
+}
+
+/// Per-SLO-class slice of a fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The class.
+    pub class: SloClass,
+    /// Streams of this class that requested service.
+    pub requested: usize,
+    /// Streams of this class admitted.
+    pub admitted: usize,
+    /// Completed cycles across the class's admitted streams.
+    pub cycles: u64,
+    /// Cycles that missed the class deadline.
+    pub violations: u64,
+    /// End-to-end cycle-latency percentiles (None when no cycles ran).
+    pub percentiles: Option<Percentiles>,
+}
+
+impl ClassReport {
+    /// Violations as a fraction of completed cycles (0 when none ran).
+    pub fn violation_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Streams that requested service.
+    pub requested: usize,
+    /// Streams admitted by admission control.
+    pub admitted: usize,
+    /// Completed detection cycles (successful + degraded).
+    pub cycles: u64,
+    /// Cycles that published a fresh detection.
+    pub detections: u64,
+    /// Cycles that degraded to held boxes.
+    pub degraded: u64,
+    /// Detection attempts retried after outright failures.
+    pub retries: u64,
+    /// Submissions shed by backpressure (stream-side count).
+    pub shed: u64,
+    /// Camera frames covered across admitted streams.
+    pub frames: u64,
+    /// Model-setting switches across admitted streams.
+    pub switches: u64,
+    /// GPU batches dispatched.
+    pub batches: u64,
+    /// Mean members per batch.
+    pub mean_batch_size: f64,
+    /// Batches that closed by filling (vs window deadline).
+    pub closed_on_size: u64,
+    /// Virtual time the last admitted stream finished.
+    pub horizon_ms: f64,
+    /// Fresh detections per second of virtual time.
+    pub throughput_dps: f64,
+    /// Mean GPU-pool utilization over the horizon (includes contention).
+    pub gpu_utilization: f64,
+    /// Total GPU-busy ms across the pool (includes contention bursts).
+    pub gpu_busy_ms: f64,
+    /// Aggregate end-to-end cycle latency across admitted streams.
+    pub cycle_ms: Histogram,
+    /// Per-class slices, in [`SloClass::ALL`] order.
+    pub classes: Vec<ClassReport>,
+    /// Per-stream stats, in fleet index order (rejected streams included
+    /// with `admitted == false`).
+    pub streams: Vec<StreamStats>,
+}
+
+/// Which streams admission control lets in, as a mask over
+/// `cfg.streams`. Streams are considered in `(class, index)` order; the
+/// first candidate is always admitted so a fleet never does nothing.
+pub fn admitted_mask(cfg: &ServeConfig) -> Vec<bool> {
+    let n = cfg.streams.len();
+    if !cfg.admission.enabled {
+        return vec![true; n];
+    }
+    let base = cfg.policy.initial_setting().base_latency_ms();
+    let model = cfg.batch.batch_latency;
+    let max_batch = cfg.batch.max_batch.max(1);
+    // Steady-state GPU cost of one detection, amortized over a full batch.
+    let amortized = model.amortized_member_ms(base, max_batch);
+    // Estimated cycle period: CPU prep + formation window + the full
+    // batch's critical path + overlay. Using the *batched* duration here
+    // matters — it is what actually paces a stream's cycles, so skipping
+    // it would under-admit by a factor of the batch depth.
+    let batch_duration = model.batch_ms(&vec![base; max_batch]);
+    let cycle_est = cfg.latency.feature_extraction_ms
+        + cfg.batch.window_ms.max(0.0)
+        + batch_duration
+        + cfg.latency.overlay_ms(4);
+    let demand = if cycle_est > 0.0 {
+        amortized / cycle_est
+    } else {
+        1.0
+    };
+    let capacity = cfg.batch.gpus.max(1) as f64 * cfg.admission.target_utilization.clamp(0.0, 1.0);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (cfg.streams[i].class, i));
+    let mut mask = vec![false; n];
+    let mut used = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        if rank == 0 || used + demand <= capacity + 1e-9 {
+            mask[i] = true;
+            used += demand;
+        }
+    }
+    mask
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FleetEvent {
+    Wake(usize),
+    Window(u64),
+    BatchDone(u64),
+}
+
+/// Runs one fleet to completion. See the module docs for the event loop.
+pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
+    let plan = FaultPlan::new(cfg.faults.clone());
+    let mut sched = BatchScheduler::new(cfg.batch.clone(), &plan);
+    let mask = admitted_mask(cfg);
+
+    let mut streams: Vec<Option<StreamPipeline>> = Vec::with_capacity(cfg.streams.len());
+    let mut rejected_stats: Vec<Option<StreamStats>> = Vec::with_capacity(cfg.streams.len());
+    for (i, spec) in cfg.streams.iter().enumerate() {
+        if mask[i] {
+            streams.push(Some(StreamPipeline::new(
+                i,
+                spec.clone(),
+                cfg.policy.clone(),
+                cfg.degradation.clone(),
+                cfg.latency,
+                plan.for_stream(&spec.name),
+            )));
+            rejected_stats.push(None);
+        } else {
+            streams.push(None);
+            rejected_stats.push(Some(StreamStats::rejected()));
+        }
+    }
+
+    let mut queue: EventQueue<FleetEvent> = EventQueue::new();
+    let mut in_flight: BTreeMap<u64, super::batch::DispatchedBatch> = BTreeMap::new();
+    for (i, s) in streams.iter().enumerate() {
+        if s.is_some() {
+            queue.push(SimTime::ZERO, FleetEvent::Wake(i));
+        }
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            FleetEvent::Wake(i) => {
+                let stream = streams[i].as_mut().expect("woke a rejected stream");
+                let wake = stream.step(now, &mut |at, req| sched.submit(at, req));
+                if let NextWake::At(t) = wake {
+                    queue.push(t, FleetEvent::Wake(i));
+                }
+            }
+            FleetEvent::Window(batch) => sched.window_closed(batch, now),
+            FleetEvent::BatchDone(batch) => {
+                let done = in_flight.remove(&batch).expect("unknown batch completed");
+                sched.complete(done.members.len());
+                for member in &done.members {
+                    let stream = streams[member.stream]
+                        .as_mut()
+                        .expect("batch member from a rejected stream");
+                    stream.deliver(DetectionVerdict {
+                        end: done.end,
+                        failed: member.failed,
+                        timed_out: member.timed_out,
+                    });
+                    let wake = stream.step(done.end, &mut |at, req| sched.submit(at, req));
+                    if let NextWake::At(t) = wake {
+                        queue.push(t, FleetEvent::Wake(member.stream));
+                    }
+                }
+            }
+        }
+        for open in sched.drain_window_opens() {
+            queue.push(open.deadline, FleetEvent::Window(open.batch));
+        }
+        for dispatched in sched.drain_dispatched() {
+            queue.push(dispatched.end, FleetEvent::BatchDone(dispatched.id));
+            in_flight.insert(dispatched.id, dispatched);
+        }
+    }
+    debug_assert!(in_flight.is_empty(), "batches left in flight at drain");
+
+    // Assemble the report (index order everywhere).
+    let stats: Vec<StreamStats> = streams
+        .into_iter()
+        .zip(rejected_stats)
+        .map(|(s, r)| match s {
+            Some(p) => p.stats,
+            None => r.expect("rejected stream without stats"),
+        })
+        .collect();
+
+    let mut cycle_ms = Histogram::latency_ms();
+    let mut horizon = SimTime::ZERO;
+    let (mut cycles, mut detections, mut degraded, mut retries) = (0u64, 0u64, 0u64, 0u64);
+    let (mut shed, mut frames, mut switches) = (0u64, 0u64, 0u64);
+    for s in stats.iter().filter(|s| s.admitted) {
+        cycle_ms.merge(&s.cycle_ms);
+        horizon = horizon.max(s.finished_at);
+        cycles += s.cycles;
+        detections += s.detections;
+        degraded += s.degraded;
+        retries += s.retries;
+        shed += s.shed;
+        frames += s.frames;
+        switches += s.switches;
+    }
+
+    let classes = SloClass::ALL
+        .iter()
+        .map(|&class| {
+            let mut hist = Histogram::latency_ms();
+            let (mut requested, mut admitted, mut c_cycles, mut violations) = (0, 0, 0u64, 0u64);
+            for (spec, s) in cfg.streams.iter().zip(&stats) {
+                if spec.class != class {
+                    continue;
+                }
+                requested += 1;
+                if s.admitted {
+                    admitted += 1;
+                    c_cycles += s.cycles;
+                    violations += s.slo_violations;
+                    hist.merge(&s.cycle_ms);
+                }
+            }
+            ClassReport {
+                class,
+                requested,
+                admitted,
+                cycles: c_cycles,
+                violations,
+                percentiles: hist.percentiles(),
+            }
+        })
+        .collect();
+
+    let horizon_ms = horizon.as_ms();
+    let throughput_dps = if horizon_ms > 0.0 {
+        detections as f64 / (horizon_ms / 1000.0)
+    } else {
+        0.0
+    };
+
+    FleetReport {
+        requested: cfg.streams.len(),
+        admitted: mask.iter().filter(|&&a| a).count(),
+        cycles,
+        detections,
+        degraded,
+        retries,
+        shed,
+        frames,
+        switches,
+        batches: sched.stats.batches,
+        mean_batch_size: sched.stats.mean_batch_size(),
+        closed_on_size: sched.stats.closed_on_size,
+        horizon_ms,
+        throughput_dps,
+        gpu_utilization: sched.pool_utilization(horizon),
+        gpu_busy_ms: sched.total_gpu_busy_ms(),
+        cycle_ms,
+        classes,
+        streams: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::BatchConfig;
+    use adavp_sim::FaultProfile;
+
+    fn cfg(n: usize, cycles: usize) -> ServeConfig {
+        let mut c = ServeConfig::default();
+        c.streams = ServeConfig::synthetic_streams(n, cycles, 7);
+        c
+    }
+
+    #[test]
+    fn small_fleet_all_admitted_and_completes() {
+        let c = cfg(4, 6);
+        let r = run_fleet(&c);
+        assert_eq!(r.requested, 4);
+        assert_eq!(r.admitted, 4);
+        assert_eq!(r.cycles, 24, "every stream ran every cycle");
+        assert_eq!(r.detections + r.degraded, r.cycles);
+        assert_eq!(r.degraded, 0, "quiet profile never degrades");
+        assert!(r.horizon_ms > 0.0);
+        assert!(r.throughput_dps > 0.0);
+        assert_eq!(r.cycle_ms.count(), 24);
+        assert!(r.batches >= 1);
+        assert!(r.gpu_utilization > 0.0);
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic() {
+        let c = cfg(12, 5);
+        let a = run_fleet(&c);
+        let b = run_fleet(&c);
+        assert_eq!(a, b, "identical config must reproduce bit-identically");
+    }
+
+    #[test]
+    fn admission_rejects_overload_and_prefers_gold() {
+        let mut c = cfg(300, 3);
+        c.batch.gpus = 2;
+        let mask = admitted_mask(&c);
+        let admitted = mask.iter().filter(|&&a| a).count();
+        assert!(admitted >= 1);
+        assert!(
+            admitted < 300,
+            "2 GPUs cannot admit 300 streams ({admitted})"
+        );
+        let r = run_fleet(&c);
+        assert_eq!(r.admitted, admitted);
+        // Gold admitted preferentially over Bronze.
+        let gold = &r.classes[0];
+        let bronze = &r.classes[2];
+        assert_eq!(gold.class, SloClass::Gold);
+        assert!(gold.admitted >= bronze.admitted);
+        assert!(gold.admitted > 0, "gold always gets its share first");
+        // Rejected streams ran nothing.
+        for s in r.streams.iter().filter(|s| !s.admitted) {
+            assert_eq!(s.cycles, 0);
+            assert!(s.cycle_ms.is_empty());
+        }
+        // Per-class accounting covers every requested stream.
+        let total: usize = r.classes.iter().map(|c| c.requested).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn disabled_admission_admits_everyone() {
+        let mut c = cfg(40, 2);
+        c.batch.gpus = 1;
+        c.admission.enabled = false;
+        let r = run_fleet(&c);
+        assert_eq!(r.admitted, 40);
+        // 40 streams on one GPU: the pool saturates.
+        assert!(r.gpu_utilization > 0.8, "util {}", r.gpu_utilization);
+    }
+
+    #[test]
+    fn backpressure_sheds_under_tiny_queue() {
+        let mut c = cfg(24, 3);
+        c.admission.enabled = false;
+        c.batch = BatchConfig {
+            max_batch: 2,
+            window_ms: 10.0,
+            queue_capacity: 2,
+            gpus: 1,
+            ..BatchConfig::default()
+        };
+        let r = run_fleet(&c);
+        assert!(r.shed > 0, "24 streams through 2 slots must shed");
+        // Shedding steps settings down — switches happened.
+        assert!(r.switches > 0);
+        // And the fleet still completed every admitted stream's cycles.
+        assert_eq!(r.cycles, 24 * 3);
+    }
+
+    #[test]
+    fn batching_beats_unbatched_throughput() {
+        let mut batched = cfg(48, 6);
+        batched.batch.gpus = 2;
+        let mut unbatched = batched.clone();
+        unbatched.batch = batched.batch.unbatched();
+        let rb = run_fleet(&batched);
+        let ru = run_fleet(&unbatched);
+        assert!(
+            rb.throughput_dps >= 1.5 * ru.throughput_dps,
+            "batched {} vs unbatched {}",
+            rb.throughput_dps,
+            ru.throughput_dps
+        );
+        assert!(rb.mean_batch_size > 1.5, "batches actually formed");
+        assert!((ru.mean_batch_size - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brownout_degrades_but_does_not_stall() {
+        let mut c = cfg(16, 4);
+        c.faults = FaultProfile::brownout(5);
+        let r = run_fleet(&c);
+        assert_eq!(r.cycles as usize, (r.admitted) * 4);
+        assert!(r.degraded + r.retries > 0, "brownout must bite: {r:?}",);
+        // Quiet twin differs.
+        let mut quiet = cfg(16, 4);
+        quiet.batch = c.batch.clone();
+        let rq = run_fleet(&quiet);
+        assert_eq!(rq.degraded, 0);
+        assert!(r.cycle_ms.percentile(99.0) >= rq.cycle_ms.percentile(99.0));
+    }
+}

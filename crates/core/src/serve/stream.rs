@@ -1,0 +1,685 @@
+//! One served stream as a poll/step state machine.
+//!
+//! The run-to-completion MPDT loop owns its GPU and sleeps through every
+//! detection; a fleet cannot afford either. [`StreamPipeline`] is that loop
+//! turned inside out: the driver calls [`StreamPipeline::step`] with the
+//! current virtual time, the stream advances as far as it can without
+//! blocking, and returns a [`NextWake`] — a concrete re-poll time, a
+//! promise that the batch scheduler will wake it when its detection lands,
+//! or `Done`. The MPDT cycle structure survives intact: detect the newest
+//! frame, publish, let the policy re-decide the model setting, degrade a
+//! notch when the fault layer bites.
+//!
+//! Detection runs at the model level — settings map to their Table-I base
+//! latencies plus deterministic jitter and the stream's salted
+//! [`FaultPlan`] — because a fleet of a thousand streams cannot run real
+//! pixel kernels per frame. Content (velocity driving adaptation, object
+//! counts driving tracker/overlay cost) is synthesized from the stream
+//! seed with the same pure-hash discipline the fault layer uses.
+
+use super::{mix, unit, TAG_JITTER, TAG_OBJECTS, TAG_VELOCITY};
+use crate::latency::LatencyModel;
+use crate::pipeline::{DegradationPolicy, SettingPolicy};
+use crate::telemetry::Histogram;
+use adavp_detector::ModelSetting;
+use adavp_sim::{FaultPlan, SimTime};
+
+/// Per-stream service class: the cycle-latency deadline the fleet promises
+/// and the admission priority (strictest class admitted first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloClass {
+    /// Interactive streams: tightest deadline, admitted first.
+    Gold,
+    /// Standard monitoring streams.
+    Silver,
+    /// Best-effort archival streams: loosest deadline, admitted last.
+    Bronze,
+}
+
+impl SloClass {
+    /// All classes, in admission-priority order.
+    pub const ALL: [SloClass; 3] = [SloClass::Gold, SloClass::Silver, SloClass::Bronze];
+
+    /// End-to-end detection-cycle deadline (frame arrival to overlay
+    /// publish). A cycle slower than this counts as an SLO violation.
+    ///
+    /// Calibrated against the batching latency model: a full default batch
+    /// of YOLOv3-512 members takes ~1.4 s frame-to-overlay once the
+    /// formation window and queueing are counted, so Gold tolerates one
+    /// well-formed batch cycle, Silver tolerates a retry or a contention
+    /// burst, Bronze tolerates the 2 s degradation budget.
+    pub fn deadline_ms(self) -> f64 {
+        match self {
+            SloClass::Gold => 1500.0,
+            SloClass::Silver => 2500.0,
+            SloClass::Bronze => 5000.0,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Gold => "gold",
+            SloClass::Silver => "silver",
+            SloClass::Bronze => "bronze",
+        }
+    }
+}
+
+/// Static description of one camera stream requesting service.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream name; salts the fleet fault plan via
+    /// [`FaultPlan::for_stream`] so streams fault decorrelated.
+    pub name: String,
+    /// Service class (deadline + admission priority).
+    pub class: SloClass,
+    /// Camera frame interval in virtual ms (33.3 for 30 fps).
+    pub frame_interval_ms: f64,
+    /// Detection cycles to run before the stream completes.
+    pub cycles: usize,
+    /// Seed for synthetic content (velocity, objects, latency jitter).
+    pub seed: u64,
+}
+
+/// What a stream needs from the driver after a [`StreamPipeline::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NextWake {
+    /// Poll again at this virtual time (frame arrival, CPU prep finishing,
+    /// retry/backpressure backoff expiring).
+    At(SimTime),
+    /// Blocked on an in-flight detection: the driver wakes the stream by
+    /// delivering a [`DetectionVerdict`] when its batch completes.
+    OnDetection,
+    /// All configured cycles processed; never poll again.
+    Done,
+}
+
+/// Outcome of one in-flight detection request, delivered by the driver
+/// when the containing batch completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionVerdict {
+    /// Batch completion time (the member's result is available now).
+    pub end: SimTime,
+    /// Whether this member's attempt failed outright (flaky detector).
+    pub failed: bool,
+    /// Whether this member's faulted latency was clipped at the
+    /// degradation budget (abandon-at-budget semantics).
+    pub timed_out: bool,
+}
+
+/// Counters and distributions accumulated by one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Whether admission control let the stream run at all.
+    pub admitted: bool,
+    /// Completed detection cycles (successful + degraded).
+    pub cycles: u64,
+    /// Cycles that published a fresh detection.
+    pub detections: u64,
+    /// Cycles that degraded (failed after retries, or timed out) and
+    /// published held boxes instead.
+    pub degraded: u64,
+    /// Detection attempts retried after an outright failure.
+    pub retries: u64,
+    /// Submissions refused by scheduler backpressure.
+    pub shed: u64,
+    /// Cycles whose end-to-end latency missed the class deadline.
+    pub slo_violations: u64,
+    /// Camera frames covered (detected, tracked, or held).
+    pub frames: u64,
+    /// Model-setting switches decided by the policy or degradation.
+    pub switches: u64,
+    /// End-to-end cycle latency (frame arrival → overlay publish), ms.
+    pub cycle_ms: Histogram,
+    /// Virtual time the stream finished its last cycle.
+    pub finished_at: SimTime,
+}
+
+impl StreamStats {
+    fn new() -> Self {
+        Self {
+            admitted: true,
+            cycles: 0,
+            detections: 0,
+            degraded: 0,
+            retries: 0,
+            shed: 0,
+            slo_violations: 0,
+            frames: 0,
+            switches: 0,
+            cycle_ms: Histogram::latency_ms(),
+            finished_at: SimTime::ZERO,
+        }
+    }
+
+    /// Stats for a stream rejected at admission: nothing ran.
+    pub fn rejected() -> Self {
+        Self {
+            admitted: false,
+            ..Self::new()
+        }
+    }
+}
+
+/// A detection request as the stream hands it to the batch scheduler: the
+/// member's standalone GPU latency with faults already applied, plus the
+/// fault flags the verdict must echo back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionRequest {
+    /// Index of the submitting stream in the fleet.
+    pub stream: usize,
+    /// Detection cycle this request belongs to.
+    pub cycle: u64,
+    /// Standalone GPU latency of this member (base × jitter × fault
+    /// multiplier, clipped at the degradation budget).
+    pub member_ms: f64,
+    /// This attempt fails outright (burns GPU time, returns nothing).
+    pub failed: bool,
+    /// `member_ms` was clipped at the budget; the cycle degrades.
+    pub timed_out: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Waiting for frame `frame` to arrive.
+    AwaitFrame {
+        frame: u64,
+    },
+    /// Frame captured at `arrival`; CPU-side feature extraction (plus any
+    /// retry/backpressure backoff) finishes at `ready`, then submit
+    /// attempt `attempt`.
+    Prep {
+        frame: u64,
+        arrival: SimTime,
+        ready: SimTime,
+        attempt: u32,
+    },
+    /// Attempt `attempt` is in a batch; waiting for its verdict.
+    InFlight {
+        frame: u64,
+        arrival: SimTime,
+        attempt: u32,
+    },
+    Done,
+}
+
+/// The MPDT cycle loop in poll/step form. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StreamPipeline {
+    index: usize,
+    spec: StreamSpec,
+    policy: SettingPolicy,
+    degradation: DegradationPolicy,
+    latency: LatencyModel,
+    faults: FaultPlan,
+    setting: ModelSetting,
+    cycle: u64,
+    phase: Phase,
+    verdict: Option<DetectionVerdict>,
+    /// Counters and distributions; read out by the driver at the end.
+    pub stats: StreamStats,
+}
+
+impl StreamPipeline {
+    /// Builds the stream's pipeline. `faults` must already be salted for
+    /// this stream (the driver calls [`FaultPlan::for_stream`]).
+    pub fn new(
+        index: usize,
+        spec: StreamSpec,
+        policy: SettingPolicy,
+        degradation: DegradationPolicy,
+        latency: LatencyModel,
+        faults: FaultPlan,
+    ) -> Self {
+        let setting = policy.initial_setting();
+        Self {
+            index,
+            spec,
+            policy,
+            degradation,
+            latency,
+            faults,
+            setting,
+            cycle: 0,
+            phase: Phase::AwaitFrame { frame: 0 },
+            verdict: None,
+            stats: StreamStats::new(),
+        }
+    }
+
+    /// The stream's fleet index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The stream's spec.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Current model setting (moves under adaptation and degradation).
+    pub fn setting(&self) -> ModelSetting {
+        self.setting
+    }
+
+    /// Delivers a detection verdict; the driver must call
+    /// [`StreamPipeline::step`] at `verdict.end` right after.
+    pub fn deliver(&mut self, verdict: DetectionVerdict) {
+        debug_assert!(self.verdict.is_none(), "verdict already pending");
+        self.verdict = Some(verdict);
+    }
+
+    /// Synthetic content velocity for a cycle (Eq. 3 regime, px/frame):
+    /// piecewise-constant over 6-cycle epochs so adaptation sees regimes,
+    /// not noise.
+    pub fn velocity(&self, cycle: u64) -> f64 {
+        0.2 + 4.3 * unit(mix(self.spec.seed, TAG_VELOCITY, cycle / 6, 0))
+    }
+
+    /// Synthetic tracked-object count for a cycle (1..=9).
+    pub fn objects(&self, cycle: u64) -> usize {
+        1 + (mix(self.spec.seed, TAG_OBJECTS, cycle, 0) % 9) as usize
+    }
+
+    fn arrival(&self, frame: u64) -> SimTime {
+        SimTime::from_ms(frame as f64 * self.spec.frame_interval_ms)
+    }
+
+    /// This member's standalone GPU latency for `(cycle, attempt)`:
+    /// setting base latency × ±5% deterministic jitter × the stream's
+    /// fault multiplier, clipped at the degradation budget (with the
+    /// timeout flag set when clipping happened).
+    fn member_latency(&self, cycle: u64, attempt: u32) -> (f64, bool) {
+        let jitter = 0.95 + 0.1 * unit(mix(self.spec.seed, TAG_JITTER, cycle, attempt as u64));
+        let mult = self.faults.latency_multiplier(cycle);
+        let raw = self.setting.base_latency_ms() * jitter * mult;
+        match self.degradation.detector_timeout_ms {
+            Some(budget) if raw > budget => (budget, true),
+            _ => (raw, false),
+        }
+    }
+
+    fn switch_to(&mut self, next: ModelSetting) {
+        if next != self.setting {
+            self.stats.switches += 1;
+            self.setting = next;
+        }
+    }
+
+    /// Advances the stream at virtual time `now`. `submit` is the driver's
+    /// window into the batch scheduler: it returns `true` when the request
+    /// was accepted and `false` under backpressure.
+    ///
+    /// The contract: the driver polls at exactly the times this method
+    /// returns in [`NextWake::At`], and after [`NextWake::OnDetection`]
+    /// delivers a verdict via [`StreamPipeline::deliver`] before polling
+    /// again (at the verdict's `end` time).
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        submit: &mut dyn FnMut(SimTime, DetectionRequest) -> bool,
+    ) -> NextWake {
+        loop {
+            match self.phase {
+                Phase::AwaitFrame { frame } => {
+                    let arrival = self.arrival(frame);
+                    if now < arrival {
+                        return NextWake::At(arrival);
+                    }
+                    // MPDT detects the *newest* delivered frame: if the
+                    // poll came late (it only does when the previous cycle
+                    // ended mid-interval), skip ahead to the latest frame
+                    // whose arrival has passed.
+                    let newest =
+                        (now.as_ms() / self.spec.frame_interval_ms).floor().max(0.0) as u64;
+                    let frame = frame.max(newest);
+                    // `min(now)` only guards float rounding: the newest
+                    // frame's nominal arrival is <= now by construction.
+                    let arrival = self.arrival(frame).min(now);
+                    let ready = SimTime::from_ms(now.as_ms() + self.latency.feature_extraction_ms);
+                    self.phase = Phase::Prep {
+                        frame,
+                        arrival,
+                        ready,
+                        attempt: 0,
+                    };
+                }
+                Phase::Prep {
+                    frame,
+                    arrival,
+                    ready,
+                    attempt,
+                } => {
+                    if now < ready {
+                        return NextWake::At(ready);
+                    }
+                    let (member_ms, timed_out) = self.member_latency(self.cycle, attempt);
+                    let request = DetectionRequest {
+                        stream: self.index,
+                        cycle: self.cycle,
+                        member_ms,
+                        failed: self.faults.detector_fails(self.cycle, attempt),
+                        timed_out,
+                    };
+                    if submit(now, request) {
+                        self.phase = Phase::InFlight {
+                            frame,
+                            arrival,
+                            attempt,
+                        };
+                        return NextWake::OnDetection;
+                    }
+                    // Backpressure: the queue is saturated. Shed load by
+                    // stepping one setting lighter (the DegradationPolicy's
+                    // step-down rule) and retry after the policy backoff.
+                    self.stats.shed += 1;
+                    if self.degradation.step_down_on_timeout {
+                        self.switch_to(self.setting.lighter());
+                    }
+                    let backoff = self.degradation.retry_backoff_ms.max(1.0);
+                    let retry_at = SimTime::from_ms(now.as_ms() + backoff);
+                    self.phase = Phase::Prep {
+                        frame,
+                        arrival,
+                        ready: retry_at,
+                        attempt,
+                    };
+                    return NextWake::At(retry_at);
+                }
+                Phase::InFlight {
+                    frame,
+                    arrival,
+                    attempt,
+                } => {
+                    let verdict = self.verdict.take().expect("woken without a verdict");
+                    if verdict.failed
+                        && !verdict.timed_out
+                        && attempt < self.degradation.max_detector_retries
+                    {
+                        // Retry with the same linear backoff the MPDT
+                        // pipelines use: retry k waits k × backoff.
+                        self.stats.retries += 1;
+                        let backoff = self.degradation.retry_backoff_ms * (attempt + 1) as f64;
+                        let ready = SimTime::from_ms(now.as_ms() + backoff);
+                        self.phase = Phase::Prep {
+                            frame,
+                            arrival,
+                            ready,
+                            attempt: attempt + 1,
+                        };
+                        return NextWake::At(ready);
+                    }
+                    return self.finish_cycle(now, frame, arrival, verdict);
+                }
+                Phase::Done => return NextWake::Done,
+            }
+        }
+    }
+
+    fn finish_cycle(
+        &mut self,
+        now: SimTime,
+        frame: u64,
+        arrival: SimTime,
+        verdict: DetectionVerdict,
+    ) -> NextWake {
+        let degraded = verdict.failed || verdict.timed_out;
+        let objects = self.objects(self.cycle);
+        // Gap frames were tracked on the CPU concurrently with the GPU
+        // batch (MPDT's defining overlap); only the final overlay of the
+        // detected result sits on the cycle's critical path. A degraded
+        // cycle publishes the held boxes, which is cheaper.
+        let publish_ms = if degraded {
+            self.latency.held_frame_ms
+        } else {
+            self.latency.overlay_ms(objects)
+        };
+        let done = SimTime::from_ms(now.as_ms() + publish_ms);
+        let cycle_ms = done.as_ms() - arrival.as_ms();
+        self.stats.cycle_ms.record(cycle_ms);
+        if cycle_ms > self.spec.class.deadline_ms() {
+            self.stats.slo_violations += 1;
+        }
+        if degraded {
+            self.stats.degraded += 1;
+        } else {
+            self.stats.detections += 1;
+        }
+
+        // Next setting: the policy decides from the synthetic velocity;
+        // a degraded cycle steps one notch lighter on top (transient, the
+        // policy re-decides next cycle) — same composition as mpdt.
+        let velocity = Some(self.velocity(self.cycle));
+        let mut next = self.policy.next_setting(self.setting, velocity);
+        if degraded && self.degradation.step_down_on_timeout {
+            next = next.lighter();
+        }
+        self.switch_to(next);
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+
+        // The next cycle detects the first frame arriving at or after
+        // `done` (and strictly after the one just detected).
+        let mut next_frame = (done.as_ms() / self.spec.frame_interval_ms).ceil() as u64;
+        if next_frame <= frame {
+            next_frame = frame + 1;
+        }
+        self.stats.frames += next_frame - frame;
+
+        if self.cycle >= self.spec.cycles as u64 {
+            self.stats.finished_at = done;
+            self.phase = Phase::Done;
+            return NextWake::Done;
+        }
+        self.phase = Phase::AwaitFrame { frame: next_frame };
+        NextWake::At(self.arrival(next_frame).max(done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adavp_sim::FaultProfile;
+
+    fn pipeline(cycles: usize) -> StreamPipeline {
+        StreamPipeline::new(
+            0,
+            StreamSpec {
+                name: "cam-test".into(),
+                class: SloClass::Gold,
+                frame_interval_ms: 1000.0 / 30.0,
+                cycles,
+                seed: 7,
+            },
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            DegradationPolicy::default(),
+            LatencyModel::default(),
+            FaultPlan::none(),
+        )
+    }
+
+    /// Drives one stream to completion with an always-accepting scheduler
+    /// that answers every request after `det_ms` of simulated latency.
+    fn drive(p: &mut StreamPipeline, det_ms: f64) {
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000, "stream did not terminate");
+            let mut submitted = None;
+            let wake = p.step(now, &mut |at, req| {
+                submitted = Some((at, req));
+                true
+            });
+            match wake {
+                NextWake::At(t) => {
+                    assert!(t >= now, "wake {t:?} in the past (now {now:?})");
+                    now = t;
+                }
+                NextWake::OnDetection => {
+                    let (at, req) = submitted.expect("OnDetection without a submit");
+                    let end = SimTime::from_ms(at.as_ms() + det_ms.max(req.member_ms));
+                    p.deliver(DetectionVerdict {
+                        end,
+                        failed: req.failed,
+                        timed_out: req.timed_out,
+                    });
+                    now = end;
+                }
+                NextWake::Done => break,
+            }
+        }
+    }
+
+    #[test]
+    fn happy_path_cycles_complete() {
+        let mut p = pipeline(10);
+        drive(&mut p, 0.0);
+        assert_eq!(p.stats.cycles, 10);
+        assert_eq!(p.stats.detections, 10);
+        assert_eq!(p.stats.degraded, 0);
+        assert_eq!(p.stats.shed, 0);
+        assert_eq!(p.stats.cycle_ms.count(), 10);
+        assert!(p.stats.frames >= 10, "each cycle covers >= 1 frame");
+        assert!(p.stats.finished_at > SimTime::ZERO);
+        // Cycle latency ≈ feature + detection + overlay: comfortably
+        // inside the Gold deadline without batching queues.
+        let p99 = p.stats.cycle_ms.percentile(99.0).unwrap();
+        assert!(p99 < SloClass::Gold.deadline_ms(), "p99 {p99}");
+        assert_eq!(p.stats.slo_violations, 0);
+    }
+
+    #[test]
+    fn step_is_idempotent_across_early_polls() {
+        // Polling before the wake time must be a no-op returning the same
+        // wake, never advancing state.
+        let mut p = pipeline(3);
+        let w1 = p.step(SimTime::ZERO, &mut |_, _| panic!("no submit yet"));
+        let NextWake::At(ready) = w1 else {
+            panic!("expected At, got {w1:?}");
+        };
+        let early = SimTime::from_ms(ready.as_ms() / 2.0);
+        let w2 = p.step(early, &mut |_, _| panic!("still too early"));
+        assert_eq!(w2, NextWake::At(ready));
+    }
+
+    #[test]
+    fn failed_attempts_retry_with_backoff_then_degrade() {
+        let mut p = pipeline(4);
+        // Force every attempt to fail.
+        p.faults = FaultPlan::new(FaultProfile {
+            detector_failure_prob: 1.0,
+            ..FaultProfile::none()
+        });
+        drive(&mut p, 0.0);
+        assert_eq!(p.stats.cycles, 4);
+        assert_eq!(p.stats.detections, 0);
+        assert_eq!(p.stats.degraded, 4, "all cycles degrade");
+        // max_detector_retries = 2 → 2 retries per cycle.
+        assert_eq!(p.stats.retries, 8);
+    }
+
+    #[test]
+    fn timeout_clips_member_latency_at_budget() {
+        let mut p = pipeline(3);
+        p.faults = FaultPlan::new(FaultProfile {
+            latency_spike_prob: 1.0,
+            latency_spike_mult: (30.0, 30.0),
+            ..FaultProfile::none()
+        });
+        let budget = p.degradation.detector_timeout_ms.unwrap();
+        let (ms, timed_out) = p.member_latency(0, 0);
+        assert!(timed_out);
+        assert_eq!(ms, budget);
+        drive(&mut p, 0.0);
+        assert_eq!(p.stats.degraded, 3, "timed-out cycles degrade");
+    }
+
+    #[test]
+    fn backpressure_steps_down_and_retries() {
+        let mut p = pipeline(2);
+        let before = p.setting();
+        let mut rejections = 0;
+        let mut now = SimTime::ZERO;
+        // Reject the first 3 submissions, then accept.
+        loop {
+            let mut submitted = false;
+            let wake = p.step(now, &mut |_, _| {
+                if rejections < 3 {
+                    rejections += 1;
+                    false
+                } else {
+                    submitted = true;
+                    true
+                }
+            });
+            match wake {
+                NextWake::At(t) => now = t,
+                NextWake::OnDetection => {
+                    assert!(submitted, "OnDetection without an accepted submit");
+                    break;
+                }
+                NextWake::Done => unreachable!(),
+            }
+        }
+        assert_eq!(p.stats.shed, 3);
+        // Three rejections stepped the setting down three notches.
+        assert_eq!(p.setting(), before.lighter().lighter().lighter());
+    }
+
+    #[test]
+    fn degraded_cycle_steps_down_transiently() {
+        let mut p = StreamPipeline::new(
+            0,
+            StreamSpec {
+                name: "s".into(),
+                class: SloClass::Bronze,
+                frame_interval_ms: 1000.0 / 30.0,
+                cycles: 1,
+                seed: 3,
+            },
+            SettingPolicy::Adaptive(crate::adaptation::AdaptationModel::uniform([1.0, 2.0, 3.0])),
+            DegradationPolicy::default(),
+            LatencyModel::default(),
+            FaultPlan::none(),
+        );
+        // Complete one cycle with a degraded verdict: the next setting is
+        // the policy's answer stepped one lighter.
+        let mut now = SimTime::ZERO;
+        loop {
+            let wake = p.step(now, &mut |_, _| true);
+            match wake {
+                NextWake::At(t) => now = t,
+                NextWake::OnDetection => break,
+                NextWake::Done => unreachable!(),
+            }
+        }
+        let held = p.setting();
+        let v = p.velocity(0);
+        let policy_next = p.policy.next_setting(held, Some(v));
+        p.deliver(DetectionVerdict {
+            end: now,
+            failed: true,
+            timed_out: true,
+        });
+        let _ = p.step(now, &mut |_, _| true);
+        assert_eq!(p.setting(), policy_next.lighter());
+        assert_eq!(p.stats.degraded, 1);
+    }
+
+    #[test]
+    fn content_synthesis_is_pure_and_in_range() {
+        let p = pipeline(1);
+        for c in 0..100 {
+            let v = p.velocity(c);
+            assert!((0.2..=4.5).contains(&v), "velocity {v}");
+            assert_eq!(v, p.velocity(c));
+            let o = p.objects(c);
+            assert!((1..=9).contains(&o), "objects {o}");
+        }
+        // Epochs: velocity constant within a 6-cycle epoch.
+        assert_eq!(p.velocity(0), p.velocity(5));
+    }
+}

@@ -174,6 +174,24 @@ impl FaultProfile {
         }
     }
 
+    /// Fleet brownout drill: a contended GPU plus a flaky detector — the
+    /// regime a serving pool sees when a co-tenant workload lands on the
+    /// accelerator at high stream counts. Contention bursts are longer and
+    /// denser than [`FaultProfile::contended_soc`] and a fifth of detection
+    /// attempts fail outright, so batches both queue behind bursts and
+    /// shrink from member retries at once.
+    pub fn brownout(seed: u64) -> Self {
+        Self {
+            seed,
+            detector_failure_prob: 0.2,
+            latency_spike_prob: 0.1,
+            latency_spike_mult: (2.0, 4.0),
+            contention_period_ms: 500.0,
+            contention_busy_ms: 150.0,
+            ..Self::none()
+        }
+    }
+
     /// Everything at once, at moderate rates.
     pub fn stress(seed: u64) -> Self {
         Self {
@@ -464,6 +482,22 @@ mod tests {
             let f = plan.tracker_divergence(c).expect("prob 1.0");
             assert!((0.05..=0.95).contains(&f), "fraction {f}");
         }
+    }
+
+    #[test]
+    fn brownout_contends_and_flakes() {
+        let p = FaultProfile::brownout(13);
+        assert!(!p.is_quiet());
+        assert!(p.detector_failure_prob > 0.0);
+        assert!(p.contention_period_ms > 0.0 && p.contention_busy_ms > 0.0);
+        // No camera/tracker faults: brownout models the shared GPU, not the
+        // per-stream capture path.
+        assert_eq!(p.frame_drop_prob, 0.0);
+        assert_eq!(p.tracker_divergence_prob, 0.0);
+        let plan = FaultPlan::new(p);
+        assert!(!plan.contention().is_inert());
+        let fails = (0..200).filter(|&c| plan.detector_fails(c, 0)).count();
+        assert!((20..=60).contains(&fails), "failure rate off: {fails}/200");
     }
 
     #[test]

@@ -156,12 +156,6 @@ pub fn good_features_from_gradients(
 
     let threshold = max_response * params.quality_level;
     responses.retain(|&(resp, _, _)| resp >= threshold);
-    // Strongest first; ties broken by raster order for determinism.
-    responses.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (a.2, a.1).cmp(&(b.2, b.1)))
-    });
 
     // Greedy min-distance suppression on a coarse grid for O(n) neighbor checks.
     let cell = params.min_distance.max(1.0);
@@ -171,7 +165,8 @@ pub fn good_features_from_gradients(
     let min_d2 = params.min_distance * params.min_distance;
 
     let mut out = Vec::new();
-    for (resp, x, y) in responses {
+    let mut ranked = RankedCandidates::new(responses, params.max_corners);
+    while let Some((resp, x, y)) = ranked.next() {
         let p = Point2::new(x as f32, y as f32);
         let cx = (p.x / cell) as usize;
         let cy = (p.y / cell) as usize;
@@ -198,6 +193,68 @@ pub fn good_features_from_gradients(
         }
     }
     out
+}
+
+/// Candidate ordering shared by selection and the reference full sort:
+/// strongest response first, ties broken by raster order. A *total* order
+/// over any real candidate set — responses are finite (quality filtering
+/// rejects non-finite values implicitly because `max_response` is finite)
+/// and `(y, x)` pairs are unique — so unstable sorting and partitioning
+/// reproduce the stable full-sort sequence exactly.
+fn rank_cmp(a: &(f32, u32, u32), b: &(f32, u32, u32)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| (a.2, a.1).cmp(&(b.2, b.1)))
+}
+
+/// Yields candidates in exactly the order a full descending sort would,
+/// without sorting the whole set: the unsorted tail is partitioned with
+/// `select_nth_unstable_by` in geometrically growing chunks and only each
+/// chunk is sorted. Selecting the ~`max_corners` strongest of `n`
+/// candidates costs O(n + k log k) instead of the O(n log n) full sort that
+/// dominated the Shi-Tomasi profile (ROADMAP item 5), while the emitted
+/// sequence — and therefore the NMS result — stays bit-identical because
+/// [`rank_cmp`] is a total order (see its docs). `max_corners == 0` (no
+/// limit) consumes every chunk, which degrades gracefully to a full sort
+/// in pieces.
+struct RankedCandidates {
+    items: Vec<(f32, u32, u32)>,
+    sorted_upto: usize,
+    cursor: usize,
+    chunk: usize,
+}
+
+impl RankedCandidates {
+    fn new(items: Vec<(f32, u32, u32)>, max_corners: usize) -> Self {
+        // NMS rejects some candidates, so over-provision the first chunk;
+        // subsequent chunks double so the worst case stays O(n).
+        let chunk = max_corners.max(64).saturating_mul(2);
+        Self {
+            items,
+            sorted_upto: 0,
+            cursor: 0,
+            chunk,
+        }
+    }
+
+    fn next(&mut self) -> Option<(f32, u32, u32)> {
+        if self.cursor == self.sorted_upto {
+            if self.sorted_upto == self.items.len() {
+                return None;
+            }
+            let tail = &mut self.items[self.sorted_upto..];
+            let n = self.chunk.min(tail.len());
+            if n < tail.len() {
+                tail.select_nth_unstable_by(n - 1, rank_cmp);
+            }
+            tail[..n].sort_unstable_by(rank_cmp);
+            self.sorted_upto += n;
+            self.chunk = self.chunk.saturating_mul(2);
+        }
+        let item = self.items[self.cursor];
+        self.cursor += 1;
+        Some(item)
+    }
 }
 
 /// Evaluates the Shi-Tomasi minimum eigenvalue for every pixel
@@ -576,6 +633,36 @@ mod tests {
                 let fast = good_features_from_gradients(&grad, &params, m);
                 let reference = good_features_from_gradients_reference(&grad, &params, m);
                 assert_eq!(fast, reference, "diverged for radius {radius}, mask {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort_reference() {
+        // The reference keeps the original full `sort_by`; the optimized
+        // path ranks candidates through chunked `select_nth_unstable_by`.
+        // Equality across a budget sweep — including budgets smaller than,
+        // straddling, and larger than the candidate count, plus the
+        // unlimited case — pins the selection rewrite to the full sort bit
+        // for bit (ordering, responses, and NMS survivors all included).
+        let img = GrayImage::from_fn(96, 80, |x, y| {
+            ((x.wrapping_mul(97) ^ y.wrapping_mul(41)).wrapping_add((x + 2) * (y + 3) / 5)) as u8
+        });
+        let grad = scharr_gradients(&img);
+        let mask = [
+            BoundingBox::new(6.0, 6.0, 40.0, 30.0),
+            BoundingBox::new(30.5, 20.25, 50.0, 50.0),
+        ];
+        for max_corners in [0usize, 1, 3, 7, 33, 100, 500, 10_000] {
+            let params = GoodFeaturesParams {
+                max_corners,
+                quality_level: 0.01,
+                ..Default::default()
+            };
+            for m in [None, Some(&mask[..])] {
+                let fast = good_features_from_gradients(&grad, &params, m);
+                let reference = good_features_from_gradients_reference(&grad, &params, m);
+                assert_eq!(fast, reference, "diverged at max_corners {max_corners}");
             }
         }
     }

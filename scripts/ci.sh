@@ -25,6 +25,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fault conformance suite (DESIGN.md §11 degradation policies)"
 cargo test -q --test fault_conformance
 
+echo "== serve determinism suite (DESIGN.md §15 fleet serving)"
+cargo test -q --test serve_determinism
+
 echo "== SIMD/fixed-point kernel parity (DESIGN.md §14; golden bytes + adversarial shapes)"
 cargo test -q -p adavp-vision --test simd_parity
 cargo test -q -p adavp-vision --test simd_parity --no-default-features
@@ -65,6 +68,18 @@ assert any(e.get("ph") == "X" for e in events), "no spans in chrome trace"
 print(f"chrome trace OK: {len(events)} events on {len(tids)} tracks")
 EOF
     fi
+
+    echo "== serve sweep smoke (--jobs 2 vs --jobs 1 byte parity)"
+    mkdir -p target/ci-results
+    cargo run --release --bin adavp -- serve --streams 1,8,24 --cycles 6 --jobs 1 \
+        --csv target/ci-results/serve_j1.csv --json target/ci-results/serve_j1.json
+    cargo run --release --bin adavp -- serve --streams 1,8,24 --cycles 6 --jobs 2 \
+        --csv target/ci-results/serve_j2.csv --json target/ci-results/serve_j2.json
+    cmp target/ci-results/serve_j1.csv target/ci-results/serve_j2.csv
+    cmp target/ci-results/serve_j1.json target/ci-results/serve_j2.json
+
+    echo "== serve bench (writes BENCH_serve.json; asserts batched >= 1.5x unbatched + jobs parity)"
+    cargo run --release -p adavp-bench --bin serve_bench -- --jobs 4 --out BENCH_serve.json
 
     echo "== telemetry determinism suite (chrome trace bytes across jobs)"
     cargo test -q -p adavp-bench --test parallel_determinism \

@@ -7,6 +7,7 @@
 //! adavp run --scenario city-street --seed 3 --frames 300 --system adavp
 //! adavp run --scenario highway --system mpdt-608 --gt true
 //! adavp trace --scenario highway --system adavp --chrome trace.json
+//! adavp serve --streams 1,8,64 --gpus 4 --jobs 4 --csv sweep.csv
 //! ```
 
 use adavp::core::adaptation::AdaptationModel;
@@ -17,6 +18,7 @@ use adavp::core::pipeline::{
     ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
     PipelineConfig, SettingPolicy, VideoProcessor,
 };
+use adavp::core::serve::{run_sweep, sweep_csv, sweep_json, sweep_text, SweepConfig};
 use adavp::core::telemetry::{self, report, TelemetryConfig};
 use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::video::clip::VideoClip;
@@ -35,6 +37,13 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
         &["frames", "gt", "scenario", "seed", "system", "trace-out"],
     ),
     ("trace", &["chrome", "frames", "scenario", "seed", "system"]),
+    (
+        "serve",
+        &[
+            "batch", "csv", "cycles", "gpus", "jobs", "json", "profile", "seed", "streams",
+            "window",
+        ],
+    ),
 ];
 
 fn usage() -> ExitCode {
@@ -44,7 +53,9 @@ fn usage() -> ExitCode {
          adavp generate --scenario <name> [--seed N] [--frames N] [--stride N] --out <dir>\n  \
          adavp run --scenario <name> [--seed N] [--frames N] [--system <sys>] [--gt oracle|true]\n              \
                  [--trace-out <file.json>]\n  \
-         adavp trace --scenario <name> [--seed N] [--frames N] [--system <sys>] [--chrome <file.json>]\n\n\
+         adavp trace --scenario <name> [--seed N] [--frames N] [--system <sys>] [--chrome <file.json>]\n  \
+         adavp serve [--streams 1,8,64,256,1024] [--cycles N] [--gpus N] [--batch N] [--window MS]\n              \
+                 [--jobs N] [--seed N] [--profile none|brownout|both] [--csv <file>] [--json <file>]\n\n\
          systems: adavp (default), mpdt-320/416/512/608, marlin-320/416/512/608,\n          \
          without-tracking-512, continuous-320, continuous-608, tiny"
     );
@@ -312,6 +323,63 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            let mut sweep = SweepConfig::default();
+            if let Some(v) = flags.get("streams") {
+                let counts: Option<Vec<usize>> =
+                    v.split(',').map(|s| s.trim().parse().ok()).collect();
+                let Some(counts) = counts.filter(|c| !c.is_empty()) else {
+                    eprintln!("--streams expects a comma-separated list of counts: {v}");
+                    return ExitCode::from(2);
+                };
+                sweep.stream_counts = counts;
+            }
+            if let Some(v) = flags.get("cycles").and_then(|v| v.parse().ok()) {
+                sweep.cycles = v;
+            }
+            if let Some(v) = flags.get("gpus").and_then(|v| v.parse().ok()) {
+                sweep.gpus = v;
+            }
+            if let Some(v) = flags.get("batch").and_then(|v| v.parse().ok()) {
+                sweep.max_batch = v;
+            }
+            if let Some(v) = flags.get("window").and_then(|v| v.parse().ok()) {
+                sweep.window_ms = v;
+            }
+            if let Some(v) = flags.get("seed").and_then(|v| v.parse().ok()) {
+                sweep.seed = v;
+            }
+            match flags.get("profile").map(String::as_str) {
+                Some("none") => sweep.profiles.truncate(1),
+                Some("brownout") => {
+                    sweep.profiles.remove(0);
+                }
+                Some("both") | None => {}
+                Some(other) => {
+                    eprintln!("unknown profile: {other} (none|brownout|both)");
+                    return ExitCode::from(2);
+                }
+            }
+            let jobs: usize = flags.get("jobs").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let exec = adavp::vision::exec::Executor::new(jobs);
+            let rows = run_sweep(&sweep, &exec);
+            print!("{}", sweep_text(&rows));
+            if let Some(path) = flags.get("csv").map(PathBuf::from) {
+                if let Err(e) = std::fs::write(&path, sweep_csv(&rows)) {
+                    eprintln!("failed to write CSV: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("csv:       written to {}", path.display());
+            }
+            if let Some(path) = flags.get("json").map(PathBuf::from) {
+                if let Err(e) = std::fs::write(&path, sweep_json(&rows)) {
+                    eprintln!("failed to write JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("json:      written to {}", path.display());
             }
             ExitCode::SUCCESS
         }

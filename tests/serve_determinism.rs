@@ -1,0 +1,169 @@
+//! Fleet-serving determinism and behavior pins (DESIGN.md §15).
+//!
+//! The load-bearing guarantee: a serve sweep is a pure function of its
+//! configuration, so running it on 1 worker or 4 must produce byte-identical
+//! CSV/JSON. Alongside that, sharp pins on the three serving mechanisms —
+//! batch formation (close on size vs window deadline), admission rejection,
+//! and backpressure step-down — through the public API.
+
+use adavp::core::serve::stream::{DetectionRequest, SloClass};
+use adavp::core::serve::{
+    run_fleet, run_sweep, sweep_csv, sweep_json, BatchConfig, BatchScheduler, ServeConfig,
+    SweepConfig,
+};
+use adavp::sim::{FaultPlan, FaultProfile, SimTime};
+use adavp::vision::exec::Executor;
+
+fn request(stream: usize, member_ms: f64) -> DetectionRequest {
+    DetectionRequest {
+        stream,
+        cycle: 0,
+        member_ms,
+        failed: false,
+        timed_out: false,
+    }
+}
+
+#[test]
+fn serve_sweep_bytes_identical_across_jobs() {
+    let cfg = SweepConfig {
+        stream_counts: vec![1, 8, 24],
+        cycles: 8,
+        ..SweepConfig::default()
+    };
+    let rows_1 = run_sweep(&cfg, &Executor::new(1));
+    let rows_4 = run_sweep(&cfg, &Executor::new(4));
+    assert_eq!(rows_1, rows_4, "sweep rows differ between --jobs 1 and 4");
+    assert_eq!(
+        sweep_csv(&rows_1).into_bytes(),
+        sweep_csv(&rows_4).into_bytes(),
+        "sweep CSV bytes differ between --jobs 1 and 4"
+    );
+    assert_eq!(
+        sweep_json(&rows_1).into_bytes(),
+        sweep_json(&rows_4).into_bytes(),
+        "sweep JSON bytes differ between --jobs 1 and 4"
+    );
+    // And the sweep is reproducible run-to-run, not just across executors.
+    let again = run_sweep(&cfg, &Executor::new(4));
+    assert_eq!(rows_4, again);
+}
+
+#[test]
+fn batch_closes_on_size_before_the_window_deadline() {
+    let cfg = BatchConfig {
+        max_batch: 3,
+        window_ms: 1000.0,
+        ..BatchConfig::default()
+    };
+    let mut sched = BatchScheduler::new(cfg, &FaultPlan::none());
+    let t = SimTime::from_ms(10.0);
+    for i in 0..3 {
+        assert!(sched.submit(t, request(i, 100.0)));
+    }
+    let opens = sched.drain_window_opens();
+    assert_eq!(opens.len(), 1, "first member arms the window");
+    assert_eq!(opens[0].deadline, SimTime::from_ms(1010.0));
+    let dispatched = sched.drain_dispatched();
+    assert_eq!(dispatched.len(), 1, "filling to max_batch dispatches");
+    assert_eq!(dispatched[0].members.len(), 3);
+    assert_eq!(sched.stats.closed_on_size, 1);
+    // The stale window deadline firing later must be a no-op.
+    let before = sched.stats.batches;
+    sched.window_closed(opens[0].batch, SimTime::from_ms(1010.0));
+    assert_eq!(sched.stats.batches, before);
+    assert!(sched.drain_dispatched().is_empty());
+}
+
+#[test]
+fn batch_closes_on_window_deadline_when_underfull() {
+    let cfg = BatchConfig {
+        max_batch: 8,
+        window_ms: 50.0,
+        ..BatchConfig::default()
+    };
+    let mut sched = BatchScheduler::new(cfg, &FaultPlan::none());
+    assert!(sched.submit(SimTime::from_ms(5.0), request(0, 100.0)));
+    assert!(sched.submit(SimTime::from_ms(20.0), request(1, 100.0)));
+    let opens = sched.drain_window_opens();
+    assert_eq!(opens.len(), 1, "only the first member arms a window");
+    assert_eq!(opens[0].deadline, SimTime::from_ms(55.0));
+    assert!(
+        sched.drain_dispatched().is_empty(),
+        "underfull batch must wait for its deadline"
+    );
+    sched.window_closed(opens[0].batch, opens[0].deadline);
+    let dispatched = sched.drain_dispatched();
+    assert_eq!(dispatched.len(), 1, "deadline flushes the partial batch");
+    assert_eq!(dispatched[0].members.len(), 2);
+    assert_eq!(sched.stats.closed_on_size, 0);
+}
+
+#[test]
+fn admission_rejects_overload_and_keeps_gold() {
+    let mut cfg = ServeConfig::default();
+    cfg.streams = ServeConfig::synthetic_streams(240, 4, 11);
+    cfg.batch.gpus = 2;
+    let report = run_fleet(&cfg);
+    assert!(report.admitted >= 1);
+    assert!(
+        report.admitted < report.requested,
+        "240 streams cannot all fit on 2 GPUs (admitted {})",
+        report.admitted
+    );
+    // Admission walks classes in priority order: Gold fills first.
+    let gold = &report.classes[0];
+    assert_eq!(gold.class, SloClass::Gold);
+    assert!(gold.admitted > 0);
+    assert!(gold.admitted >= report.classes[2].admitted);
+    // Rejected streams did no work and recorded no samples.
+    let rejected: Vec<_> = report.streams.iter().filter(|s| !s.admitted).collect();
+    assert_eq!(rejected.len(), report.requested - report.admitted);
+    assert!(rejected.iter().all(|s| s.cycles == 0 && s.frames == 0));
+    // Admitted streams all finished their configured cycles.
+    assert_eq!(report.cycles, report.admitted as u64 * 4);
+}
+
+#[test]
+fn backpressure_sheds_and_steps_settings_down() {
+    let mut cfg = ServeConfig::default();
+    cfg.streams = ServeConfig::synthetic_streams(20, 3, 5);
+    cfg.admission.enabled = false; // force overload through to the queue
+    cfg.batch = BatchConfig {
+        max_batch: 2,
+        window_ms: 10.0,
+        queue_capacity: 2,
+        gpus: 1,
+        ..BatchConfig::default()
+    };
+    let report = run_fleet(&cfg);
+    assert!(report.shed > 0, "saturated queue must refuse submissions");
+    assert!(
+        report.switches > 0,
+        "each refusal steps the stream's setting down"
+    );
+    // Shedding delays but never drops cycles: everyone still finishes.
+    assert_eq!(report.cycles, 20 * 3);
+    // The twin with ample queue capacity sheds nothing.
+    let mut roomy = cfg.clone();
+    roomy.batch.queue_capacity = 10_000;
+    let report_roomy = run_fleet(&roomy);
+    assert_eq!(report_roomy.shed, 0);
+}
+
+#[test]
+fn fleet_brownout_drill_stays_deterministic() {
+    let mut cfg = ServeConfig::default();
+    cfg.streams = ServeConfig::synthetic_streams(24, 4, 9);
+    cfg.faults = FaultProfile::brownout(3);
+    let a = run_fleet(&cfg);
+    let b = run_fleet(&cfg);
+    assert_eq!(
+        a, b,
+        "faulted fleets must still be pure functions of config"
+    );
+    assert!(
+        a.degraded + a.retries > 0,
+        "brownout must actually degrade or retry something"
+    );
+}

@@ -11,7 +11,9 @@
 //! * **adaptation signal** — velocity-threshold switching vs fixed settings
 //!   vs content-blind cycling;
 //! * **per-setting thresholds** — the paper's per-current-setting threshold
-//!   rows vs one shared row.
+//!   rows vs one shared row;
+//! * **detection cadence** — MPDT's periodic re-detection vs the cascade's
+//!   gated proposals vs CTD's confidence-triggered re-detection.
 
 use crate::context::ExperimentContext;
 use crate::runner::{run_scheme, Scheme};
@@ -260,6 +262,33 @@ pub fn parallelism(ctx: &mut ExperimentContext) -> Vec<AblationRow> {
     rows
 }
 
+/// Detector-invocation cadence: periodic (MPDT) vs proposal-gated
+/// (Cascade) vs confidence-triggered (CTD) at the same full setting.
+/// Returns `(row, detector_invocations)` per scheme so reports can show
+/// how much detector work each trigger policy buys its accuracy with.
+pub fn detection_cadence(ctx: &mut ExperimentContext) -> Vec<(AblationRow, usize)> {
+    let eval = ctx.eval;
+    let det = ctx.detector.clone();
+    let pipe = ctx.pipeline.clone();
+    let exec = ctx.exec;
+    let clips = ctx.test_clips().to_vec();
+    let s = ModelSetting::Yolo512;
+    [Scheme::Mpdt(s), Scheme::Cascade(s), Scheme::Ctd(s)]
+        .iter()
+        .map(|scheme| {
+            let r = run_scheme(scheme, &clips, &det, &pipe, &eval, &exec);
+            let cycles: usize = r.evaluations.iter().map(|e| e.trace.cycles.len()).sum();
+            (
+                AblationRow {
+                    variant: r.label,
+                    accuracy: r.accuracy,
+                },
+                cycles,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +310,28 @@ mod tests {
         }
         let sweep = marlin_trigger_sweep(&mut ctx, &[1.0, 3.0]);
         assert_eq!(sweep.len(), 2);
+    }
+
+    #[test]
+    fn cadence_ablation_orders_detector_work() {
+        let mut ctx = ExperimentContext::new(DatasetScale::Smoke);
+        ctx.set_adaptation_model(AdaptationModel::default_model());
+        ctx.limit_test_clips(1);
+        let rows = detection_cadence(&mut ctx);
+        assert_eq!(rows.len(), 3);
+        let get = |prefix: &str| {
+            rows.iter()
+                .find(|(r, _)| r.variant.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix}"))
+        };
+        let (_, mpdt_cycles) = get("MPDT");
+        let (_, ctd_cycles) = get("CTD");
+        assert!(
+            ctd_cycles < mpdt_cycles,
+            "CTD must re-detect less often than MPDT ({ctd_cycles} vs {mpdt_cycles})"
+        );
+        for (r, _) in &rows {
+            assert!((0.0..=1.0).contains(&r.accuracy), "{}", r.variant);
+        }
     }
 }

@@ -332,6 +332,15 @@ fn ablations(ctx: &mut ExperimentContext, out: &Path) {
             data.push(vec![group.to_string(), r.variant, f3(r.accuracy)]);
         }
     }
+    // Cadence rows fold the detector-invocation count into the variant
+    // label so the shared 3-column table still fits.
+    for (r, cycles) in abl::detection_cadence(ctx) {
+        data.push(vec![
+            "detection-cadence".to_string(),
+            format!("{} ({cycles} detections)", r.variant),
+            f3(r.accuracy),
+        ]);
+    }
     println!(
         "{}",
         text_table(&["ablation", "variant", "accuracy"], &data)

@@ -132,8 +132,9 @@ fn summarize(scenario: &str, r: &SchemeResult) -> FaultSweepRow {
 
 /// Runs the full scenario × scheme sweep over the context's test set.
 ///
-/// Schemes: AdaVP (trained model), MPDT-512, MARLIN-512, and the
-/// detection-only baseline — the paper's §VI line-up under fault load.
+/// Schemes: AdaVP (trained model), MPDT-512, MARLIN-512, the
+/// detection-only baseline, Cascade-512, and CTD-512 — the paper's §VI
+/// line-up plus the cascaded/confidence-triggered schemes under fault load.
 /// Clips fan out across the context executor within each cell; cells run
 /// in order, so the row order (and every byte derived from it) is
 /// independent of `--jobs`.
@@ -163,6 +164,8 @@ pub fn sweep_with(ctx: &mut ExperimentContext, scenarios: &[FaultScenario]) -> V
         Scheme::Mpdt(ModelSetting::Yolo512),
         Scheme::Marlin(ModelSetting::Yolo512),
         Scheme::WithoutTracking(ModelSetting::Yolo512),
+        Scheme::Cascade(ModelSetting::Yolo512),
+        Scheme::Ctd(ModelSetting::Yolo512),
     ];
     let mut rows = Vec::new();
     for sc in scenarios {
@@ -327,8 +330,8 @@ contention_busy_ms = 80
         ctx.set_adaptation_model(AdaptationModel::default_model());
         ctx.limit_test_clips(1);
         let rows = fault_sweep(&mut ctx);
-        // 7 scenarios x 4 schemes.
-        assert_eq!(rows.len(), 28);
+        // 7 scenarios x 6 schemes.
+        assert_eq!(rows.len(), 42);
         for r in &rows {
             assert!(r.accuracy.is_finite() && (0.0..=1.0).contains(&r.accuracy));
             assert!(r.latency_multiplier.is_finite());

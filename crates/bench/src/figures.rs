@@ -188,7 +188,8 @@ pub fn fig5(ctx: &mut ExperimentContext, frames: usize) -> Vec<Fig5Row> {
 }
 
 /// Fig. 6: the headline comparison — AdaVP vs MPDT / MARLIN / without
-/// tracking at all four settings. Returns one [`SchemeResult`] per scheme.
+/// tracking / Cascade / CTD at all four settings. Returns one
+/// [`SchemeResult`] per scheme.
 pub fn fig6(ctx: &mut ExperimentContext) -> Vec<SchemeResult> {
     let model = ctx.adaptation_model().clone();
     let eval = ctx.eval;
@@ -205,6 +206,12 @@ pub fn fig6(ctx: &mut ExperimentContext) -> Vec<SchemeResult> {
     }
     for s in ModelSetting::ADAPTIVE {
         schemes.push(Scheme::WithoutTracking(s));
+    }
+    for s in ModelSetting::ADAPTIVE {
+        schemes.push(Scheme::Cascade(s));
+    }
+    for s in ModelSetting::ADAPTIVE {
+        schemes.push(Scheme::Ctd(s));
     }
     // Schemes run in order (their results are reported in order anyway);
     // within each scheme the clips fan out across the executor.

@@ -3,8 +3,9 @@
 use adavp_core::adaptation::AdaptationModel;
 use adavp_core::eval::{evaluate_on_clip, EvalConfig, VideoEvaluation};
 use adavp_core::pipeline::{
-    ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
-    PipelineConfig, SettingPolicy, VideoProcessor,
+    CascadeConfig, CascadePipeline, ContinuousPipeline, CtdConfig, CtdPipeline,
+    DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
+    SettingPolicy, VideoProcessor,
 };
 use adavp_core::telemetry::{distributions, TraceDistributions};
 use adavp_detector::{DetectorConfig, ModelSetting, SimulatedDetector};
@@ -26,6 +27,10 @@ pub enum Scheme {
     WithoutTracking(ModelSetting),
     /// Detect every frame, ignoring real time (Table III bound).
     Continuous(ModelSetting),
+    /// Cascaded detection: tiny proposal pass, region-restricted refinement.
+    Cascade(ModelSetting),
+    /// Confidence-triggered detection (sequential, decay-based trigger).
+    Ctd(ModelSetting),
 }
 
 impl Scheme {
@@ -37,6 +42,8 @@ impl Scheme {
             Scheme::Marlin(s) => format!("MARLIN-{s}"),
             Scheme::WithoutTracking(s) => format!("WithoutTracking-{s}"),
             Scheme::Continuous(s) => format!("{s} (continuous)"),
+            Scheme::Cascade(s) => format!("Cascade-{s}"),
+            Scheme::Ctd(s) => format!("CTD-{s}"),
         }
     }
 
@@ -62,6 +69,13 @@ impl Scheme {
             )),
             Scheme::WithoutTracking(s) => Box::new(DetectorOnlyPipeline::new(det, *s, pipeline)),
             Scheme::Continuous(s) => Box::new(ContinuousPipeline::new(det, *s, pipeline)),
+            Scheme::Cascade(s) => Box::new(CascadePipeline::new(
+                det,
+                *s,
+                pipeline,
+                CascadeConfig::default(),
+            )),
+            Scheme::Ctd(s) => Box::new(CtdPipeline::new(det, *s, pipeline, CtdConfig::default())),
         }
     }
 }
@@ -159,6 +173,8 @@ mod tests {
             Scheme::Marlin(ModelSetting::Yolo512),
             Scheme::WithoutTracking(ModelSetting::Yolo608),
             Scheme::Continuous(ModelSetting::Tiny320),
+            Scheme::Cascade(ModelSetting::Yolo512),
+            Scheme::Ctd(ModelSetting::Yolo512),
         ] {
             let r = run_scheme(
                 &scheme,
@@ -234,5 +250,10 @@ mod tests {
             Scheme::AdaVp(AdaptationModel::default_model()).label(),
             "AdaVP"
         );
+        assert_eq!(
+            Scheme::Cascade(ModelSetting::Yolo512).label(),
+            "Cascade-YOLOv3-512"
+        );
+        assert_eq!(Scheme::Ctd(ModelSetting::Yolo416).label(), "CTD-YOLOv3-416");
     }
 }

@@ -69,6 +69,62 @@ fn jobs_do_not_change_results() {
         csv_seq, csv_par,
         "fig6 result CSV must be byte-identical for jobs 1 vs jobs 4"
     );
+    // The fig6 grid includes the cascaded and confidence-triggered schemes,
+    // so the byte-identity above covers them too; pin their presence so a
+    // grid regression can't silently drop that coverage.
+    let text = String::from_utf8(csv_seq).expect("csv is utf-8");
+    for label in ["Cascade-YOLOv3-512", "CTD-YOLOv3-512"] {
+        assert!(text.contains(label), "fig6 CSV lost the {label} row");
+    }
+}
+
+/// The two confidence-driven schemes ride the same determinism contract as
+/// the rest of the harness: their serialized traces are byte-identical for
+/// jobs 1 vs jobs 4.
+#[test]
+fn new_scheme_traces_byte_identical_across_jobs() {
+    use adavp_bench::runner::{run_scheme, Scheme};
+    use adavp_core::eval::EvalConfig;
+    use adavp_core::export::trace_to_json;
+    use adavp_core::pipeline::PipelineConfig;
+    use adavp_detector::DetectorConfig;
+    use adavp_video::clip::VideoClip;
+    use adavp_video::scenario::Scenario;
+
+    let mut spec = Scenario::Intersection.spec();
+    spec.width = 200;
+    spec.height = 120;
+    spec.size_range = (18.0, 30.0);
+    let clips: Vec<VideoClip> = (0..4)
+        .map(|i| VideoClip::generate(&format!("c{i}"), &spec, 7 + i, 40))
+        .collect();
+    for scheme in [
+        Scheme::Cascade(ModelSetting::Yolo512),
+        Scheme::Ctd(ModelSetting::Yolo512),
+    ] {
+        let render = |jobs: usize| -> Vec<String> {
+            let r = run_scheme(
+                &scheme,
+                &clips,
+                &DetectorConfig::default(),
+                &PipelineConfig::default(),
+                &EvalConfig::default(),
+                &Executor::new(jobs),
+            );
+            r.evaluations
+                .iter()
+                .map(|e| trace_to_json(&e.trace, Some(&e.frame_f1)))
+                .collect()
+        };
+        let seq = render(1);
+        let par = render(4);
+        assert_eq!(
+            seq,
+            par,
+            "{}: trace JSON must be byte-identical for jobs 1 vs jobs 4",
+            scheme.label()
+        );
+    }
 }
 
 /// Telemetry rides the same contract: spans and events are stamped with

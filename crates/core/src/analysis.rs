@@ -200,12 +200,14 @@ mod tests {
                     frame_index: 0,
                     source: FrameSource::Detected,
                     boxes: vec![],
+                    confidences: vec![],
                     display_ms: 0.0,
                 },
                 FrameOutput {
                     frame_index: 1,
                     source: FrameSource::Held,
                     boxes: vec![],
+                    confidences: vec![],
                     display_ms: 0.0,
                 },
             ],

@@ -185,6 +185,7 @@ mod tests {
                 frame_index: i,
                 source: crate::pipeline::FrameSource::Detected,
                 boxes: gt[i as usize].clone(),
+                confidences: vec![1.0; gt[i as usize].len()],
                 display_ms: 0.0,
             })
             .collect();

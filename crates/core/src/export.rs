@@ -40,6 +40,26 @@ pub(crate) fn json_num(v: f64) -> String {
     }
 }
 
+/// Formats an `f32` confidence for JSON/CSV via `Display` (shortest
+/// round-trip repr, so `0.9f32` prints as `0.9`, not its f64 expansion).
+/// Non-finite values become `null` to keep the JSON valid.
+fn conf_num(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Mean per-box confidence of one frame output (0 when the frame shows no
+/// boxes) — the per-frame aggregate the CSV exports.
+fn mean_confidence(confidences: &[f32]) -> f32 {
+    if confidences.is_empty() {
+        return 0.0;
+    }
+    confidences.iter().sum::<f32>() / confidences.len() as f32
+}
+
 fn source_str(s: FrameSource) -> &'static str {
     match s {
         FrameSource::Detected => "detected",
@@ -153,12 +173,16 @@ pub fn trace_to_json(trace: &ProcessingTrace, frame_f1: Option<&[f64]>) -> Strin
         for (j, b) in f.boxes.iter().enumerate() {
             let _ = write!(
                 out,
-                "{{\"class\": \"{}\", \"left\": {}, \"top\": {}, \"width\": {}, \"height\": {}}}",
+                "{{\"class\": \"{}\", \"left\": {}, \"top\": {}, \"width\": {}, \"height\": {}, \"confidence\": {}}}",
                 b.class,
                 json_num(b.bbox.left as f64),
                 json_num(b.bbox.top as f64),
                 json_num(b.bbox.width as f64),
                 json_num(b.bbox.height as f64),
+                f.confidences
+                    .get(j)
+                    .map(|&c| conf_num(c))
+                    .unwrap_or_else(|| "null".to_string()),
             );
             if j + 1 < f.boxes.len() {
                 out.push_str(", ");
@@ -195,7 +219,8 @@ pub fn write_trace_json(
     fs::write(path, trace_to_json(trace, frame_f1))
 }
 
-/// Writes per-frame `(index, source, boxes, f1)` rows as CSV.
+/// Writes per-frame `(index, source, boxes, mean_confidence, f1)` rows as
+/// CSV.
 ///
 /// # Errors
 ///
@@ -209,14 +234,15 @@ pub fn write_frame_csv(trace: &ProcessingTrace, frame_f1: &[f64], path: &Path) -
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let mut out = String::from("frame,source,boxes,f1\n");
+    let mut out = String::from("frame,source,boxes,mean_confidence,f1\n");
     for (f, &score) in trace.outputs.iter().zip(frame_f1) {
         let _ = writeln!(
             out,
-            "{},{},{},{}",
+            "{},{},{},{},{}",
             f.frame_index,
             source_str(f.source),
             f.boxes.len(),
+            conf_num(mean_confidence(&f.confidences)),
             score
         );
     }
@@ -243,12 +269,14 @@ mod tests {
                         ObjectClass::Car,
                         BoundingBox::new(1.0, 2.0, 3.0, 4.0),
                     )],
+                    confidences: vec![0.75],
                     display_ms: 400.0,
                 },
                 FrameOutput {
                     frame_index: 1,
                     source: FrameSource::Held,
                     boxes: vec![],
+                    confidences: vec![],
                     display_ms: 433.0,
                 },
             ],
@@ -283,6 +311,7 @@ mod tests {
         assert!(json.contains("\"source\": \"held\""));
         assert!(json.contains("\"f1\": 0.5"));
         assert!(json.contains("\"class\": \"car\""));
+        assert!(json.contains("\"confidence\": 0.75"));
         // Balanced braces / brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -346,8 +375,51 @@ mod tests {
         write_frame_csv(&trace, &[1.0, 0.5], &path).unwrap();
         let csv = fs::read_to_string(&path).unwrap();
         // Pin the exact bytes: header + one row per output, floats via
-        // Display (no trailing zeros).
-        assert_eq!(csv, "frame,source,boxes,f1\n0,detected,1,1\n1,held,0,0.5\n");
+        // Display (no trailing zeros). Frames without boxes export a zero
+        // mean confidence.
+        assert_eq!(
+            csv,
+            "frame,source,boxes,mean_confidence,f1\n0,detected,1,0.75,1\n1,held,0,0,0.5\n"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn confidence_golden_bytes() {
+        // Per-box confidence lands byte-for-byte in both exports: the JSON
+        // box object grows a `confidence` field (shortest f32 repr) and the
+        // CSV gains a `mean_confidence` column.
+        let mut trace = sample_trace();
+        trace.outputs[0].boxes.push(LabeledBox::new(
+            ObjectClass::Person,
+            BoundingBox::new(5.0, 6.0, 7.0, 8.0),
+        ));
+        trace.outputs[0].confidences.push(0.25);
+        let json = trace_to_json(&trace, None);
+        assert!(json.contains(
+            "{\"class\": \"car\", \"left\": 1, \"top\": 2, \"width\": 3, \"height\": 4, \
+             \"confidence\": 0.75}"
+        ));
+        assert!(json.contains(
+            "{\"class\": \"person\", \"left\": 5, \"top\": 6, \"width\": 7, \"height\": 8, \
+             \"confidence\": 0.25}"
+        ));
+        // A box without a matching confidence entry degrades to null rather
+        // than panicking or emitting invalid JSON.
+        trace.outputs[0].confidences.pop();
+        let json = trace_to_json(&trace, None);
+        assert!(json.contains("\"height\": 8, \"confidence\": null}"));
+        // CSV mean over the two boxes: (0.75 + 0.25) / 2 = 0.5.
+        trace.outputs[0].confidences.push(0.25);
+        let dir = std::env::temp_dir().join("adavp_csv_conf_golden");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("c.csv");
+        write_frame_csv(&trace, &[1.0, 0.5], &path).unwrap();
+        let csv = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            csv,
+            "frame,source,boxes,mean_confidence,f1\n0,detected,2,0.5,1\n1,held,0,0,0.5\n"
+        );
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -375,9 +447,9 @@ mod tests {
         write_trace_json(&trace, Some(&[1.0, 0.5]), &dir.join("t.json")).unwrap();
         write_frame_csv(&trace, &[1.0, 0.5], &dir.join("t.csv")).unwrap();
         let csv = fs::read_to_string(dir.join("t.csv")).unwrap();
-        assert!(csv.starts_with("frame,source,boxes,f1\n"));
-        assert!(csv.contains("0,detected,1,1"));
-        assert!(csv.contains("1,held,0,0.5"));
+        assert!(csv.starts_with("frame,source,boxes,mean_confidence,f1\n"));
+        assert!(csv.contains("0,detected,1,0.75,1"));
+        assert!(csv.contains("1,held,0,0,0.5"));
         let _ = fs::remove_dir_all(dir);
     }
 }

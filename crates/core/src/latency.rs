@@ -66,6 +66,33 @@ impl LatencyModel {
     }
 }
 
+/// Fraction of the full-frame detection cost a region-restricted pass pays
+/// even for a vanishing region: network setup, image resize and the early
+/// backbone layers run on the whole frame regardless of how small the
+/// refined crop is. Only the later layers scale with the region.
+pub const REGION_LATENCY_FLOOR: f64 = 0.35;
+
+/// Latency of a detector pass restricted to a region covering
+/// `area_fraction` of the frame, given the full-frame latency `full_ms`.
+///
+/// Linear between the floor and the full cost:
+///
+/// ```text
+/// region_ms = full_ms * (FLOOR + (1 − FLOOR) * clamp(area_fraction, 0, 1))
+/// ```
+///
+/// Guaranteed `0 ≤ region_ms ≤ full_ms` for any inputs (the fraction is
+/// clamped into `[0, 1]`), which is the invariant the cascade pipeline and
+/// the `property_invariants` suite lean on.
+pub fn region_scaled_ms(full_ms: f64, area_fraction: f64) -> f64 {
+    let f = if area_fraction.is_finite() {
+        area_fraction.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    full_ms.max(0.0) * (REGION_LATENCY_FLOOR + (1.0 - REGION_LATENCY_FLOOR) * f)
+}
+
 /// Latency of one *batched* detector invocation on a shared GPU.
 ///
 /// The fleet layer ([`crate::serve`]) executes detection requests from many
@@ -171,6 +198,26 @@ mod tests {
     fn held_frames_are_cheap() {
         let m = LatencyModel::default();
         assert!(m.held_frame_ms < 33.3 / 2.0);
+    }
+
+    #[test]
+    fn region_scaling_is_bounded_and_monotone() {
+        // Never cheaper than the floor, never dearer than the full frame.
+        assert_eq!(region_scaled_ms(400.0, 1.0), 400.0);
+        assert!((region_scaled_ms(400.0, 0.0) - 0.35 * 400.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let f = i as f64 / 10.0;
+            let ms = region_scaled_ms(400.0, f);
+            assert!(ms >= prev, "must be monotone in area fraction");
+            assert!(ms <= 400.0 + 1e-9);
+            prev = ms;
+        }
+        // Hostile inputs degrade safely.
+        assert_eq!(region_scaled_ms(400.0, 7.0), 400.0);
+        assert_eq!(region_scaled_ms(400.0, -1.0), region_scaled_ms(400.0, 0.0));
+        assert_eq!(region_scaled_ms(400.0, f64::NAN), 400.0);
+        assert_eq!(region_scaled_ms(-10.0, 0.5), 0.0);
     }
 
     #[test]

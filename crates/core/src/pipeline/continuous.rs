@@ -5,7 +5,9 @@
 //! times the video duration, but per-frame accuracy is the detector's own.
 //! Used to bound the energy/accuracy trade-off space.
 
-use super::mpdt::{finish_trace, record_arrival, record_detection_span, run_detection};
+use super::mpdt::{
+    finish_trace, record_arrival, record_detection_span, run_detection, to_confidences,
+};
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
 };
@@ -57,6 +59,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
         let mut t = SimTime::ZERO;
         // Inherited by dropped frames and degraded cycles.
         let mut last_good: Vec<LabeledBox> = Vec::new();
+        let mut last_conf: Vec<f32> = Vec::new();
         for frame in clip {
             if faults.frame_dropped(frame.index as usize) {
                 // Never delivered: no detection runs; the display keeps
@@ -78,6 +81,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
                     frame_index: frame.index,
                     source: FrameSource::Dropped,
                     boxes: last_good.clone(),
+                    confidences: last_conf.clone(),
                     display_ms: he.as_ms(),
                 });
                 continue;
@@ -98,16 +102,16 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
             );
             let (ds, de) = (outcome.start, outcome.end);
             record_detection_span(&mut rec, cycle_key, frame.index, self.setting, &outcome);
-            let (boxes, src) = match &outcome.result {
+            let (boxes, conf, src) = match &outcome.result {
                 Some(r) => {
                     let b: Vec<LabeledBox> = r
                         .detections
                         .iter()
                         .map(|d| LabeledBox::new(d.class, d.bbox))
                         .collect();
-                    (b, FrameSource::Detected)
+                    (b, to_confidences(r), FrameSource::Detected)
                 }
-                None => (last_good.clone(), FrameSource::Held),
+                None => (last_good.clone(), last_conf.clone(), FrameSource::Held),
             };
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
             let (_, ov_end) = cpu.schedule(de, overlay);
@@ -116,9 +120,11 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
                 frame_index: frame.index,
                 source: src,
                 boxes: boxes.clone(),
+                confidences: conf.clone(),
                 display_ms: ov_end.as_ms(),
             });
             last_good = boxes;
+            last_conf = conf;
             cycles.push(CycleRecord {
                 index: cycles.len() as u32,
                 detected_frame: frame.index,

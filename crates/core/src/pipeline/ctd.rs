@@ -1,14 +1,25 @@
-//! The MARLIN baseline (Apicharttrisorn et al., SenSys 2019) as described
-//! and re-implemented by the AdaVP paper (§II, §IV-B, §VI-A).
+//! Confidence-triggered detection (CTD).
 //!
-//! MARLIN runs the detector and tracker **sequentially**: after a detection,
-//! the DNN stops and a lightweight tracker follows the detected objects
-//! frame-to-frame; the DNN is only triggered again when a content-change
-//! detector observes a significant scene change (here: the same feature
-//! motion velocity AdaVP uses, compared against a fixed threshold), or when
-//! the tracker has lost all its objects. While the DNN runs, the tracker is
-//! idle and arriving frames display stale boxes — the accumulated latency
-//! the paper identifies as MARLIN's weakness on fast scenes.
+//! A sequential detect-then-track pipeline like MARLIN, but the re-detection
+//! trigger is an explicit **tracker confidence** signal instead of a raw
+//! velocity threshold. Each detection calibrates the confidence to the mean
+//! per-box detection confidence; every tracker step then multiplies it by a
+//! decay factor that shrinks with observed feature motion and feature loss:
+//!
+//! ```text
+//! factor = clamp(base_decay − velocity_penalty·v − loss_penalty·lost_frac, 0, 1)
+//! ```
+//!
+//! Between detections the confidence is therefore monotone non-increasing.
+//! Re-detection fires when it crosses [`CtdConfig::threshold`], when the
+//! tracker loses every object, when the cycle-length cap is hit, or — under
+//! the default degradation policy — immediately on injected tracker
+//! divergence (the pipeline must not keep riding a confidence estimate the
+//! tracker itself has invalidated).
+//!
+//! With zero penalties the trigger time is exact and testable: starting at
+//! confidence `c₀` with decay `d`, the trigger fires on the smallest step
+//! `k` with `c₀·dᵏ < threshold`.
 
 use super::mpdt::{
     fill_held, finish_trace, kernel_attrs, nearest_delivered, record_arrival,
@@ -29,54 +40,112 @@ use adavp_video::buffer::FrameStream;
 use adavp_video::clip::VideoClip;
 use adavp_vision::perf;
 
-/// Nominal tracking-step horizon a divergence fraction maps onto: a
-/// divergence at fraction `f` fires after `1 + f × 15` steps of the cycle.
+/// See [`super::marlin`]: a divergence at fraction `f` fires after
+/// `1 + f × 15` tracking steps of the cycle.
 const DIVERGENCE_HORIZON_STEPS: f64 = 15.0;
 
-/// MARLIN-specific configuration.
+/// Confidence-decay parameters.
 #[derive(Debug, Clone, PartialEq)]
-pub struct MarlinConfig {
-    /// Velocity (px/frame) above which the scene change triggers a new
-    /// detection. The paper tunes this "by a set of experiments to find a
-    /// motion velocity threshold that provides the best detection accuracy";
-    /// the default comes from our Fig. 6 sweep (see the bench crate).
-    pub trigger_velocity: f64,
-    /// Upper bound on frames tracked without any re-detection, so the
-    /// baseline cannot silently drift forever on static scenes.
+pub struct CtdConfig {
+    /// Per-step multiplicative decay with no motion and no feature loss.
+    pub base_decay: f64,
+    /// Additional decay per px/frame of mean feature velocity.
+    pub velocity_penalty: f64,
+    /// Additional decay per unit of lost-feature fraction.
+    pub loss_penalty: f64,
+    /// Re-detection fires when the confidence drops below this.
+    pub threshold: f64,
+    /// Upper bound on frames tracked without any re-detection.
     pub max_cycle_frames: u64,
 }
 
-impl Default for MarlinConfig {
+impl Default for CtdConfig {
     fn default() -> Self {
         Self {
-            trigger_velocity: 0.5,
-            max_cycle_frames: 150,
+            base_decay: 0.97,
+            velocity_penalty: 0.01,
+            loss_penalty: 0.2,
+            threshold: 0.35,
+            max_cycle_frames: 120,
         }
     }
 }
 
-/// The sequential detect-then-track baseline. See the module docs.
+/// The tracker-confidence state machine: calibrated by each detection,
+/// multiplicatively decayed by each tracker step. The decay factor is
+/// clamped to `[0, 1]`, so between two calibrations the value is monotone
+/// non-increasing by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceDecay {
+    value: f64,
+}
+
+impl ConfidenceDecay {
+    /// Starts fully confident (nothing tracked yet, nothing lost yet).
+    pub fn new() -> Self {
+        Self { value: 1.0 }
+    }
+
+    /// Re-calibrates to the mean per-box detection confidence (`1.0` when
+    /// the detection is empty — there is nothing to lose track of).
+    pub fn reset(&mut self, confidences: &[f32]) {
+        self.value = if confidences.is_empty() {
+            1.0
+        } else {
+            confidences.iter().map(|&c| c as f64).sum::<f64>() / confidences.len() as f64
+        };
+    }
+
+    /// Applies one tracker step and returns the new value.
+    pub fn step(
+        &mut self,
+        cfg: &CtdConfig,
+        velocity: Option<f64>,
+        features_tracked: usize,
+        features_lost: usize,
+    ) -> f64 {
+        let v = velocity.unwrap_or(0.0).max(0.0);
+        let total = features_tracked + features_lost;
+        let lost_fraction = if total == 0 {
+            0.0
+        } else {
+            features_lost as f64 / total as f64
+        };
+        let factor = (cfg.base_decay - cfg.velocity_penalty * v - cfg.loss_penalty * lost_fraction)
+            .clamp(0.0, 1.0);
+        self.value *= factor;
+        self.value
+    }
+
+    /// Current confidence in `[0, 1]`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Default for ConfidenceDecay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The confidence-triggered sequential pipeline. See the module docs.
 #[derive(Debug, Clone)]
-pub struct MarlinPipeline<D> {
+pub struct CtdPipeline<D> {
     detector: D,
     setting: ModelSetting,
     config: PipelineConfig,
-    marlin: MarlinConfig,
+    ctd: CtdConfig,
 }
 
-impl<D: Detector> MarlinPipeline<D> {
-    /// Creates a MARLIN baseline at a fixed model setting.
-    pub fn new(
-        detector: D,
-        setting: ModelSetting,
-        config: PipelineConfig,
-        marlin: MarlinConfig,
-    ) -> Self {
+impl<D: Detector> CtdPipeline<D> {
+    /// Creates the pipeline at a fixed model setting.
+    pub fn new(detector: D, setting: ModelSetting, config: PipelineConfig, ctd: CtdConfig) -> Self {
         Self {
             detector,
             setting,
             config,
-            marlin,
+            ctd,
         }
     }
 }
@@ -89,9 +158,9 @@ fn to_labeled(result: &DetectionResult) -> Vec<LabeledBox> {
         .collect()
 }
 
-impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
+impl<D: Detector> VideoProcessor for CtdPipeline<D> {
     fn name(&self) -> String {
-        format!("MARLIN-{}", self.setting)
+        format!("CTD-{}", self.setting)
     }
 
     fn process(&mut self, clip: &VideoClip) -> ProcessingTrace {
@@ -120,6 +189,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
         let mut contention = faults.contention();
         let mut tracker = ObjectTracker::new(self.config.tracker.clone());
         let mut vel = VelocityEstimator::new();
+        let mut decay = ConfidenceDecay::new();
 
         let mut detect_at: u64 = 0;
         let mut cursor = SimTime::ZERO;
@@ -134,9 +204,6 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
 
         'run: loop {
             // ---- Detection phase (tracker idle). ------------------------
-            // Fold the previous cycle's tracker work into its span first:
-            // in this sequential design the tracking phase of cycle k ends
-            // exactly when detection k+1 starts.
             if rec.on() {
                 if let Some(prev) = cycles.last() {
                     let delta = perf::snapshot().since(&perf_mark).counts();
@@ -165,7 +232,8 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
             let (ds, de) = (outcome.start, outcome.end);
             record_detection_span(&mut rec, cycle_key, detect_at, self.setting, &outcome);
             // Degraded detection (timeout / exhausted retries): publish the
-            // stale tracker estimate — MARLIN's graceful-degradation rule.
+            // stale tracker estimate; the confidence is NOT re-calibrated,
+            // so the next cycle's trigger stays armed.
             let (boxes, conf, src) = match &outcome.result {
                 Some(r) => (to_labeled(r), to_confidences(r), FrameSource::Detected),
                 None => (last_shown.clone(), last_shown_conf.clone(), FrameSource::Held),
@@ -201,9 +269,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
 
             if outcome.result.is_none() && tracker.boxes().is_empty() {
                 // Degraded before the tracker ever calibrated: nothing to
-                // track, so go straight to re-detecting the newest
-                // delivered frame (time advanced during the failed
-                // attempts, so this always makes progress).
+                // track; re-detect the newest delivered frame.
                 cursor = ov_end;
                 let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
                 let candidate = newest.max(detect_at + 1).min(n - 1);
@@ -228,8 +294,6 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
             // ---- Tracking phase (detector idle). -------------------------
             vel.start_cycle();
             if outcome.result.is_some() {
-                // Fresh boxes: re-calibrate. On a degraded cycle the
-                // tracker keeps following its stale calibration instead.
                 let fe = SimTime::from_ms(lat.feature_extraction_ms);
                 let (fe_start, fe_end) = cpu.schedule(ov_end, fe);
                 meter.record(Activity::FeatureExtraction, fe);
@@ -246,6 +310,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 let pairs: Vec<_> = boxes.iter().map(|l| (l.class, l.bbox)).collect();
                 tracker.reset(&stream.frame(detect_at).image, &pairs);
                 calib_conf = conf.clone();
+                decay.reset(&conf);
                 cursor = fe_end;
             } else {
                 cursor = ov_end;
@@ -258,9 +323,6 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
             let mut tracked_count = 0u32;
             let mut trigger = false;
             while !trigger {
-                // Track the newest captured frame that was delivered
-                // (implicit frame selection: the tracker keeps pace with
-                // the camera by skipping).
                 let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
                 let candidate = newest.max(last_processed + 1);
                 if candidate >= n {
@@ -276,15 +338,23 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 meter.record(Activity::Overlay, draw);
                 let stats = tracker.step(&stream.frame(next).image, (next - last_processed) as u32);
                 let mut step_velocity = None;
-                if let Some(s) = stats {
+                let (tracked_feats, lost_feats) = stats
+                    .as_ref()
+                    .map(|s| (s.features_tracked, s.features_lost))
+                    .unwrap_or((0, 0));
+                if let Some(s) = &stats {
                     if let Some(v) = s.mean_velocity {
                         vel.record(v);
                         step_velocity = Some(v);
                     }
                 }
+                let confidence = decay.step(&self.ctd, step_velocity, tracked_feats, lost_feats);
                 if rec.steps() {
-                    let mut attrs =
-                        vec![Attr::u64("frame", next), Attr::u64("objects", objs as u64)];
+                    let mut attrs = vec![
+                        Attr::u64("frame", next),
+                        Attr::u64("objects", objs as u64),
+                        Attr::f64("confidence", confidence),
+                    ];
                     if let Some(v) = step_velocity {
                         attrs.push(Attr::f64("velocity", v));
                     }
@@ -333,9 +403,6 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 cursor = te;
                 last_processed = next;
 
-                // Injected divergence: the tracker's estimates degenerate
-                // here — record it, and (policy default) force an early
-                // re-detection.
                 let diverged_now = diverge_after.is_some_and(|da| tracked_count >= da);
                 if diverged_now {
                     if let Some(c) = cycles.last_mut() {
@@ -352,33 +419,32 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                     }
                 }
 
-                // Content-change detector: significant change → re-detect.
-                trigger = step_velocity.is_some_and(|v| v > self.marlin.trigger_velocity)
+                // The confidence trigger — plus the same safety nets every
+                // sequential pipeline needs (all objects lost, cycle cap,
+                // injected divergence under the default policy).
+                trigger = confidence < self.ctd.threshold
                     || tracker.all_stale()
-                    || next - cycle_start_frame >= self.marlin.max_cycle_frames
+                    || next - cycle_start_frame >= self.ctd.max_cycle_frames
                     || (diverged_now && degr.redetect_on_divergence);
                 if trigger && rec.on() {
-                    let mut attrs = vec![Attr::u64("frame", next)];
-                    if let Some(v) = step_velocity {
-                        attrs.push(Attr::f64("velocity", v));
-                    }
                     rec.event(
                         Track::Cpu,
                         EventKind::Trigger,
                         "re-detect trigger".to_string(),
                         te.as_ms(),
-                        attrs,
+                        vec![
+                            Attr::u64("frame", next),
+                            Attr::f64("confidence", confidence),
+                        ],
                     );
                 }
                 if next == n - 1 && !trigger {
-                    // Clip exhausted while tracking.
                     break 'run;
                 }
             }
 
             // Trigger: detect the newest delivered frame; frames arriving
-            // while the DNN runs will be held at the stale tracker output
-            // (that is MARLIN's accumulated latency).
+            // while the DNN runs hold the stale tracker output.
             let newest = stream.newest_at(cursor.as_ms()).unwrap_or(0);
             let candidate = newest.max(last_processed + 1).min(n - 1);
             detect_at = nearest_delivered(&faults, last_processed + 1, candidate, n - 1);
@@ -402,7 +468,6 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
             );
         }
 
-        // The run ended mid-tracking-phase: fold the final cycle's work in.
         if rec.on() {
             if let Some(prev) = cycles.last() {
                 let delta = perf::snapshot().since(&perf_mark).counts();
@@ -435,45 +500,111 @@ mod tests {
         spec.width = 240;
         spec.height = 140;
         spec.size_range = (20.0, 36.0);
-        VideoClip::generate("marlin", &spec, seed, frames)
+        VideoClip::generate("ctd", &spec, seed, frames)
     }
 
-    fn marlin(setting: ModelSetting) -> MarlinPipeline<SimulatedDetector> {
-        MarlinPipeline::new(
+    fn ctd(setting: ModelSetting) -> CtdPipeline<SimulatedDetector> {
+        CtdPipeline::new(
             SimulatedDetector::new(DetectorConfig::default()),
             setting,
             PipelineConfig::default(),
-            MarlinConfig::default(),
+            CtdConfig::default(),
         )
     }
 
     #[test]
-    fn every_frame_covered() {
+    fn every_frame_covered_and_named() {
         let c = clip(80, Scenario::Highway, 3);
-        let trace = marlin(ModelSetting::Yolo512).process(&c);
+        let mut p = ctd(ModelSetting::Yolo512);
+        assert_eq!(p.name(), "CTD-YOLOv3-512");
+        let trace = p.process(&c);
         assert_eq!(trace.outputs.len(), 80);
         for (i, o) in trace.outputs.iter().enumerate() {
             assert_eq!(o.frame_index as usize, i);
+            assert_eq!(o.boxes.len(), o.confidences.len());
         }
     }
 
     #[test]
-    fn fast_scene_triggers_redetection() {
-        let c = clip(150, Scenario::Highway, 4);
-        let trace = marlin(ModelSetting::Yolo512).process(&c);
+    fn deterministic() {
+        let c = clip(80, Scenario::Highway, 7);
+        let a = ctd(ModelSetting::Yolo512).process(&c);
+        let b = ctd(ModelSetting::Yolo512).process(&c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decay_is_monotone_non_increasing() {
+        let cfg = CtdConfig::default();
+        let mut d = ConfidenceDecay::new();
+        d.reset(&[0.9, 0.5]);
+        let mut prev = d.value();
+        assert!((prev - 0.7).abs() < 1e-6);
+        for i in 0..50usize {
+            let v = d.step(&cfg, Some((i % 7) as f64 * 0.3), 40, i % 5);
+            assert!(v <= prev, "step {i}: {v} > {prev}");
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn pure_decay_triggers_on_the_exact_step() {
+        // c0 = 0.8, d = 0.9, threshold = 0.5: smallest k with
+        // 0.8 * 0.9^k < 0.5 is k = 5.
+        let cfg = CtdConfig {
+            base_decay: 0.9,
+            velocity_penalty: 0.0,
+            loss_penalty: 0.0,
+            threshold: 0.5,
+            max_cycle_frames: 10_000,
+        };
+        let mut d = ConfidenceDecay::new();
+        d.reset(&[0.8]);
+        let mut k = 0;
+        while d.step(&cfg, Some(3.0), 10, 90) >= cfg.threshold {
+            k += 1;
+            assert!(k < 100, "never triggered");
+        }
+        assert_eq!(k, 4, "trigger on the 5th step (4 survivors)");
+    }
+
+    #[test]
+    fn fewer_detections_than_mpdt_on_slow_scene_at_no_accuracy_cost() {
+        use crate::eval::{evaluate_on_clip, EvalConfig};
+        use crate::pipeline::{MpdtPipeline, SettingPolicy};
+        let c = clip(200, Scenario::MeetingRoom, 11);
+        let eval = EvalConfig::default();
+        let mut p = ctd(ModelSetting::Yolo512);
+        let t = evaluate_on_clip(&mut p, &c, &eval);
+        let mut mpdt = MpdtPipeline::new(
+            SimulatedDetector::new(DetectorConfig::default()),
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            PipelineConfig::default(),
+        );
+        let m = evaluate_on_clip(&mut mpdt, &c, &eval);
         assert!(
-            trace.cycles.len() >= 2,
-            "highway motion must trigger the change detector, got {} cycles",
-            trace.cycles.len()
+            t.trace.cycles.len() < m.trace.cycles.len(),
+            "CTD ({}) must invoke the detector less than MPDT ({})",
+            t.trace.cycles.len(),
+            m.trace.cycles.len()
+        );
+        // On a near-static scene the held detections stay valid, so the
+        // saved invocations cost nothing: accuracy is at least MPDT's.
+        assert!(
+            t.accuracy >= m.accuracy,
+            "CTD accuracy {:.3} must not trail MPDT {:.3} on a static scene",
+            t.accuracy,
+            m.accuracy
         );
     }
 
     #[test]
-    fn slow_scene_detects_rarely() {
+    fn fast_scene_retriggers_sooner_than_slow() {
         let slow = clip(150, Scenario::MeetingRoom, 5);
         let fast = clip(150, Scenario::Highway, 5);
-        let s = marlin(ModelSetting::Yolo512).process(&slow);
-        let f = marlin(ModelSetting::Yolo512).process(&fast);
+        let s = ctd(ModelSetting::Yolo512).process(&slow);
+        let f = ctd(ModelSetting::Yolo512).process(&fast);
         assert!(
             s.cycles.len() <= f.cycles.len(),
             "meeting room ({}) should trigger no more than highway ({})",
@@ -483,64 +614,9 @@ mod tests {
     }
 
     #[test]
-    fn sequential_means_no_tracking_during_detection() {
-        // GPU and CPU busy intervals may only overlap for the cheap overlay
-        // of held frames, which we do not schedule on the CPU resource —
-        // verify tracker CPU ops never overlap GPU detection intervals.
-        let c = clip(120, Scenario::Highway, 6);
-        let trace = marlin(ModelSetting::Yolo512).process(&c);
-        // A sequential system's makespan is at least the sum of GPU busy
-        // time plus substantial CPU time; sanity-check they do not overlap
-        // by comparing with the parallel pipeline's finishing time.
-        use crate::pipeline::{MpdtPipeline, SettingPolicy};
-        let mut mpdt = MpdtPipeline::new(
-            SimulatedDetector::new(DetectorConfig::default()),
-            SettingPolicy::Fixed(ModelSetting::Yolo512),
-            PipelineConfig::default(),
-        );
-        let ptrace = mpdt.process(&c);
-        // MARLIN holds frames during detection, so it should have more Held
-        // frames than MPDT on a fast clip.
-        let h_marlin = trace.source_fractions().held;
-        let h_mpdt = ptrace.source_fractions().held;
-        assert!(
-            h_marlin > h_mpdt,
-            "MARLIN held {h_marlin:.2} vs MPDT {h_mpdt:.2}: sequential design must hold more"
-        );
-    }
-
-    #[test]
-    fn deterministic() {
-        let c = clip(80, Scenario::Highway, 7);
-        let a = marlin(ModelSetting::Yolo512).process(&c);
-        let b = marlin(ModelSetting::Yolo512).process(&c);
-        assert_eq!(a, b);
-    }
-
-    #[test]
     fn empty_clip() {
         let c = clip(0, Scenario::Highway, 8);
-        let trace = marlin(ModelSetting::Yolo512).process(&c);
+        let trace = ctd(ModelSetting::Yolo512).process(&c);
         assert!(trace.outputs.is_empty());
-    }
-
-    #[test]
-    fn max_cycle_frames_bounds_drift() {
-        let c = clip(200, Scenario::MeetingRoom, 9);
-        let mut p = MarlinPipeline::new(
-            SimulatedDetector::new(DetectorConfig::default()),
-            ModelSetting::Yolo512,
-            PipelineConfig::default(),
-            MarlinConfig {
-                trigger_velocity: 1e9, // never trigger on velocity
-                max_cycle_frames: 50,
-            },
-        );
-        let trace = p.process(&c);
-        assert!(
-            trace.cycles.len() >= 3,
-            "cap must force re-detection, got {} cycles",
-            trace.cycles.len()
-        );
     }
 }

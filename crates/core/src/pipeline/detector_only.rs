@@ -6,7 +6,7 @@
 
 use super::mpdt::{
     fill_held, finish_trace, nearest_delivered, record_arrival, record_detection_span,
-    run_detection,
+    run_detection, to_confidences,
 };
 use super::{
     CycleRecord, FrameOutput, FrameSource, PipelineConfig, ProcessingTrace, VideoProcessor,
@@ -73,6 +73,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
         let mut t = SimTime::ZERO;
         // Inherited by degraded cycles (detector timeout / retries spent).
         let mut last_good: Vec<LabeledBox> = Vec::new();
+        let mut last_conf: Vec<f32> = Vec::new();
         // Transient step-down: set after a degraded cycle, cleared by the
         // next successful one (the configured setting is re-applied each
         // cycle).
@@ -100,17 +101,17 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
             );
             let (ds, de) = (outcome.start, outcome.end);
             record_detection_span(&mut rec, cycle_key, cur, setting, &outcome);
-            let (boxes, src) = match &outcome.result {
+            let (boxes, conf, src) = match &outcome.result {
                 Some(r) => {
                     let b: Vec<LabeledBox> = r
                         .detections
                         .iter()
                         .map(|d| LabeledBox::new(d.class, d.bbox))
                         .collect();
-                    (b, FrameSource::Detected)
+                    (b, to_confidences(r), FrameSource::Detected)
                 }
                 // No tracker to fall back on: hold the last detection.
-                None => (last_good.clone(), FrameSource::Held),
+                None => (last_good.clone(), last_conf.clone(), FrameSource::Held),
             };
             degraded_prev = outcome.degraded();
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
@@ -120,9 +121,11 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 frame_index: cur,
                 source: src,
                 boxes: boxes.clone(),
+                confidences: conf.clone(),
                 display_ms: ov_end.as_ms(),
             });
             last_good = boxes.clone();
+            last_conf = conf.clone();
             cycles.push(CycleRecord {
                 index: cycles.len() as u32,
                 detected_frame: cur,
@@ -151,6 +154,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 &mut outputs,
                 &gap,
                 &boxes,
+                &conf,
                 ov_end,
                 &stream,
                 lat.held_frame_ms,

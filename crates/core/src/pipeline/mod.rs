@@ -16,13 +16,23 @@
 //!   hold results for skipped frames.
 //! * [`ContinuousPipeline`] — detect *every* frame, ignoring real-time
 //!   (the `YOLOv3-320 (7x latency)` columns of Table III).
+//! * [`CascadePipeline`] — CaTDet-style cascade: a YOLOv3-tiny proposal
+//!   pass every cycle; the full detector refines only low-confidence or
+//!   novel regions (region-restricted, proportionally cheaper).
+//! * [`CtdPipeline`] — confidence-triggered detection: tracker confidence
+//!   decays with drift and feature loss; re-detection fires when it
+//!   crosses a threshold instead of on a cadence.
 
+mod cascade;
 mod continuous;
+mod ctd;
 mod detector_only;
 mod marlin;
 mod mpdt;
 
+pub use cascade::{CascadeConfig, CascadePipeline};
 pub use continuous::ContinuousPipeline;
+pub use ctd::{ConfidenceDecay, CtdConfig, CtdPipeline};
 pub use detector_only::DetectorOnlyPipeline;
 pub use marlin::{MarlinConfig, MarlinPipeline};
 pub use mpdt::MpdtPipeline;
@@ -89,6 +99,11 @@ pub struct FrameOutput {
     pub source: FrameSource,
     /// The displayed boxes.
     pub boxes: Vec<LabeledBox>,
+    /// Per-box detector confidence, index-aligned with
+    /// [`boxes`](Self::boxes). Tracked boxes carry the confidence of the
+    /// detection that calibrated them; held/dropped frames inherit the
+    /// previous output's values unchanged.
+    pub confidences: Vec<f32>,
     /// Virtual time at which the overlaid frame appeared on screen (ms).
     pub display_ms: f64,
 }
@@ -413,6 +428,7 @@ mod tests {
             frame_index: 0,
             source,
             boxes: vec![],
+            confidences: vec![],
             display_ms: 0.0,
         };
         let trace = ProcessingTrace {
@@ -448,6 +464,7 @@ mod tests {
             frame_index: 0,
             source,
             boxes: vec![],
+            confidences: vec![],
             display_ms: 0.0,
         };
         let trace = ProcessingTrace {

@@ -24,6 +24,7 @@ use adavp_sim::resource::Resource;
 use adavp_sim::time::SimTime;
 use adavp_video::buffer::FrameStream;
 use adavp_video::clip::{Frame, VideoClip};
+use adavp_vision::geometry::BoundingBox;
 use adavp_vision::perf::{self, KernelCounts};
 
 /// The parallel detection + tracking pipeline. See the module docs.
@@ -59,6 +60,11 @@ fn to_labeled(result: &DetectionResult) -> Vec<LabeledBox> {
         .iter()
         .map(|d| LabeledBox::new(d.class, d.bbox))
         .collect()
+}
+
+/// Per-box confidences, index-aligned with [`to_labeled`]'s output.
+pub(super) fn to_confidences(result: &DetectionResult) -> Vec<f32> {
+    result.detections.iter().map(|d| d.confidence).collect()
 }
 
 /// Outcome of one (possibly faulted) detection cycle on the GPU.
@@ -102,8 +108,84 @@ pub(super) fn run_detection<D: Detector>(
     contention: &mut ContentionInjector,
     degradation: &DegradationPolicy,
 ) -> DetectionOutcome {
+    run_detection_inner(
+        detector,
+        frame,
+        setting,
+        None,
+        earliest,
+        cycle,
+        gpu,
+        meter,
+        faults,
+        contention,
+        degradation,
+    )
+}
+
+/// Region-restricted variant of [`run_detection`]: only detections whose
+/// centers fall inside `region` come back, and the GPU pays the
+/// proportionally reduced cost of
+/// [`crate::latency::region_scaled_ms`]. The fault layer (spikes,
+/// timeouts, retries, contention) applies to the scaled cost unchanged.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_detection_region<D: Detector>(
+    detector: &mut D,
+    frame: &Frame,
+    setting: ModelSetting,
+    region: &BoundingBox,
+    earliest: SimTime,
+    cycle: u64,
+    gpu: &mut Resource,
+    meter: &mut EnergyMeter,
+    faults: &FaultPlan,
+    contention: &mut ContentionInjector,
+    degradation: &DegradationPolicy,
+) -> DetectionOutcome {
+    run_detection_inner(
+        detector,
+        frame,
+        setting,
+        Some(region),
+        earliest,
+        cycle,
+        gpu,
+        meter,
+        faults,
+        contention,
+        degradation,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_detection_inner<D: Detector>(
+    detector: &mut D,
+    frame: &Frame,
+    setting: ModelSetting,
+    region: Option<&BoundingBox>,
+    earliest: SimTime,
+    cycle: u64,
+    gpu: &mut Resource,
+    meter: &mut EnergyMeter,
+    faults: &FaultPlan,
+    contention: &mut ContentionInjector,
+    degradation: &DegradationPolicy,
+) -> DetectionOutcome {
     contention.inject_until(earliest.max(gpu.available_at()), gpu);
-    let det = detector.detect(frame, setting);
+    let det = match region {
+        None => detector.detect(frame, setting),
+        Some(r) => {
+            let mut det = detector.detect_region(frame, setting, r);
+            let frame_area = (frame.image.width() * frame.image.height()) as f64;
+            let fraction = if frame_area > 0.0 {
+                r.area() as f64 / frame_area
+            } else {
+                1.0
+            };
+            det.latency_ms = crate::latency::region_scaled_ms(det.latency_ms, fraction);
+            det
+        }
+    };
     let mult = faults.latency_multiplier(cycle);
     let act = || Activity::Detect {
         input_size: setting.input_size(),
@@ -351,13 +433,14 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
         // Last boxes known good enough to display — inherited by degraded
         // cycles (detector timeout / exhausted retries).
         let mut last_good: Vec<LabeledBox> = Vec::new();
+        let mut last_conf: Vec<f32> = Vec::new();
 
         loop {
             // (a) Display the just-processed frame: fresh boxes when the
             //     detection succeeded, inherited ones when it degraded.
-            let (boxes, src) = match &outcome.result {
-                Some(r) => (to_labeled(r), FrameSource::Detected),
-                None => (last_good.clone(), FrameSource::Held),
+            let (boxes, conf, src) = match &outcome.result {
+                Some(r) => (to_labeled(r), to_confidences(r), FrameSource::Detected),
+                None => (last_good.clone(), last_conf.clone(), FrameSource::Held),
             };
             let overlay = SimTime::from_ms(lat.overlay_ms(boxes.len()));
             let (ov_start, ov_end) = cpu.schedule(det_done, overlay);
@@ -379,9 +462,11 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 frame_index: cur,
                 source: src,
                 boxes: boxes.clone(),
+                confidences: conf.clone(),
                 display_ms: ov_end.as_ms(),
             });
             last_good = boxes.clone();
+            last_conf = conf.clone();
 
             if cur == n - 1 {
                 break;
@@ -546,6 +631,10 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                             .into_iter()
                             .map(|(c, b)| LabeledBox::new(c, b))
                             .collect(),
+                        // current_boxes preserves the reset pairs' count and
+                        // order, so the calibrating detection's confidences
+                        // stay index-aligned.
+                        confidences: conf.clone(),
                         display_ms: te.as_ms(),
                     });
                     cursor = te;
@@ -559,6 +648,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                     &mut outputs,
                     &gap,
                     &boxes,
+                    &conf,
                     ov_end,
                     &stream,
                     lat.held_frame_ms,
@@ -623,6 +713,7 @@ pub(super) fn fill_held(
     outputs: &mut [Option<FrameOutput>],
     gap: &[u64],
     detected_boxes: &[LabeledBox],
+    detected_conf: &[f32],
     detected_display: SimTime,
     stream: &FrameStream<'_>,
     held_ms: f64,
@@ -631,11 +722,13 @@ pub(super) fn fill_held(
     rec: &mut Recorder,
 ) {
     let mut last_boxes: Vec<LabeledBox> = detected_boxes.to_vec();
+    let mut last_conf: Vec<f32> = detected_conf.to_vec();
     let mut last_display = detected_display;
     for &fidx in gap {
         match &outputs[fidx as usize] {
             Some(out) => {
                 last_boxes = out.boxes.clone();
+                last_conf = out.confidences.clone();
                 last_display = SimTime::from_ms(out.display_ms);
             }
             None => {
@@ -660,6 +753,7 @@ pub(super) fn fill_held(
                     frame_index: fidx,
                     source,
                     boxes: last_boxes.clone(),
+                    confidences: last_conf.clone(),
                     display_ms: display.as_ms(),
                 });
             }
@@ -685,6 +779,10 @@ pub(super) fn finish_trace(
             frame_index: i as u64,
             source: FrameSource::Held,
             boxes: last.as_ref().map(|l| l.boxes.clone()).unwrap_or_default(),
+            confidences: last
+                .as_ref()
+                .map(|l| l.confidences.clone())
+                .unwrap_or_default(),
             display_ms: last.as_ref().map(|l| l.display_ms).unwrap_or(0.0),
         });
         last = Some(o.clone());

@@ -109,6 +109,7 @@ impl FrameBuffer {
 struct DetectionMsg {
     frame: u64,
     boxes: Vec<LabeledBox>,
+    confidences: Vec<f32>,
     display_ms: f64,
 }
 
@@ -179,9 +180,11 @@ where
                     .iter()
                     .map(|d| LabeledBox::new(d.class, d.bbox))
                     .collect();
+                let confidences = result.detections.iter().map(|d| d.confidence).collect();
                 let msg = DetectionMsg {
                     frame: idx,
                     boxes,
+                    confidences,
                     display_ms: elapsed_ms(start),
                 };
                 if det_tx.send(msg).is_err() {
@@ -209,6 +212,7 @@ where
                         frame_index: msg.frame,
                         source: FrameSource::Detected,
                         boxes: msg.boxes.clone(),
+                        confidences: msg.confidences.clone(),
                         display_ms: msg.display_ms,
                     });
                     detected_ref.lock().push(msg.frame);
@@ -217,11 +221,16 @@ where
                 // using the previous detection as reference — cancel as soon
                 // as the detector moves on to an even newer frame.
                 if let Some(prev) = prev_frame {
-                    let pairs: Vec<_> = {
+                    let (pairs, calib_conf): (Vec<_>, Vec<f32>) = {
                         let out = outputs_ref.lock();
                         out[prev as usize]
                             .as_ref()
-                            .map(|o| o.boxes.iter().map(|l| (l.class, l.bbox)).collect())
+                            .map(|o| {
+                                (
+                                    o.boxes.iter().map(|l| (l.class, l.bbox)).collect(),
+                                    o.confidences.clone(),
+                                )
+                            })
                             .unwrap_or_default()
                     };
                     tracker.reset(&clip.frame(prev as usize).image, &pairs);
@@ -251,6 +260,7 @@ where
                             frame_index: fidx,
                             source: FrameSource::Tracked,
                             boxes,
+                            confidences: calib_conf.clone(),
                             display_ms: elapsed_ms(start),
                         });
                         tracked_ref.lock().push(fidx);
@@ -265,11 +275,13 @@ where
     // Backfill held frames (main thread, after all workers joined).
     let mut filled = Vec::with_capacity(outputs.len());
     let mut last_boxes: Vec<LabeledBox> = Vec::new();
+    let mut last_conf: Vec<f32> = Vec::new();
     let mut last_display = 0.0;
     for (i, o) in outputs.into_iter().enumerate() {
         match o {
             Some(out) => {
                 last_boxes = out.boxes.clone();
+                last_conf = out.confidences.clone();
                 last_display = out.display_ms;
                 filled.push(out);
             }
@@ -277,6 +289,7 @@ where
                 frame_index: i as u64,
                 source: FrameSource::Held,
                 boxes: last_boxes.clone(),
+                confidences: last_conf.clone(),
                 display_ms: last_display,
             }),
         }

@@ -182,6 +182,7 @@ pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
             streams.push(Some(StreamPipeline::new(
                 i,
                 spec.clone(),
+                cfg.scheme,
                 cfg.policy.clone(),
                 cfg.degradation.clone(),
                 cfg.latency,

@@ -55,7 +55,7 @@ pub mod sweep;
 
 pub use batch::{BatchConfig, BatchScheduler};
 pub use fleet::{run_fleet, AdmissionPolicy, ClassReport, FleetReport};
-pub use stream::{NextWake, SloClass, StreamPipeline, StreamSpec, StreamStats};
+pub use stream::{NextWake, ServeScheme, SloClass, StreamPipeline, StreamSpec, StreamStats};
 pub use sweep::{run_sweep, sweep_csv, sweep_json, sweep_text, SweepConfig, SweepRow};
 
 use crate::latency::{BatchLatencyModel, LatencyModel};
@@ -69,6 +69,7 @@ pub(crate) const TAG_VELOCITY: u64 = 0x5e01;
 pub(crate) const TAG_OBJECTS: u64 = 0x5e02;
 pub(crate) const TAG_JITTER: u64 = 0x5e03;
 pub(crate) const TAG_STREAM_SEED: u64 = 0x5e04;
+pub(crate) const TAG_PROPOSAL: u64 = 0x5e05;
 
 pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
@@ -96,6 +97,8 @@ pub(crate) fn unit(h: u64) -> f64 {
 pub struct ServeConfig {
     /// The streams requesting admission, in arrival order.
     pub streams: Vec<StreamSpec>,
+    /// Detection scheme every stream runs (the sweep's scheme axis).
+    pub scheme: ServeScheme,
     /// Model-setting policy cloned into every stream (AdaVP's adaptive
     /// policy by default, driven by each stream's synthetic velocity).
     pub policy: SettingPolicy,
@@ -122,6 +125,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             streams: Vec::new(),
+            scheme: ServeScheme::Mpdt,
             policy: SettingPolicy::Adaptive(crate::adaptation::AdaptationModel::default_model()),
             degradation: DegradationPolicy::default(),
             latency: LatencyModel::default(),

@@ -17,12 +17,55 @@
 //! counts driving tracker/overlay cost) is synthesized from the stream
 //! seed with the same pure-hash discipline the fault layer uses.
 
-use super::{mix, unit, TAG_JITTER, TAG_OBJECTS, TAG_VELOCITY};
+use super::{mix, unit, TAG_JITTER, TAG_OBJECTS, TAG_PROPOSAL, TAG_VELOCITY};
 use crate::latency::LatencyModel;
-use crate::pipeline::{DegradationPolicy, SettingPolicy};
+use crate::pipeline::{CtdConfig, DegradationPolicy, SettingPolicy};
 use crate::telemetry::Histogram;
 use adavp_detector::ModelSetting;
 use adavp_sim::{FaultPlan, SimTime};
+
+/// Detection scheme a served stream runs — the sweep's scheme axis. The
+/// fleet layer models each scheme at the latency level (no pixel kernels):
+///
+/// * `Mpdt` — every cycle pays the current setting's full base latency;
+/// * `Cascade` — every cycle pays a YOLOv3-tiny proposal pass, and pays a
+///   region-scaled slice of the full setting only when the deterministic
+///   proposal-confidence gate opens (faster scenes open it more often);
+/// * `Ctd` — each successful detection is followed by a confidence-decay
+///   tracking phase; the stream skips ahead the number of frames the decay
+///   sustains before re-detecting, so detector invocations thin out on
+///   slow scenes. Degraded cycles re-detect immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeScheme {
+    /// Parallel detect+track (the default pipeline).
+    Mpdt,
+    /// Cascaded proposal + gated region refinement.
+    Cascade,
+    /// Confidence-triggered detection.
+    Ctd,
+}
+
+impl ServeScheme {
+    /// All schemes, in sweep order.
+    pub const ALL: [ServeScheme; 3] = [ServeScheme::Mpdt, ServeScheme::Cascade, ServeScheme::Ctd];
+
+    /// Short display label (used in sweep rows and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeScheme::Mpdt => "mpdt",
+            ServeScheme::Cascade => "cascade",
+            ServeScheme::Ctd => "ctd",
+        }
+    }
+
+    /// Parses a label as produced by [`ServeScheme::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|v| v.label() == s)
+    }
+}
+
+/// Proposal confidence below which a cascade stream pays for refinement.
+const CASCADE_GATE: f64 = 0.5;
 
 /// Per-stream service class: the cycle-latency deadline the fleet promises
 /// and the admission priority (strictest class admitted first).
@@ -209,6 +252,7 @@ enum Phase {
 pub struct StreamPipeline {
     index: usize,
     spec: StreamSpec,
+    scheme: ServeScheme,
     policy: SettingPolicy,
     degradation: DegradationPolicy,
     latency: LatencyModel,
@@ -227,6 +271,7 @@ impl StreamPipeline {
     pub fn new(
         index: usize,
         spec: StreamSpec,
+        scheme: ServeScheme,
         policy: SettingPolicy,
         degradation: DegradationPolicy,
         latency: LatencyModel,
@@ -236,6 +281,7 @@ impl StreamPipeline {
         Self {
             index,
             spec,
+            scheme,
             policy,
             degradation,
             latency,
@@ -282,6 +328,27 @@ impl StreamPipeline {
         1 + (mix(self.spec.seed, TAG_OBJECTS, cycle, 0) % 9) as usize
     }
 
+    /// Synthetic proposal confidence of a cascade cycle in `[0, 1)`: a
+    /// pure hash draw scaled down by content velocity, so fast scenes
+    /// open the refinement gate more often.
+    pub fn proposal_confidence(&self, cycle: u64) -> f64 {
+        unit(mix(self.spec.seed, TAG_PROPOSAL, cycle, 0)) / (1.0 + 0.2 * self.velocity(cycle))
+    }
+
+    /// How many frames a CTD stream keeps tracking after a successful
+    /// detection before its confidence decays through the trigger
+    /// threshold, from the closed-form trigger math of
+    /// [`crate::pipeline::ConfidenceDecay`] at the cycle's content
+    /// velocity (calibration confidence taken as the Table-II plateau).
+    pub fn ctd_tracked_frames(&self, cycle: u64) -> u64 {
+        let cfg = CtdConfig::default();
+        let factor =
+            (cfg.base_decay - cfg.velocity_penalty * self.velocity(cycle)).clamp(0.05, 0.999);
+        let c0 = 0.62_f64;
+        let k = ((cfg.threshold / c0).ln() / factor.ln()).ceil().max(1.0);
+        (k as u64).min(cfg.max_cycle_frames)
+    }
+
     fn arrival(&self, frame: u64) -> SimTime {
         SimTime::from_ms(frame as f64 * self.spec.frame_interval_ms)
     }
@@ -293,7 +360,27 @@ impl StreamPipeline {
     fn member_latency(&self, cycle: u64, attempt: u32) -> (f64, bool) {
         let jitter = 0.95 + 0.1 * unit(mix(self.spec.seed, TAG_JITTER, cycle, attempt as u64));
         let mult = self.faults.latency_multiplier(cycle);
-        let raw = self.setting.base_latency_ms() * jitter * mult;
+        let base = match self.scheme {
+            ServeScheme::Mpdt | ServeScheme::Ctd => self.setting.base_latency_ms(),
+            ServeScheme::Cascade => {
+                // Tiny proposal pass every cycle; region-scaled slice of
+                // the full setting only when the gate opens. The region
+                // fraction shrinks with the same confidence draw: a barely
+                // sub-threshold proposal needs a small refinement region.
+                let tiny = ModelSetting::Tiny320.base_latency_ms();
+                let conf = self.proposal_confidence(cycle);
+                if conf >= CASCADE_GATE {
+                    tiny
+                } else {
+                    let fraction = (conf / CASCADE_GATE).clamp(0.05, 1.0);
+                    tiny + crate::latency::region_scaled_ms(
+                        self.setting.base_latency_ms(),
+                        fraction,
+                    )
+                }
+            }
+        };
+        let raw = base * jitter * mult;
         match self.degradation.detector_timeout_ms {
             Some(budget) if raw > budget => (budget, true),
             _ => (raw, false),
@@ -466,6 +553,13 @@ impl StreamPipeline {
         if next_frame <= frame {
             next_frame = frame + 1;
         }
+        // CTD: after a successful detection the tracker carries the stream
+        // until its confidence decays through the threshold — the stream
+        // skips those frames before re-detecting. A degraded cycle
+        // re-detects immediately (never ride a decayed confidence).
+        if self.scheme == ServeScheme::Ctd && !degraded {
+            next_frame += self.ctd_tracked_frames(self.cycle - 1);
+        }
         self.stats.frames += next_frame - frame;
 
         if self.cycle >= self.spec.cycles as u64 {
@@ -484,6 +578,10 @@ mod tests {
     use adavp_sim::FaultProfile;
 
     fn pipeline(cycles: usize) -> StreamPipeline {
+        scheme_pipeline(cycles, ServeScheme::Mpdt)
+    }
+
+    fn scheme_pipeline(cycles: usize, scheme: ServeScheme) -> StreamPipeline {
         StreamPipeline::new(
             0,
             StreamSpec {
@@ -493,6 +591,7 @@ mod tests {
                 cycles,
                 seed: 7,
             },
+            scheme,
             SettingPolicy::Fixed(ModelSetting::Yolo512),
             DegradationPolicy::default(),
             LatencyModel::default(),
@@ -640,6 +739,7 @@ mod tests {
                 cycles: 1,
                 seed: 3,
             },
+            ServeScheme::Mpdt,
             SettingPolicy::Adaptive(crate::adaptation::AdaptationModel::uniform([1.0, 2.0, 3.0])),
             DegradationPolicy::default(),
             LatencyModel::default(),
@@ -667,6 +767,72 @@ mod tests {
         let _ = p.step(now, &mut |_, _| true);
         assert_eq!(p.setting(), policy_next.lighter());
         assert_eq!(p.stats.degraded, 1);
+    }
+
+    #[test]
+    fn scheme_labels_roundtrip() {
+        for s in ServeScheme::ALL {
+            assert_eq!(ServeScheme::parse(s.label()), Some(s));
+        }
+        assert_eq!(ServeScheme::parse("marlin"), None);
+    }
+
+    #[test]
+    fn cascade_member_latency_never_exceeds_mpdt() {
+        let mpdt = pipeline(20);
+        let casc = scheme_pipeline(20, ServeScheme::Cascade);
+        let mut cheaper = 0;
+        for c in 0..20 {
+            let (m, _) = mpdt.member_latency(c, 0);
+            let (k, _) = casc.member_latency(c, 0);
+            // Worst case is tiny pass + full-fraction region slice.
+            assert!(
+                k <= m + ModelSetting::Tiny320.base_latency_ms() * 1.05,
+                "cycle {c}: cascade {k} vs mpdt {m}"
+            );
+            if k < m {
+                cheaper += 1;
+            }
+        }
+        // With the default gate the cascade must be cheaper on at least
+        // one cycle (gate closed → tiny-only, or a small region slice).
+        assert!(cheaper > 0, "cascade never beat MPDT's member latency");
+    }
+
+    #[test]
+    fn ctd_covers_more_frames_with_same_cycles() {
+        let mut mpdt = pipeline(10);
+        let mut ctd = scheme_pipeline(10, ServeScheme::Ctd);
+        drive(&mut mpdt, 0.0);
+        drive(&mut ctd, 0.0);
+        assert_eq!(mpdt.stats.cycles, ctd.stats.cycles);
+        assert!(
+            ctd.stats.frames > mpdt.stats.frames,
+            "CTD ({}) must cover more frames per detection than MPDT ({})",
+            ctd.stats.frames,
+            mpdt.stats.frames
+        );
+    }
+
+    #[test]
+    fn ctd_tracked_frames_shrink_with_velocity() {
+        let p = scheme_pipeline(1, ServeScheme::Ctd);
+        // Find a slow and a fast epoch and compare.
+        let mut min_v = (0u64, f64::MAX);
+        let mut max_v = (0u64, f64::MIN);
+        for c in 0..60 {
+            let v = p.velocity(c);
+            if v < min_v.1 {
+                min_v = (c, v);
+            }
+            if v > max_v.1 {
+                max_v = (c, v);
+            }
+        }
+        assert!(
+            p.ctd_tracked_frames(min_v.0) >= p.ctd_tracked_frames(max_v.0),
+            "slower content must sustain tracking at least as long"
+        );
     }
 
     #[test]

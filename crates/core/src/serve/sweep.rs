@@ -12,6 +12,7 @@
 //! (the CLI, `serve_bench`) decide where bytes go.
 
 use super::fleet::{run_fleet, FleetReport};
+use super::stream::ServeScheme;
 use super::ServeConfig;
 use adavp_sim::FaultProfile;
 use adavp_vision::exec::Executor;
@@ -33,6 +34,9 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Named fault profiles to sweep; each profile gets its own row block.
     pub profiles: Vec<(String, FaultProfile)>,
+    /// Detection schemes to sweep (one row block per scheme within each
+    /// profile). Defaults to MPDT only, preserving the historical grid.
+    pub schemes: Vec<ServeScheme>,
 }
 
 impl Default for SweepConfig {
@@ -48,6 +52,7 @@ impl Default for SweepConfig {
                 ("none".to_string(), FaultProfile::none()),
                 ("brownout".to_string(), FaultProfile::brownout(0xb0b0)),
             ],
+            schemes: vec![ServeScheme::Mpdt],
         }
     }
 }
@@ -64,9 +69,16 @@ impl SweepConfig {
     }
 
     /// The fleet configuration for one cell.
-    pub fn cell(&self, profile: &FaultProfile, streams: usize, batched: bool) -> ServeConfig {
+    pub fn cell(
+        &self,
+        profile: &FaultProfile,
+        scheme: ServeScheme,
+        streams: usize,
+        batched: bool,
+    ) -> ServeConfig {
         let mut cfg = ServeConfig::default();
         cfg.streams = ServeConfig::synthetic_streams(streams, self.cycles, self.seed);
+        cfg.scheme = scheme;
         cfg.batch.gpus = self.gpus;
         cfg.batch.max_batch = self.max_batch;
         cfg.batch.window_ms = self.window_ms;
@@ -84,6 +96,8 @@ impl SweepConfig {
 pub struct SweepRow {
     /// Fault-profile name.
     pub profile: String,
+    /// Detection-scheme label ([`ServeScheme::label`]).
+    pub scheme: String,
     /// Streams that requested service.
     pub streams: usize,
     /// Whether the scheduler batched (false = singleton dispatch).
@@ -127,10 +141,17 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
-    fn from_report(profile: &str, streams: usize, batched: bool, r: &FleetReport) -> Self {
+    fn from_report(
+        profile: &str,
+        scheme: ServeScheme,
+        streams: usize,
+        batched: bool,
+        r: &FleetReport,
+    ) -> Self {
         let p = r.cycle_ms.percentiles();
         Self {
             profile: profile.to_string(),
+            scheme: scheme.label().to_string(),
             streams,
             batched,
             admitted: r.admitted,
@@ -156,21 +177,28 @@ impl SweepRow {
 }
 
 /// Runs every sweep cell, fanned out over `exec` and scattered back in
-/// cell-index order. Cell order is `profiles × stream_counts × {batched,
-/// unbatched}` — row order (and therefore rendered bytes) is independent
-/// of the executor's job count.
+/// cell-index order. Cell order is `profiles × schemes × stream_counts ×
+/// {batched, unbatched}` — row order (and therefore rendered bytes) is
+/// independent of the executor's job count.
 pub fn run_sweep(cfg: &SweepConfig, exec: &Executor) -> Vec<SweepRow> {
-    let mut cells: Vec<(String, FaultProfile, usize, bool)> = Vec::new();
+    let mut cells: Vec<(String, FaultProfile, ServeScheme, usize, bool)> = Vec::new();
+    let schemes: &[ServeScheme] = if cfg.schemes.is_empty() {
+        &[ServeScheme::Mpdt]
+    } else {
+        &cfg.schemes
+    };
     for (name, profile) in &cfg.profiles {
-        for &n in &cfg.stream_counts {
-            for batched in [true, false] {
-                cells.push((name.clone(), profile.clone(), n, batched));
+        for &scheme in schemes {
+            for &n in &cfg.stream_counts {
+                for batched in [true, false] {
+                    cells.push((name.clone(), profile.clone(), scheme, n, batched));
+                }
             }
         }
     }
-    exec.map(&cells, |_, (name, profile, n, batched)| {
-        let report = run_fleet(&cfg.cell(profile, *n, *batched));
-        SweepRow::from_report(name, *n, *batched, &report)
+    exec.map(&cells, |_, (name, profile, scheme, n, batched)| {
+        let report = run_fleet(&cfg.cell(profile, *scheme, *n, *batched));
+        SweepRow::from_report(name, *scheme, *n, *batched, &report)
     })
 }
 
@@ -183,15 +211,16 @@ fn fmt(v: f64) -> String {
 /// Renders sweep rows as CSV (header + one line per cell).
 pub fn sweep_csv(rows: &[SweepRow]) -> String {
     let mut out = String::from(
-        "profile,streams,batched,admitted,cycles,detections,throughput_dps,\
+        "profile,scheme,streams,batched,admitted,cycles,detections,throughput_dps,\
          degraded,retries,shed,batches,mean_batch_size,closed_on_size,\
          gpu_utilization,p50_ms,p90_ms,p99_ms,gold_violation_rate,\
          silver_violation_rate,bronze_violation_rate,horizon_ms\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.profile,
+            r.scheme,
             r.streams,
             r.batched,
             r.admitted,
@@ -223,7 +252,8 @@ pub fn sweep_json(rows: &[SweepRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"profile\": \"{}\", \"streams\": {}, \"batched\": {}, \
+            "  {{\"profile\": \"{}\", \"scheme\": \"{}\", \"streams\": {}, \
+             \"batched\": {}, \
              \"admitted\": {}, \"cycles\": {}, \"detections\": {}, \
              \"throughput_dps\": {}, \"degraded\": {}, \"retries\": {}, \
              \"shed\": {}, \"batches\": {}, \"mean_batch_size\": {}, \
@@ -232,6 +262,7 @@ pub fn sweep_json(rows: &[SweepRow]) -> String {
              \"gold_violation_rate\": {}, \"silver_violation_rate\": {}, \
              \"bronze_violation_rate\": {}, \"horizon_ms\": {}}}{}\n",
             r.profile,
+            r.scheme,
             r.streams,
             r.batched,
             r.admitted,
@@ -263,8 +294,9 @@ pub fn sweep_json(rows: &[SweepRow]) -> String {
 pub fn sweep_text(rows: &[SweepRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:>7} {:>9} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}\n",
+        "{:<10} {:<8} {:>7} {:>9} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}\n",
         "profile",
+        "scheme",
         "streams",
         "batched",
         "admitted",
@@ -280,8 +312,9 @@ pub fn sweep_text(rows: &[SweepRow]) -> String {
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:>7} {:>9} {:>8} {:>8.2} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>7.2} {:>7.2} {:>7.2}\n",
+            "{:<10} {:<8} {:>7} {:>9} {:>8} {:>8.2} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>7.2} {:>7.2} {:>7.2}\n",
             r.profile,
+            r.scheme,
             r.streams,
             r.batched,
             r.admitted,

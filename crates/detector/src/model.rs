@@ -15,6 +15,14 @@
 //! Independently, spurious **false positives** appear at a size-dependent
 //! Poisson rate. Latency is the setting's base latency plus a small
 //! per-object cost and deterministic jitter.
+//!
+//! Each detection carries a **confidence** in `(0, 1]`: the per-object
+//! detection probability (object scale × setting recall profile) decayed
+//! by a motion-blur penalty in the object's screen speed, times a small
+//! seeded noise factor — so confidence is a deterministic function of
+//! `(seed, frame, setting, object)` exactly like every other draw. The
+//! cascade scheme gates its full detector on it, and the CTD scheme seeds
+//! its tracker-confidence decay from it.
 
 use crate::settings::ModelSetting;
 use adavp_video::clip::Frame;
@@ -53,6 +61,28 @@ pub struct DetectionResult {
 pub trait Detector {
     /// Detects objects in `frame` using `setting`.
     fn detect(&mut self, frame: &Frame, setting: ModelSetting) -> DetectionResult;
+
+    /// Detects objects restricted to `region` (frame coordinates).
+    ///
+    /// The contract cascaded pipelines rely on: the returned detections are
+    /// exactly the full-frame detections whose centers fall inside `region`
+    /// — a *subset* of [`Detector::detect`] on the same frame, drawn from
+    /// the same seeded noise, so running the detector on a region never
+    /// invents boxes a full pass would not have produced. The reported
+    /// `latency_ms` is still the full-frame cost; callers charge the
+    /// proportionally reduced cost via
+    /// `adavp_core::latency::region_scaled_ms` (the latency model is the
+    /// pipeline layer's concern, not the error model's).
+    fn detect_region(
+        &mut self,
+        frame: &Frame,
+        setting: ModelSetting,
+        region: &BoundingBox,
+    ) -> DetectionResult {
+        let mut result = self.detect(frame, setting);
+        result.detections.retain(|d| region.contains(d.bbox.center()));
+        result
+    }
 }
 
 /// Error-model knobs for [`SimulatedDetector`]. The defaults are calibrated
@@ -169,6 +199,12 @@ fn profile(setting: ModelSetting) -> ErrorProfile {
     }
 }
 
+/// Per-px/frame confidence decay from exposure motion blur: an object
+/// moving 8 px/frame loses about half its confidence relative to a static
+/// one, roughly matching how the renderer's exposure blur washes out
+/// texture at that speed.
+const MOTION_BLUR_RATE: f32 = 0.125;
+
 /// The simulated YOLOv3. See the module docs.
 ///
 /// Detection output is a pure function of
@@ -271,7 +307,14 @@ impl Detector for SimulatedDetector {
                 continue;
             }
 
-            let confidence = (p_det * (0.85 + 0.15 * rng.gen::<f32>())).clamp(0.05, 1.0);
+            // Confidence: the detection probability already folds in object
+            // scale (area vs area0) and the setting (recall cap), so it is
+            // the natural backbone; fast-moving objects smear across the
+            // exposure, so a motion-blur penalty decays confidence with the
+            // object's screen speed (px/frame). The residual noise comes
+            // from the same per-object seeded stream as every other draw.
+            let blur = 1.0 / (1.0 + MOTION_BLUR_RATE * gt.speed);
+            let confidence = (p_det * blur * (0.85 + 0.15 * rng.gen::<f32>())).clamp(0.05, 1.0);
             detections.push(Detection {
                 class,
                 bbox,
@@ -442,6 +485,61 @@ mod tests {
                     assert!(d.confidence > 0.0 && d.confidence <= 1.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn confidence_is_deterministic_and_decays_with_speed() {
+        let clip = test_clip(6);
+        let mut det = SimulatedDetector::new(DetectorConfig::default());
+        let a = det.detect(clip.frame(2), ModelSetting::Yolo512);
+        let b = det.detect(clip.frame(2), ModelSetting::Yolo512);
+        assert_eq!(a, b, "confidence draws must replay");
+        // Same object, same noise, different speed: confidence must not
+        // increase with speed (the blur term is monotone decreasing).
+        let mut frame = clip.frame(2).clone();
+        for gt in &mut frame.ground_truth {
+            gt.speed += 6.0;
+        }
+        let fast = det.detect(&frame, ModelSetting::Yolo512);
+        let conf = |r: &DetectionResult| -> Vec<f32> {
+            r.detections.iter().map(|d| d.confidence).collect()
+        };
+        // Detection/miss draws ignore speed, so the same objects survive.
+        assert_eq!(fast.detections.len(), a.detections.len());
+        for (f, s) in conf(&fast).iter().zip(conf(&a).iter()) {
+            assert!(f <= s, "faster object more confident: {f} > {s}");
+        }
+        assert!(
+            conf(&fast).iter().zip(conf(&a).iter()).any(|(f, s)| f < s),
+            "a +6 px/frame speed bump must visibly blur something"
+        );
+    }
+
+    #[test]
+    fn region_detections_are_a_subset_of_the_full_pass() {
+        let clip = test_clip(8);
+        let mut det = SimulatedDetector::new(DetectorConfig::default());
+        let region = BoundingBox::new(40.0, 30.0, 160.0, 100.0);
+        for f in &clip {
+            let full = det.detect(f, ModelSetting::Yolo512);
+            let restricted = det.detect_region(f, ModelSetting::Yolo512, &region);
+            assert_eq!(restricted.latency_ms, full.latency_ms);
+            assert_eq!(restricted.setting, full.setting);
+            for d in &restricted.detections {
+                assert!(region.contains(d.bbox.center()));
+                assert!(
+                    full.detections.contains(d),
+                    "region pass invented a box: {d:?}"
+                );
+            }
+            // Exactness: everything the full pass put in the region is kept.
+            let expected = full
+                .detections
+                .iter()
+                .filter(|d| region.contains(d.bbox.center()))
+                .count();
+            assert_eq!(restricted.detections.len(), expected);
         }
     }
 

@@ -30,6 +30,10 @@ pub struct GroundTruthObject {
     pub bbox: BoundingBox,
     /// Fraction of the object's full box that is on screen, in `(0, 1]`.
     pub visible_fraction: f32,
+    /// Screen-space speed relative to the camera, in px/frame — the motion
+    /// the tracker (and the detector's motion-blur confidence penalty)
+    /// actually sees.
+    pub speed: f32,
 }
 
 /// One captured frame: pixels plus ground truth.
@@ -191,6 +195,7 @@ impl<'a> IntoIterator for &'a VideoClip {
 fn extract_ground_truth(world: &World) -> Vec<GroundTruthObject> {
     let w = world.spec().width as f32;
     let h = world.spec().height as f32;
+    let fps = world.spec().fps.max(1.0);
     world
         .observe()
         .iter()
@@ -208,6 +213,7 @@ fn extract_ground_truth(world: &World) -> Vec<GroundTruthObject> {
                     class: obs.class,
                     bbox: clipped,
                     visible_fraction: fraction,
+                    speed: obs.screen_velocity.norm() / fps,
                 })
             } else {
                 None
@@ -274,6 +280,23 @@ mod tests {
                 assert!(gt.bbox.area() >= MIN_VISIBLE_AREA);
             }
         }
+    }
+
+    #[test]
+    fn ground_truth_speed_is_screen_relative_px_per_frame() {
+        let spec = small_spec(Scenario::Highway);
+        let clip = VideoClip::generate("v", &spec, 3, 30);
+        let mut max_speed = 0.0f32;
+        for f in &clip {
+            for gt in &f.ground_truth {
+                assert!(gt.speed.is_finite() && gt.speed >= 0.0);
+                max_speed = max_speed.max(gt.speed);
+            }
+        }
+        // Highway traffic moves: some object must have visible motion.
+        assert!(max_speed > 0.1, "max speed {max_speed}");
+        // And px/frame magnitudes stay plausible for the rendered scale.
+        assert!(max_speed < 100.0, "max speed {max_speed}");
     }
 
     #[test]

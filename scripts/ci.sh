@@ -25,6 +25,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fault conformance suite (DESIGN.md §11 degradation policies)"
 cargo test -q --test fault_conformance
 
+echo "== scheme conformance suite (DESIGN.md §16 cascade gating + CTD trigger)"
+cargo test -q --test scheme_conformance
+
 echo "== serve determinism suite (DESIGN.md §15 fleet serving)"
 cargo test -q --test serve_determinism
 
@@ -46,7 +49,7 @@ if [ "${1:-}" != "--no-bench" ]; then
     cargo run --release -p adavp-bench --bin experiments_bench -- \
         --jobs 4 --out BENCH_experiments.json
 
-    echo "== fault sweep smoke (clean→stress battery, writes faults.csv/json)"
+    echo "== fault sweep smoke (clean→stress battery incl. cascade + CTD, writes faults.csv/json)"
     cargo run --release -p adavp-bench --bin experiments -- faults \
         --scale smoke --out target/ci-results
 
@@ -69,11 +72,13 @@ print(f"chrome trace OK: {len(events)} events on {len(tids)} tracks")
 EOF
     fi
 
-    echo "== serve sweep smoke (--jobs 2 vs --jobs 1 byte parity)"
+    echo "== serve sweep smoke (all three schemes, --jobs 2 vs --jobs 1 byte parity)"
     mkdir -p target/ci-results
     cargo run --release --bin adavp -- serve --streams 1,8,24 --cycles 6 --jobs 1 \
+        --schemes mpdt,cascade,ctd \
         --csv target/ci-results/serve_j1.csv --json target/ci-results/serve_j1.json
     cargo run --release --bin adavp -- serve --streams 1,8,24 --cycles 6 --jobs 2 \
+        --schemes mpdt,cascade,ctd \
         --csv target/ci-results/serve_j2.csv --json target/ci-results/serve_j2.json
     cmp target/ci-results/serve_j1.csv target/ci-results/serve_j2.csv
     cmp target/ci-results/serve_j1.json target/ci-results/serve_j2.json

@@ -15,10 +15,11 @@ use adavp::core::analysis;
 use adavp::core::eval::{evaluate_on_clip, EvalConfig, GroundTruthMode};
 use adavp::core::export::write_trace_json;
 use adavp::core::pipeline::{
-    ContinuousPipeline, DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline,
-    PipelineConfig, SettingPolicy, VideoProcessor,
+    CascadeConfig, CascadePipeline, ContinuousPipeline, CtdConfig, CtdPipeline,
+    DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
+    SettingPolicy, VideoProcessor,
 };
-use adavp::core::serve::{run_sweep, sweep_csv, sweep_json, sweep_text, SweepConfig};
+use adavp::core::serve::{run_sweep, sweep_csv, sweep_json, sweep_text, ServeScheme, SweepConfig};
 use adavp::core::telemetry::{self, report, TelemetryConfig};
 use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::video::clip::VideoClip;
@@ -40,8 +41,8 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
     (
         "serve",
         &[
-            "batch", "csv", "cycles", "gpus", "jobs", "json", "profile", "seed", "streams",
-            "window",
+            "batch", "csv", "cycles", "gpus", "jobs", "json", "profile", "schemes", "seed",
+            "streams", "window",
         ],
     ),
 ];
@@ -55,8 +56,10 @@ fn usage() -> ExitCode {
                  [--trace-out <file.json>]\n  \
          adavp trace --scenario <name> [--seed N] [--frames N] [--system <sys>] [--chrome <file.json>]\n  \
          adavp serve [--streams 1,8,64,256,1024] [--cycles N] [--gpus N] [--batch N] [--window MS]\n              \
-                 [--jobs N] [--seed N] [--profile none|brownout|both] [--csv <file>] [--json <file>]\n\n\
+                 [--jobs N] [--seed N] [--profile none|brownout|both] [--schemes mpdt,cascade,ctd]\n              \
+                 [--csv <file>] [--json <file>]\n\n\
          systems: adavp (default), mpdt-320/416/512/608, marlin-320/416/512/608,\n          \
+         cascade-320/416/512/608, ctd-320/416/512/608,\n          \
          without-tracking-512, continuous-320, continuous-608, tiny"
     );
     ExitCode::from(2)
@@ -106,6 +109,14 @@ fn build_system(name: &str, cfg: PipelineConfig) -> Option<Box<dyn VideoProcesso
         n if n.starts_with("marlin-") => {
             let s = fixed(&n[7..])?;
             Box::new(MarlinPipeline::new(det, s, cfg, MarlinConfig::default()))
+        }
+        n if n.starts_with("cascade-") => {
+            let s = fixed(&n[8..])?;
+            Box::new(CascadePipeline::new(det, s, cfg, CascadeConfig::default()))
+        }
+        n if n.starts_with("ctd-") => {
+            let s = fixed(&n[4..])?;
+            Box::new(CtdPipeline::new(det, s, cfg, CtdConfig::default()))
         }
         n if n.starts_with("without-tracking-") => {
             let s = fixed(&n[17..])?;
@@ -351,6 +362,15 @@ fn main() -> ExitCode {
             }
             if let Some(v) = flags.get("seed").and_then(|v| v.parse().ok()) {
                 sweep.seed = v;
+            }
+            if let Some(v) = flags.get("schemes") {
+                let schemes: Option<Vec<ServeScheme>> =
+                    v.split(',').map(|s| ServeScheme::parse(s.trim())).collect();
+                let Some(schemes) = schemes.filter(|s| !s.is_empty()) else {
+                    eprintln!("--schemes expects a comma-separated subset of mpdt,cascade,ctd: {v}");
+                    return ExitCode::from(2);
+                };
+                sweep.schemes = schemes;
             }
             match flags.get("profile").map(String::as_str) {
                 Some("none") => sweep.profiles.truncate(1),

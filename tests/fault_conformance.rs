@@ -9,9 +9,9 @@
 
 use adavp::core::export::trace_to_json;
 use adavp::core::pipeline::{
-    ContinuousPipeline, DegradationPolicy, DetectorFault, DetectorOnlyPipeline, FrameSource,
-    MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig, ProcessingTrace, SettingPolicy,
-    VideoProcessor,
+    CascadeConfig, CascadePipeline, ContinuousPipeline, CtdConfig, CtdPipeline, DegradationPolicy,
+    DetectorFault, DetectorOnlyPipeline, FrameSource, MarlinConfig, MarlinPipeline, MpdtPipeline,
+    PipelineConfig, ProcessingTrace, SettingPolicy, VideoProcessor,
 };
 use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::sim::fault::{FaultPlan, FaultProfile};
@@ -367,6 +367,99 @@ fn detection_targets_are_delivered_frames() {
     }
 }
 
+/// A flaky detector cannot break the cascade's coverage: refinements fail
+/// with exhausted retries, but every refining cycle falls back to
+/// proposal-only output (the reliable tiny pass) with its degraded flag
+/// set, and the next refinement steps one setting lighter.
+#[test]
+fn cascade_flaky_detector_falls_back_to_proposals() {
+    let profile = FaultProfile {
+        seed: 3,
+        detector_failure_prob: 1.0,
+        ..FaultProfile::none()
+    };
+    let c = clip(90);
+    let mut p = CascadePipeline::new(
+        det(),
+        ModelSetting::Yolo512,
+        cfg(profile),
+        CascadeConfig::default(),
+    );
+    let trace = p.process(&c);
+    assert_covered(&trace, 90);
+    let max_attempts = DegradationPolicy::default().max_detector_retries + 1;
+    let refined: Vec<_> = trace
+        .cycles
+        .iter()
+        .filter(|cy| cy.setting != ModelSetting::Tiny320)
+        .collect();
+    assert!(!refined.is_empty(), "the gate must open somewhere");
+    for cy in &refined {
+        assert!(
+            matches!(cy.fault, Some(DetectorFault::Failed { attempts }) if attempts == max_attempts),
+            "cycle {}: refinement fault {:?}",
+            cy.index,
+            cy.fault
+        );
+    }
+    assert_eq!(trace.degraded_cycle_count(), refined.len());
+    // Proposal-only fallback: the degraded cycles still publish output
+    // (and it comes from the tiny pass, whose confidences sit below the
+    // default gate, so later refinements re-fire instead of trusting it).
+    assert!(trace
+        .outputs
+        .iter()
+        .any(|o| o.source == FrameSource::Detected && !o.boxes.is_empty()));
+    // Step-down: a refinement directly after a degraded refinement runs one
+    // notch lighter than the configured 512.
+    assert!(
+        refined.iter().any(|cy| cy.setting == ModelSetting::Yolo416),
+        "persistent failures must step the refinement setting down"
+    );
+}
+
+/// CTD re-detects immediately when its tracker diverges: with the default
+/// policy on, injected divergence shortens cycles relative to the same run
+/// with the policy off, even though the confidence signal alone would never
+/// trigger.
+#[test]
+fn ctd_divergence_forces_immediate_redetection() {
+    let profile = FaultProfile {
+        seed: 29,
+        tracker_divergence_prob: 1.0,
+        ..FaultProfile::none()
+    };
+    // A confidence threshold of zero can never fire (the decayed value
+    // stays non-negative), so divergence alone decides when to re-detect.
+    let ctd = CtdConfig {
+        threshold: 0.0,
+        max_cycle_frames: 60,
+        ..CtdConfig::default()
+    };
+    let c = clip(150);
+    let run = |redetect: bool| {
+        let mut config = cfg(profile.clone());
+        config.degradation = DegradationPolicy {
+            redetect_on_divergence: redetect,
+            ..DegradationPolicy::default()
+        };
+        CtdPipeline::new(det(), ModelSetting::Yolo320, config, ctd.clone()).process(&c)
+    };
+    let with_policy = run(true);
+    let without = run(false);
+    assert_covered(&with_policy, 150);
+    assert!(
+        with_policy.diverged_cycle_count() > 0,
+        "forced divergence must be recorded"
+    );
+    assert!(
+        with_policy.cycles.len() > without.cycles.len(),
+        "divergence re-detection must shorten cycles: {} vs {}",
+        with_policy.cycles.len(),
+        without.cycles.len()
+    );
+}
+
 // ---- Tracker divergence --------------------------------------------------
 
 /// A diverging tracker truncates MPDT's tracking phase: with forced
@@ -466,6 +559,18 @@ fn stress_runs_are_byte_reproducible() {
                 ModelSetting::Yolo512,
                 config,
             )),
+            "cascade" => Box::new(CascadePipeline::new(
+                det(),
+                ModelSetting::Yolo512,
+                config,
+                CascadeConfig::default(),
+            )),
+            "ctd" => Box::new(CtdPipeline::new(
+                det(),
+                ModelSetting::Yolo512,
+                config,
+                CtdConfig::default(),
+            )),
             _ => Box::new(ContinuousPipeline::new(
                 det(),
                 ModelSetting::Yolo320,
@@ -475,7 +580,14 @@ fn stress_runs_are_byte_reproducible() {
         let trace = p.process(&c);
         (trace_to_json(&trace, None), trace)
     };
-    for label in ["mpdt", "marlin", "detector-only", "continuous"] {
+    for label in [
+        "mpdt",
+        "marlin",
+        "detector-only",
+        "continuous",
+        "cascade",
+        "ctd",
+    ] {
         let (json_a, trace_a) = mk(label);
         let (json_b, trace_b) = mk(label);
         assert_eq!(trace_a, trace_b, "{label}: traces must be identical");

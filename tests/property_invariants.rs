@@ -1,9 +1,10 @@
 //! Property-based tests (proptest) on the core data structures and on
 //! whole-pipeline invariants under randomized scenario parameters.
 
+use adavp::core::latency::{region_scaled_ms, REGION_LATENCY_FLOOR};
 use adavp::core::pipeline::{
-    DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
-    SettingPolicy, VideoProcessor,
+    CascadeConfig, CascadePipeline, ConfidenceDecay, CtdConfig, CtdPipeline, DetectorOnlyPipeline,
+    MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig, SettingPolicy, VideoProcessor,
 };
 use adavp::core::tracker::FrameSelector;
 use adavp::detector::{Detector, DetectorConfig, ModelSetting, SimulatedDetector};
@@ -172,6 +173,46 @@ proptest! {
 
     // ---- Frame selector --------------------------------------------------
 
+    // ---- Region-restricted latency ------------------------------------
+
+    #[test]
+    fn region_latency_never_exceeds_full_frame(
+        full in 0.0f64..5000.0,
+        frac in -1.0f64..2.0,
+    ) {
+        let r = region_scaled_ms(full, frac);
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= full + 1e-9, "region {r} > full {full}");
+        // The floor: even a vanishing region pays the fixed backbone cost.
+        prop_assert!(r >= REGION_LATENCY_FLOOR * full - 1e-9);
+        // Monotone in the fraction.
+        let bigger = region_scaled_ms(full, frac.max(0.0) + 0.1);
+        prop_assert!(bigger + 1e-9 >= r);
+    }
+
+    // ---- CTD confidence decay -----------------------------------------
+
+    #[test]
+    fn ctd_decay_is_monotone_for_any_step_sequence(
+        calib in prop::collection::vec(0.0f32..1.0, 0..6),
+        steps in prop::collection::vec(
+            (prop::option::of(-5.0f64..50.0), 0usize..200, 0usize..200),
+            1..60,
+        ),
+    ) {
+        let cfg = CtdConfig::default();
+        let mut d = ConfidenceDecay::new();
+        d.reset(&calib);
+        let mut prev = d.value();
+        prop_assert!((0.0..=1.0).contains(&prev));
+        for (velocity, tracked, lost) in steps {
+            let v = d.step(&cfg, velocity, tracked, lost);
+            prop_assert!(v <= prev + 1e-12, "decay increased: {v} > {prev}");
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
     #[test]
     fn selector_plan_valid_for_any_fraction(p in 0.01f64..1.5, f in 1usize..200) {
         let s = FrameSelector::new(p);
@@ -228,7 +269,7 @@ proptest! {
     #[test]
     fn pipelines_degrade_gracefully_under_any_fault_plan(
         profile in arb_fault_profile(),
-        pipeline_idx in 0usize..3,
+        pipeline_idx in 0usize..5,
         seed in 0u64..500,
         frames in 40u32..80,
     ) {
@@ -263,6 +304,18 @@ proptest! {
                 cfg,
                 MarlinConfig::default(),
             )),
+            2 => Box::new(CascadePipeline::new(
+                det,
+                ModelSetting::Yolo512,
+                cfg,
+                CascadeConfig::default(),
+            )),
+            3 => Box::new(CtdPipeline::new(
+                det,
+                ModelSetting::Yolo512,
+                cfg,
+                CtdConfig::default(),
+            )),
             _ => Box::new(DetectorOnlyPipeline::new(det, ModelSetting::Yolo512, cfg)),
         };
         let trace = p.process(&clip);
@@ -272,6 +325,12 @@ proptest! {
         for (i, o) in trace.outputs.iter().enumerate() {
             prop_assert_eq!(o.frame_index as usize, i);
             prop_assert!(o.display_ms.is_finite());
+            // Per-box confidences stay aligned and bounded whatever the
+            // fault plan did to the detections that produced them.
+            prop_assert_eq!(o.confidences.len(), o.boxes.len());
+            for &c in &o.confidences {
+                prop_assert!((0.0..=1.0).contains(&c), "confidence {c}");
+            }
         }
         // Source fractions partition the frames.
         let f = trace.source_fractions();

@@ -1,0 +1,266 @@
+//! Conformance suite for the two confidence-driven detection schemes
+//! (DESIGN.md §16): the cascaded proposal/refinement pipeline and the
+//! confidence-triggered detection (CTD) pipeline.
+//!
+//! The pins here are the scheme *semantics*, through the public API only:
+//! the cascade's gate opens iff a proposal demands the full detector, CTD
+//! re-detects on the exact step its decayed confidence crosses the
+//! threshold, and both schemes are pure functions of their configuration
+//! down to the serialized trace bytes.
+
+use adavp::core::export::trace_to_json;
+use adavp::core::pipeline::{
+    CascadeConfig, CascadePipeline, CtdConfig, CtdPipeline, FrameSource, PipelineConfig,
+    ProcessingTrace, VideoProcessor,
+};
+use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
+use adavp::video::clip::VideoClip;
+use adavp::video::scenario::Scenario;
+
+fn clip(scenario: Scenario, seed: u64, frames: u32) -> VideoClip {
+    let mut spec = scenario.spec();
+    spec.width = 240;
+    spec.height = 140;
+    spec.size_range = (20.0, 36.0);
+    VideoClip::generate("scheme-conformance", &spec, seed, frames)
+}
+
+fn det() -> SimulatedDetector {
+    SimulatedDetector::new(DetectorConfig::default())
+}
+
+fn cascade(cfg: CascadeConfig) -> CascadePipeline<SimulatedDetector> {
+    CascadePipeline::new(
+        det(),
+        ModelSetting::Yolo512,
+        PipelineConfig::default(),
+        cfg,
+    )
+}
+
+fn assert_covered(trace: &ProcessingTrace, frames: usize) {
+    assert_eq!(trace.outputs.len(), frames);
+    for (i, o) in trace.outputs.iter().enumerate() {
+        assert_eq!(o.frame_index as usize, i, "outputs must be index-aligned");
+        assert_eq!(
+            o.boxes.len(),
+            o.confidences.len(),
+            "confidences must align with boxes"
+        );
+    }
+}
+
+// ---- Cascade gating --------------------------------------------------------
+
+/// With the gate threshold above 1.0 every proposal is under-confident, so
+/// the iff becomes externally observable: a cycle refines (records the full
+/// setting) exactly when the proposal pass found anything at all — a
+/// Tiny320 cycle means the proposal list, and therefore the published
+/// output, was empty.
+#[test]
+fn cascade_always_under_confident_refines_iff_proposals_exist() {
+    let c = clip(Scenario::Highway, 41, 90);
+    let cfg = CascadeConfig {
+        confidence_threshold: 1.1,
+        ..CascadeConfig::default()
+    };
+    let trace = cascade(cfg).process(&c);
+    assert_covered(&trace, 90);
+    assert!(
+        trace
+            .cycles
+            .iter()
+            .any(|cy| cy.setting == ModelSetting::Yolo512),
+        "highway proposals must open the gate somewhere"
+    );
+    for cy in &trace.cycles {
+        let out = &trace.outputs[cy.detected_frame as usize];
+        match cy.setting {
+            // Gate closed ⇔ nothing proposed ⇔ nothing published.
+            ModelSetting::Tiny320 => assert!(
+                out.boxes.is_empty(),
+                "cycle {}: tiny cycle with published boxes under a >1.0 gate",
+                cy.index
+            ),
+            ModelSetting::Yolo512 => {}
+            other => panic!("cycle {}: unexpected setting {other}", cy.index),
+        }
+        if !out.boxes.is_empty() {
+            assert_eq!(
+                cy.setting,
+                ModelSetting::Yolo512,
+                "cycle {}: published boxes demand a refinement under a >1.0 gate",
+                cy.index
+            );
+        }
+    }
+}
+
+/// With the confidence gate disabled (threshold 0.0) and the novelty bar at
+/// IoU >= 0.0 — which any box pair satisfies — only an *empty* published
+/// set can make a proposal novel. So refinements beyond the bootstrap cycle
+/// happen exactly when the previous cycle published nothing.
+#[test]
+fn cascade_confident_proposals_keep_the_gate_closed() {
+    let c = clip(Scenario::Highway, 41, 90);
+    let cfg = CascadeConfig {
+        confidence_threshold: 0.0,
+        novel_iou: 0.0,
+        ..CascadeConfig::default()
+    };
+    let trace = cascade(cfg).process(&c);
+    assert_covered(&trace, 90);
+    for w in trace.cycles.windows(2) {
+        let prev_out = &trace.outputs[w[0].detected_frame as usize];
+        if w[1].setting == ModelSetting::Yolo512 {
+            assert!(
+                prev_out.boxes.is_empty(),
+                "cycle {}: refined although cycle {} published {} boxes",
+                w[1].index,
+                w[0].index,
+                prev_out.boxes.len()
+            );
+        } else if prev_out.boxes.is_empty() {
+            // Gate stayed closed with nothing published: the proposal pass
+            // itself must have been empty, so nothing is published now.
+            assert!(
+                trace.outputs[w[1].detected_frame as usize].boxes.is_empty(),
+                "cycle {}: unrefined novel proposals",
+                w[1].index
+            );
+        }
+    }
+}
+
+/// Gate-closed cycles cost one tiny pass; refinements never cost more than
+/// a tiny pass plus a full-frame detection. Region restriction can only
+/// shrink the second term.
+#[test]
+fn cascade_cycle_costs_are_bounded_by_their_passes() {
+    let c = clip(Scenario::Highway, 41, 120);
+    let trace = cascade(CascadeConfig::default()).process(&c);
+    let tiny = ModelSetting::Tiny320.base_latency_ms();
+    let full = ModelSetting::Yolo512.base_latency_ms();
+    for cy in &trace.cycles {
+        let ms = cy.end_ms - cy.start_ms;
+        match cy.setting {
+            ModelSetting::Tiny320 => assert!(
+                ms < 0.5 * full,
+                "cycle {}: gate-closed cycle took {ms:.1} ms",
+                cy.index
+            ),
+            _ => assert!(
+                ms < 1.5 * (tiny + full),
+                "cycle {}: refinement took {ms:.1} ms, more than both passes",
+                cy.index
+            ),
+        }
+    }
+}
+
+// ---- CTD trigger timing ----------------------------------------------------
+
+/// With both decay penalties zeroed the trigger time is closed-form: a
+/// cycle calibrated to mean confidence c₀ tracks exactly the smallest
+/// k ≥ 1 with c₀·dᵏ < θ steps before re-detecting (the tracking loop
+/// always takes one step before consulting the trigger). Every non-final
+/// cycle of a static scene must hit that k on the nose.
+#[test]
+fn ctd_triggers_on_the_exact_predicted_step() {
+    let ctd_cfg = CtdConfig {
+        base_decay: 0.9,
+        velocity_penalty: 0.0,
+        loss_penalty: 0.0,
+        threshold: 0.2,
+        max_cycle_frames: 10_000,
+    };
+    let c = clip(Scenario::MeetingRoom, 11, 160);
+    let mut p = CtdPipeline::new(det(), ModelSetting::Yolo512, PipelineConfig::default(), ctd_cfg);
+    let trace = p.process(&c);
+    assert_covered(&trace, 160);
+    assert!(trace.cycles.len() >= 2, "need at least one full cycle");
+    for cy in &trace.cycles[..trace.cycles.len() - 1] {
+        let out = &trace.outputs[cy.detected_frame as usize];
+        assert_eq!(out.source, FrameSource::Detected);
+        let c0 = if out.confidences.is_empty() {
+            1.0
+        } else {
+            out.confidences.iter().map(|&x| x as f64).sum::<f64>() / out.confidences.len() as f64
+        };
+        let mut k = 0u32;
+        let mut v = c0;
+        while v >= 0.2 {
+            v *= 0.9;
+            k += 1;
+            assert!(k < 1000, "closed form never crossed the threshold");
+        }
+        assert_eq!(
+            cy.tracked,
+            k.max(1),
+            "cycle {}: calibrated at {c0:.4}, predicted {k} tracking steps",
+            cy.index
+        );
+    }
+}
+
+/// While the confidence sits above the threshold the detector must stay
+/// idle: a confident calibration buys a strictly positive tracking phase,
+/// so consecutive detections are never back-to-back.
+#[test]
+fn ctd_never_redetects_while_confident() {
+    let c = clip(Scenario::MeetingRoom, 11, 160);
+    let mut p = CtdPipeline::new(
+        det(),
+        ModelSetting::Yolo512,
+        PipelineConfig::default(),
+        CtdConfig::default(),
+    );
+    let trace = p.process(&c);
+    assert_covered(&trace, 160);
+    for cy in &trace.cycles[..trace.cycles.len().saturating_sub(1)] {
+        assert!(
+            cy.tracked >= 1,
+            "cycle {}: re-detected without a single tracking step",
+            cy.index
+        );
+    }
+    // The calibrated confidence of a 512 detection on a static scene sits
+    // well above the default threshold, so cycles must be long: strictly
+    // fewer detections than a quarter of the frames.
+    assert!(
+        trace.cycles.len() * 4 < 160,
+        "{} cycles over 160 frames is not confidence-triggered behavior",
+        trace.cycles.len()
+    );
+}
+
+// ---- Byte reproducibility --------------------------------------------------
+
+/// Both schemes are pure functions of (clip, config): fresh pipeline
+/// instances over the same inputs serialize to identical bytes.
+#[test]
+fn both_schemes_are_byte_reproducible() {
+    let c = clip(Scenario::Highway, 41, 90);
+    let run_cascade = || {
+        let trace = cascade(CascadeConfig::default()).process(&c);
+        (trace_to_json(&trace, None), trace)
+    };
+    let run_ctd = || {
+        let mut p = CtdPipeline::new(
+            det(),
+            ModelSetting::Yolo512,
+            PipelineConfig::default(),
+            CtdConfig::default(),
+        );
+        let trace = p.process(&c);
+        (trace_to_json(&trace, None), trace)
+    };
+    let (ja, ta) = run_cascade();
+    let (jb, tb) = run_cascade();
+    assert_eq!(ta, tb, "cascade traces must be identical");
+    assert_eq!(ja, jb, "cascade bytes must be identical");
+    let (ja, ta) = run_ctd();
+    let (jb, tb) = run_ctd();
+    assert_eq!(ta, tb, "CTD traces must be identical");
+    assert_eq!(ja, jb, "CTD bytes must be identical");
+}

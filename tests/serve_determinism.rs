@@ -9,7 +9,7 @@
 use adavp::core::serve::stream::{DetectionRequest, SloClass};
 use adavp::core::serve::{
     run_fleet, run_sweep, sweep_csv, sweep_json, BatchConfig, BatchScheduler, ServeConfig,
-    SweepConfig,
+    ServeScheme, SweepConfig,
 };
 use adavp::sim::{FaultPlan, FaultProfile, SimTime};
 use adavp::vision::exec::Executor;
@@ -47,6 +47,52 @@ fn serve_sweep_bytes_identical_across_jobs() {
     // And the sweep is reproducible run-to-run, not just across executors.
     let again = run_sweep(&cfg, &Executor::new(4));
     assert_eq!(rows_4, again);
+}
+
+/// The scheme axis rides the same byte-identity contract: a sweep over all
+/// three serving schemes renders identical CSV/JSON for 1 worker and 4,
+/// every scheme appears in the grid, and the schemes genuinely differ
+/// (otherwise the axis pins nothing).
+#[test]
+fn scheme_axis_is_deterministic_and_distinct() {
+    let cfg = SweepConfig {
+        stream_counts: vec![4, 12],
+        cycles: 6,
+        schemes: vec![ServeScheme::Mpdt, ServeScheme::Cascade, ServeScheme::Ctd],
+        ..SweepConfig::default()
+    };
+    let rows_1 = run_sweep(&cfg, &Executor::new(1));
+    let rows_4 = run_sweep(&cfg, &Executor::new(4));
+    assert_eq!(rows_1, rows_4, "scheme sweep rows differ across jobs");
+    assert_eq!(
+        sweep_csv(&rows_1).into_bytes(),
+        sweep_csv(&rows_4).into_bytes(),
+        "scheme sweep CSV bytes differ across jobs"
+    );
+    assert_eq!(
+        sweep_json(&rows_1).into_bytes(),
+        sweep_json(&rows_4).into_bytes(),
+        "scheme sweep JSON bytes differ across jobs"
+    );
+    for scheme in ServeScheme::ALL {
+        assert!(
+            rows_1.iter().any(|r| r.scheme == scheme.label()),
+            "scheme {} missing from the grid",
+            scheme.label()
+        );
+    }
+    // Schemes must change the outcome, not just the label: on the
+    // fault-free profile the cascade's gated refinement and CTD's longer
+    // cycles shift throughput relative to MPDT.
+    let dps = |scheme: &str| -> Vec<f64> {
+        rows_1
+            .iter()
+            .filter(|r| r.profile == "none" && r.scheme == scheme)
+            .map(|r| r.throughput_dps)
+            .collect()
+    };
+    assert_ne!(dps("mpdt"), dps("cascade"), "cascade behaves like mpdt");
+    assert_ne!(dps("mpdt"), dps("ctd"), "ctd behaves like mpdt");
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! `bench-diff`: the bench regression gate.
+//!
+//! ```text
+//! bench-diff [--baseline-serve FILE --fresh-serve FILE]
+//!            [--baseline-kernels FILE --fresh-kernels FILE]
+//!            [--tolerance 0.10]
+//! ```
+//!
+//! Compares freshly generated `BENCH_serve.json` / `BENCH_kernels.json`
+//! against committed baselines and exits nonzero when any shared metric
+//! regressed beyond the tolerance (default 10%): latency-style metrics by
+//! growing, throughput-style metrics by shrinking. Metrics present on only
+//! one side (schema growth) are skipped. Exit codes: 0 clean, 1 regression,
+//! 2 usage or unreadable/unparsable input.
+
+use adavp_bench::diff::{compare, kernel_metrics, parse_json, serve_metrics, Metric, Value};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-diff [--baseline-serve FILE --fresh-serve FILE]\n                  \
+         [--baseline-kernels FILE --fresh-kernels FILE] [--tolerance RATIO]\n\
+         at least one baseline/fresh pair is required; tolerance defaults to 0.10"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_serve = None;
+    let mut fresh_serve = None;
+    let mut baseline_kernels = None;
+    let mut fresh_kernels = None;
+    let mut tolerance = 0.10f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {a}");
+            return usage();
+        };
+        match a.as_str() {
+            "--baseline-serve" => baseline_serve = Some(value.clone()),
+            "--fresh-serve" => fresh_serve = Some(value.clone()),
+            "--baseline-kernels" => baseline_kernels = Some(value.clone()),
+            "--fresh-kernels" => fresh_kernels = Some(value.clone()),
+            "--tolerance" => match value.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance expects a finite non-negative ratio: {value}");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown flag: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let mut pairs: Vec<(&str, String, String)> = Vec::new();
+    match (baseline_serve, fresh_serve) {
+        (Some(b), Some(f)) => pairs.push(("serve", b, f)),
+        (None, None) => {}
+        _ => {
+            eprintln!("--baseline-serve and --fresh-serve must be given together");
+            return usage();
+        }
+    }
+    match (baseline_kernels, fresh_kernels) {
+        (Some(b), Some(f)) => pairs.push(("kernels", b, f)),
+        (None, None) => {}
+        _ => {
+            eprintln!("--baseline-kernels and --fresh-kernels must be given together");
+            return usage();
+        }
+    }
+    if pairs.is_empty() {
+        return usage();
+    }
+
+    let mut regressed = false;
+    for (kind, baseline_path, fresh_path) in pairs {
+        let (baseline_doc, fresh_doc) = match (load(&baseline_path), load(&fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench-diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let extract: fn(&Value) -> Vec<Metric> = match kind {
+            "serve" => serve_metrics,
+            _ => kernel_metrics,
+        };
+        let report = compare(&extract(&baseline_doc), &extract(&fresh_doc), tolerance);
+        println!(
+            "== {kind}: {} vs {} ==\n{}",
+            baseline_path,
+            fresh_path,
+            report.render(tolerance)
+        );
+        regressed |= report.regressed();
+    }
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod ablations;
 pub mod context;
+pub mod diff;
 pub mod faults;
 pub mod figures;
 pub mod report;

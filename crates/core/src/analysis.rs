@@ -217,6 +217,7 @@ mod tests {
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
             telemetry: Default::default(),
+            metrics: Default::default(),
         }
     }
 
@@ -292,6 +293,7 @@ mod tests {
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
             telemetry: Default::default(),
+            metrics: Default::default(),
         };
         let s = analyze(&t);
         assert_eq!(s.cycles, 0);

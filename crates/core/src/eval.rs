@@ -198,6 +198,7 @@ mod tests {
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
             telemetry: Default::default(),
+            metrics: Default::default(),
         };
         let scores = score_trace(&trace, &gt, 0.5);
         assert!(scores.iter().all(|&s| s == 1.0));

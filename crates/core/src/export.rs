@@ -298,6 +298,7 @@ mod tests {
             gpu_busy_ms: 390.0,
             cpu_busy_ms: 43.0,
             telemetry: Default::default(),
+            metrics: Default::default(),
         }
     }
 

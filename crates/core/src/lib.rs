@@ -30,6 +30,10 @@
 //! * [`telemetry`] — deterministic sim-time span tracing (GPU / CPU /
 //!   camera tracks), exact-percentile latency histograms, Chrome
 //!   trace-event export, and text flame reports.
+//! * [`metrics`] — deterministic sim-time metrics: a typed registry of
+//!   counters/gauges/mergeable histograms with static label sets, sampled
+//!   time-series, SLO error budgets with burn-rate alerts, Prometheus
+//!   text exposition, and a JSON snapshot.
 //! * [`rt`] — a real multithreaded runtime (frame buffer + locks + events,
 //!   §IV-B "implementation") demonstrating the concurrency design with
 //!   actual threads.
@@ -64,6 +68,7 @@ pub mod analysis;
 pub mod eval;
 pub mod export;
 pub mod latency;
+pub mod metrics;
 pub mod pipeline;
 pub mod rt;
 pub mod serve;

@@ -1,0 +1,508 @@
+//! Deterministic, sim-time metrics: a typed registry of counters, gauges,
+//! and mergeable histograms, sampled time-series, and SLO error budgets.
+//!
+//! The fleet layer (DESIGN.md §15) only reported end-of-run aggregates;
+//! saturation, brownouts, and admission decisions were invisible while
+//! they happened. This module is the signal surface that fixes that — and
+//! the one a contention-aware adapter (ROADMAP item 3) will read.
+//!
+//! # Determinism contract
+//!
+//! Metrics obey the same byte-reproducibility rules as the sweep renderers
+//! (DESIGN.md §13, §17):
+//!
+//! * Every metric lives under a **static label set** — label keys are
+//!   fixed at the call site (`stream`, `class`, `gpu`, `scheme`, …), label
+//!   values come from configuration, never from host state.
+//! * The registry stores metrics in a [`std::collections::BTreeMap`], so
+//!   iteration (and therefore the Prometheus exposition and JSON snapshot
+//!   in [`expo`]) is ordered by `(name, labels)` regardless of insertion
+//!   order.
+//! * Timestamps are **virtual sim time**; time-series are sampled on a
+//!   fixed cadence inside the single-threaded fleet event loop, so the
+//!   sampled points are a pure function of the serve configuration and
+//!   byte-identical across `--jobs` counts.
+//! * Histograms are the sample-preserving [`Histogram`] — per-stream
+//!   histograms merge into fleet/class rollups via [`Histogram::merge`]
+//!   with exact, order-independent percentiles.
+//!
+//! No I/O happens anywhere in this module: renderers return `String`s and
+//! callers (the CLI, CI scripts) decide where bytes go.
+
+pub mod expo;
+pub mod names;
+pub mod report;
+pub mod slo;
+
+pub use expo::{json_snapshot, prometheus_text};
+pub use slo::{BudgetCrossing, SloTracker, BURN_ALERT_THRESHOLDS};
+
+use crate::telemetry::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metrics switch carried by pipeline and serve configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsConfig {
+    /// Master switch. Off (the default) records nothing and keeps every
+    /// report bit-identical to pre-metrics behavior.
+    pub enabled: bool,
+    /// Sim-time sampling cadence for fleet time-series (ms). Gauges are
+    /// sampled at `t = k × cadence_ms` inside the fleet event loop.
+    pub cadence_ms: f64,
+    /// Record per-stream counter/gauge series in addition to the class
+    /// rollups. Off by default: per-stream labels multiply cardinality by
+    /// the fleet size (see DESIGN.md §17 label-cardinality rules).
+    pub per_stream: bool,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            cadence_ms: 500.0,
+            per_stream: false,
+        }
+    }
+}
+
+impl MetricsConfig {
+    /// Recording enabled at the default cadence, class rollups only.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// An ordered, de-duplicated set of label key/value pairs.
+///
+/// Construction sorts by key, which fixes the rendered order (`a="x",b="y"`)
+/// independently of call-site argument order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct LabelSet(Vec<(String, String)>);
+
+impl LabelSet {
+    /// The empty label set.
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Builds a label set from key/value pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate keys — a metric cannot carry the same label
+    /// twice.
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        for w in v.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate label key {:?}", w[0].0);
+        }
+        Self(v)
+    }
+
+    /// Returns this set extended with additional pairs (used to stamp
+    /// sweep-cell identity onto a cell's registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an added key already exists.
+    pub fn with(&self, pairs: &[(&str, &str)]) -> Self {
+        let mut v = self.0.clone();
+        for (k, val) in pairs {
+            v.push((k.to_string(), val.to_string()));
+        }
+        v.sort();
+        for w in v.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate label key {:?}", w[0].0);
+        }
+        Self(v)
+    }
+
+    /// The pairs, sorted by key.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    /// The value of one label key, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The value of one registered metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// A point-in-time measurement.
+    Gauge(f64),
+    /// A sample-preserving distribution ([`Histogram`]).
+    Hist(Histogram),
+}
+
+/// One sampled time-series point: virtual time and value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Virtual sample time (ms).
+    pub t_ms: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A gauge sampled on the fleet cadence into a series of points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Metric name.
+    pub name: String,
+    /// Static labels.
+    pub labels: LabelSet,
+    /// Points in sampling order (strictly increasing `t_ms`).
+    pub points: Vec<SamplePoint>,
+}
+
+/// A typed, label-addressed metrics registry.
+///
+/// Metrics are keyed by `(name, labels)` in a `BTreeMap`, so every view of
+/// the registry — exposition, snapshot, reports — iterates in one fixed
+/// order. Kind mismatches (a counter re-registered as a gauge) panic:
+/// metric names are a static vocabulary, not dynamic data.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<(String, LabelSet), MetricValue>,
+    help: BTreeMap<String, String>,
+    series: Vec<TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.series.is_empty()
+    }
+
+    /// Number of registered `(name, labels)` metrics (series not counted).
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    fn register_help(&mut self, name: &str, help: &str) {
+        self.help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, help: &str, labels: LabelSet, delta: u64) {
+        self.register_help(name, help);
+        match self
+            .metrics
+            .entry((name.to_string(), labels))
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("{name} already registered as {other:?}, not a counter"),
+        }
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn set_gauge(&mut self, name: &str, help: &str, labels: LabelSet, value: f64) {
+        self.register_help(name, help);
+        match self
+            .metrics
+            .entry((name.to_string(), labels))
+            .or_insert(MetricValue::Gauge(value))
+        {
+            MetricValue::Gauge(g) => *g = value,
+            other => panic!("{name} already registered as {other:?}, not a gauge"),
+        }
+    }
+
+    /// Merges a histogram into the registered one (creating an empty twin
+    /// with the same edges first). Uses [`Histogram::merge`], so rollups
+    /// keep exact percentiles regardless of merge order.
+    pub fn observe_hist(&mut self, name: &str, help: &str, labels: LabelSet, h: &Histogram) {
+        self.register_help(name, help);
+        match self
+            .metrics
+            .entry((name.to_string(), labels))
+            .or_insert_with(|| MetricValue::Hist(Histogram::with_edges(h.edges())))
+        {
+            MetricValue::Hist(existing) => existing.merge(h),
+            other => panic!("{name} already registered as {other:?}, not a histogram"),
+        }
+    }
+
+    /// Appends one sampled point to a gauge time-series, creating the
+    /// series on first sample. Series order is first-sample order, which
+    /// is deterministic inside the single-threaded fleet loop.
+    pub fn sample(&mut self, name: &str, help: &str, labels: LabelSet, t_ms: f64, value: f64) {
+        self.register_help(name, help);
+        match self
+            .series
+            .iter_mut()
+            .find(|s| s.name == name && s.labels == labels)
+        {
+            Some(s) => s.points.push(SamplePoint { t_ms, value }),
+            None => self.series.push(TimeSeries {
+                name: name.to_string(),
+                labels,
+                points: vec![SamplePoint { t_ms, value }],
+            }),
+        }
+    }
+
+    /// Looks up one metric value.
+    pub fn get(&self, name: &str, labels: &LabelSet) -> Option<&MetricValue> {
+        self.metrics.get(&(name.to_string(), labels.clone()))
+    }
+
+    /// A counter's value (0 when absent). Panics if registered as another
+    /// kind.
+    pub fn counter(&self, name: &str, labels: &LabelSet) -> u64 {
+        match self.get(name, labels) {
+            None => 0,
+            Some(MetricValue::Counter(c)) => *c,
+            Some(other) => panic!("{name} is {other:?}, not a counter"),
+        }
+    }
+
+    /// A gauge's value, if present. Panics if registered as another kind.
+    pub fn gauge(&self, name: &str, labels: &LabelSet) -> Option<f64> {
+        match self.get(name, labels) {
+            None => None,
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            Some(other) => panic!("{name} is {other:?}, not a gauge"),
+        }
+    }
+
+    /// Help text registered for a metric name.
+    pub fn help(&self, name: &str) -> Option<&str> {
+        self.help.get(name).map(String::as_str)
+    }
+
+    /// Iterates metrics in `(name, labels)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &LabelSet, &MetricValue)> {
+        self.metrics
+            .iter()
+            .map(|((name, labels), v)| (name.as_str(), labels, v))
+    }
+
+    /// The sampled time-series, in first-sample order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Finds one time-series by name and an exact label subset match on
+    /// the given pairs (every given pair must be present in the series'
+    /// labels).
+    pub fn find_series(&self, name: &str, pairs: &[(&str, &str)]) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| {
+            s.name == name && pairs.iter().all(|(k, v)| s.labels.get(k) == Some(*v))
+        })
+    }
+
+    /// Folds another registry in: counters add, gauges take the other's
+    /// value, histograms merge, series append. Intended for combining
+    /// registries whose label sets are disjoint (e.g. sweep cells stamped
+    /// with their cell identity via [`MetricsRegistry::relabeled`]); on
+    /// overlapping keys the stated per-kind rule applies.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, help) in &other.help {
+            self.register_help(name, help);
+        }
+        for ((name, labels), value) in &other.metrics {
+            match value {
+                MetricValue::Counter(c) => self.inc(name, "", labels.clone(), *c),
+                MetricValue::Gauge(g) => self.set_gauge(name, "", labels.clone(), *g),
+                MetricValue::Hist(h) => self.observe_hist(name, "", labels.clone(), h),
+            }
+        }
+        self.series.extend(other.series.iter().cloned());
+    }
+
+    /// A copy of this registry with extra labels stamped onto every metric
+    /// and series — how a sweep cell's registry gets its
+    /// `(profile, scheme, streams, batched)` identity before the fleet
+    /// registries merge into one sweep-wide registry.
+    pub fn relabeled(&self, pairs: &[(&str, &str)]) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        out.help = self.help.clone();
+        for ((name, labels), value) in &self.metrics {
+            out.metrics
+                .insert((name.clone(), labels.with(pairs)), value.clone());
+        }
+        out.series = self
+            .series
+            .iter()
+            .map(|s| TimeSeries {
+                name: s.name.clone(),
+                labels: s.labels.with(pairs),
+                points: s.points.clone(),
+            })
+            .collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(pairs: &[(&str, &str)]) -> LabelSet {
+        LabelSet::new(pairs)
+    }
+
+    #[test]
+    fn labels_sort_and_reject_duplicates() {
+        let a = l(&[("b", "2"), ("a", "1")]);
+        let b = l(&[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b, "label order at the call site must not matter");
+        assert_eq!(a.pairs()[0].0, "a");
+        assert_eq!(a.get("b"), Some("2"));
+        assert_eq!(a.get("z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label key")]
+    fn duplicate_label_keys_panic() {
+        let _ = l(&[("a", "1"), ("a", "2")]);
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricsRegistry::new();
+        r.inc("cycles_total", "completed cycles", l(&[("class", "gold")]), 3);
+        r.inc("cycles_total", "completed cycles", l(&[("class", "gold")]), 2);
+        r.inc("cycles_total", "completed cycles", l(&[("class", "bronze")]), 1);
+        assert_eq!(r.counter("cycles_total", &l(&[("class", "gold")])), 5);
+        assert_eq!(r.counter("cycles_total", &l(&[("class", "bronze")])), 1);
+        assert_eq!(r.counter("cycles_total", &l(&[("class", "silver")])), 0);
+        assert_eq!(r.help("cycles_total"), Some("completed cycles"));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("util", "pool utilization", LabelSet::empty(), 0.25);
+        r.set_gauge("util", "pool utilization", LabelSet::empty(), 0.75);
+        assert_eq!(r.gauge("util", &LabelSet::empty()), Some(0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.inc("x", "", LabelSet::empty(), 1);
+        r.set_gauge("x", "", LabelSet::empty(), 1.0);
+    }
+
+    #[test]
+    fn histograms_roll_up_via_merge() {
+        let mut a = Histogram::latency_ms();
+        let mut b = Histogram::latency_ms();
+        for v in [10.0, 200.0, 900.0] {
+            a.record(v);
+        }
+        for v in [55.0, 400.0] {
+            b.record(v);
+        }
+        let mut r = MetricsRegistry::new();
+        r.observe_hist("cycle_ms", "", l(&[("class", "gold")]), &a);
+        r.observe_hist("cycle_ms", "", l(&[("class", "gold")]), &b);
+        let Some(MetricValue::Hist(h)) = r.get("cycle_ms", &l(&[("class", "gold")])) else {
+            panic!("histogram missing");
+        };
+        let mut concat = a.clone();
+        concat.merge(&b);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentiles(), concat.percentiles());
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_independent() {
+        let mut fwd = MetricsRegistry::new();
+        let mut rev = MetricsRegistry::new();
+        let entries = [
+            ("z_gauge", l(&[("gpu", "0")])),
+            ("a_counter", l(&[("class", "gold")])),
+            ("a_counter", l(&[("class", "bronze")])),
+        ];
+        for (name, labels) in &entries {
+            if name.ends_with("gauge") {
+                fwd.set_gauge(name, "", labels.clone(), 1.0);
+            } else {
+                fwd.inc(name, "", labels.clone(), 1);
+            }
+        }
+        for (name, labels) in entries.iter().rev() {
+            if name.ends_with("gauge") {
+                rev.set_gauge(name, "", labels.clone(), 1.0);
+            } else {
+                rev.inc(name, "", labels.clone(), 1);
+            }
+        }
+        let order = |r: &MetricsRegistry| {
+            r.iter()
+                .map(|(n, l, _)| (n.to_string(), l.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(order(&fwd), order(&rev));
+        assert_eq!(order(&fwd)[0].0, "a_counter");
+        // Within one name, label sets order deterministically too.
+        assert_eq!(order(&fwd)[0].1.get("class"), Some("bronze"));
+    }
+
+    #[test]
+    fn series_accumulate_points_in_order() {
+        let mut r = MetricsRegistry::new();
+        for k in 0..3 {
+            r.sample(
+                "queue_depth",
+                "outstanding requests",
+                LabelSet::empty(),
+                k as f64 * 500.0,
+                k as f64,
+            );
+        }
+        let s = r.find_series("queue_depth", &[]).expect("series exists");
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.points[2].t_ms, 1000.0);
+        assert_eq!(s.points[2].value, 2.0);
+        assert!(r.find_series("queue_depth", &[("gpu", "0")]).is_none());
+    }
+
+    #[test]
+    fn merge_and_relabel_compose() {
+        let mut cell = MetricsRegistry::new();
+        cell.inc("shed_total", "sheds", LabelSet::empty(), 4);
+        cell.set_gauge("util", "", LabelSet::empty(), 0.5);
+        cell.sample("queue_depth", "", LabelSet::empty(), 0.0, 1.0);
+        let stamped = cell.relabeled(&[("streams", "8"), ("batched", "true")]);
+        let labels = l(&[("batched", "true"), ("streams", "8")]);
+        assert_eq!(stamped.counter("shed_total", &labels), 4);
+
+        let mut sweep = MetricsRegistry::new();
+        sweep.merge(&stamped);
+        sweep.merge(&cell.relabeled(&[("streams", "8"), ("batched", "false")]));
+        assert_eq!(sweep.len(), 4, "two cells x two metrics");
+        assert_eq!(sweep.series().len(), 2);
+        assert_eq!(sweep.counter("shed_total", &labels), 4);
+        // Merging the same labels twice adds counters.
+        sweep.merge(&stamped);
+        assert_eq!(sweep.counter("shed_total", &labels), 8);
+    }
+}

@@ -143,6 +143,7 @@ impl<D: Detector> VideoProcessor for CascadePipeline<D> {
                 &gpu,
                 &cpu,
                 rec.finish(),
+                self.config.metrics,
             );
         }
         let stream = FrameStream::new(clip);
@@ -343,6 +344,7 @@ impl<D: Detector> VideoProcessor for CascadePipeline<D> {
             &gpu,
             &cpu,
             rec.finish(),
+            self.config.metrics,
         )
     }
 }

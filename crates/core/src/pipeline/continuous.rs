@@ -149,6 +149,7 @@ impl<D: Detector> VideoProcessor for ContinuousPipeline<D> {
             &gpu,
             &cpu,
             rec.finish(),
+            self.config.metrics,
         )
     }
 }

@@ -180,6 +180,7 @@ impl<D: Detector> VideoProcessor for CtdPipeline<D> {
                 &gpu,
                 &cpu,
                 rec.finish(),
+                self.config.metrics,
             );
         }
         let stream = FrameStream::new(clip);
@@ -485,6 +486,7 @@ impl<D: Detector> VideoProcessor for CtdPipeline<D> {
             &gpu,
             &cpu,
             rec.finish(),
+            self.config.metrics,
         )
     }
 }

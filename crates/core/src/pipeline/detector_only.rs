@@ -61,6 +61,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
                 &gpu,
                 &cpu,
                 rec.finish(),
+                self.config.metrics,
             );
         }
         let stream = FrameStream::new(clip);
@@ -177,6 +178,7 @@ impl<D: Detector> VideoProcessor for DetectorOnlyPipeline<D> {
             &gpu,
             &cpu,
             rec.finish(),
+            self.config.metrics,
         )
     }
 }

@@ -111,6 +111,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
                 &gpu,
                 &cpu,
                 rec.finish(),
+                self.config.metrics,
             );
         }
         let stream = FrameStream::new(clip);
@@ -420,6 +421,7 @@ impl<D: Detector> VideoProcessor for MarlinPipeline<D> {
             &gpu,
             &cpu,
             rec.finish(),
+            self.config.metrics,
         )
     }
 }

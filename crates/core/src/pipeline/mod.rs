@@ -39,6 +39,7 @@ pub use mpdt::MpdtPipeline;
 
 use crate::adaptation::AdaptationModel;
 use crate::latency::LatencyModel;
+use crate::metrics::{MetricsConfig, MetricsRegistry};
 use crate::telemetry::{TelemetryConfig, TelemetryLog};
 use crate::tracker::TrackerConfig;
 use adavp_detector::ModelSetting;
@@ -155,6 +156,10 @@ pub struct ProcessingTrace {
     /// Sim-time span/event log recorded during the run. Empty unless
     /// [`PipelineConfig::telemetry`] enabled recording.
     pub telemetry: TelemetryLog,
+    /// Metrics registry populated from the finished trace. Empty unless
+    /// [`PipelineConfig::metrics`] enabled recording; never feeds back into
+    /// any pipeline decision.
+    pub metrics: MetricsRegistry,
 }
 
 impl ProcessingTrace {
@@ -363,6 +368,11 @@ pub struct PipelineConfig {
     /// pipeline emits sim-time spans and events through a per-run
     /// [`crate::telemetry::Recorder`] into [`ProcessingTrace::telemetry`].
     pub telemetry: TelemetryConfig,
+    /// Metrics recording. Disabled by default; when enabled, the finished
+    /// trace carries an [`crate::metrics::MetricsRegistry`] of
+    /// `adavp_pipeline_*` counters, gauges, and latency histograms derived
+    /// purely from the trace — recording cannot perturb the run.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for PipelineConfig {
@@ -374,6 +384,7 @@ impl Default for PipelineConfig {
             faults: FaultPlan::none(),
             degradation: DegradationPolicy::default(),
             telemetry: TelemetryConfig::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -445,6 +456,7 @@ mod tests {
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
             telemetry: TelemetryLog::default(),
+            metrics: MetricsRegistry::default(),
         };
         let f = trace.source_fractions();
         assert!((f.detected - 0.25).abs() < 1e-12);
@@ -481,6 +493,7 @@ mod tests {
             gpu_busy_ms: 0.0,
             cpu_busy_ms: 0.0,
             telemetry: TelemetryLog::default(),
+            metrics: MetricsRegistry::default(),
         };
         let f = trace.source_fractions();
         assert!((f.dropped - 0.5).abs() < 1e-12);

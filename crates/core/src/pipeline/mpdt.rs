@@ -13,7 +13,8 @@ use super::{
     CycleRecord, DegradationPolicy, DetectorFault, FrameOutput, FrameSource, PipelineConfig,
     ProcessingTrace, SettingPolicy, VideoProcessor,
 };
-use crate::telemetry::{Attr, EventKind, Recorder, SpanKind, TelemetryLog, Track};
+use crate::metrics::{names, LabelSet, MetricsConfig, MetricsRegistry};
+use crate::telemetry::{Attr, EventKind, Histogram, Recorder, SpanKind, TelemetryLog, Track};
 use crate::tracker::{FrameSelector, ObjectTracker};
 use crate::velocity::VelocityEstimator;
 use adavp_detector::{DetectionResult, Detector, ModelSetting};
@@ -388,6 +389,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
                 &gpu,
                 &cpu,
                 rec.finish(),
+                self.config.metrics,
             );
         }
         let stream = FrameStream::new(clip);
@@ -699,6 +701,7 @@ impl<D: Detector> VideoProcessor for MpdtPipeline<D> {
             &gpu,
             &cpu,
             rec.finish(),
+            self.config.metrics,
         )
     }
 }
@@ -762,7 +765,9 @@ pub(super) fn fill_held(
 }
 
 /// Assembles the final trace, backfilling any never-written output (cannot
-/// happen in a well-formed run, but keeps the invariant airtight).
+/// happen in a well-formed run, but keeps the invariant airtight), then
+/// derives the `adavp_pipeline_*` metrics registry from the finished trace
+/// when `metrics` recording is enabled.
 pub(super) fn finish_trace(
     pipeline: String,
     outputs: Vec<Option<FrameOutput>>,
@@ -771,6 +776,7 @@ pub(super) fn finish_trace(
     gpu: &Resource,
     cpu: &Resource,
     telemetry: TelemetryLog,
+    metrics: MetricsConfig,
 ) -> ProcessingTrace {
     let mut filled = Vec::with_capacity(outputs.len());
     let mut last: Option<FrameOutput> = None;
@@ -794,7 +800,7 @@ pub(super) fn finish_trace(
         .fold(0.0f64, f64::max)
         .max(gpu.available_at().as_ms())
         .max(cpu.available_at().as_ms());
-    ProcessingTrace {
+    let mut trace = ProcessingTrace {
         pipeline,
         outputs: filled,
         cycles,
@@ -803,7 +809,82 @@ pub(super) fn finish_trace(
         gpu_busy_ms: gpu.total_busy().as_ms(),
         cpu_busy_ms: cpu.total_busy().as_ms(),
         telemetry,
+        metrics: MetricsRegistry::new(),
+    };
+    if metrics.enabled {
+        trace.metrics = trace_metrics(&trace);
     }
+    trace
+}
+
+/// Derives the pipeline-level metrics registry from a finished trace. Pure
+/// function of the trace, so recording can never perturb a run: the same
+/// trace always yields the same registry.
+fn trace_metrics(trace: &ProcessingTrace) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let labels = LabelSet::new(&[("pipeline", &trace.pipeline)]);
+    reg.inc(
+        names::PIPELINE_CYCLES_TOTAL,
+        "Detection cycles completed",
+        labels.clone(),
+        trace.cycles.len() as u64,
+    );
+    reg.inc(
+        names::PIPELINE_SWITCHES_TOTAL,
+        "Model-setting switches",
+        labels.clone(),
+        trace.switch_count() as u64,
+    );
+    reg.inc(
+        names::PIPELINE_FAULTS_TOTAL,
+        "Detector-path faults hit",
+        labels.clone(),
+        trace.fault_count() as u64,
+    );
+    reg.inc(
+        names::PIPELINE_DEGRADED_TOTAL,
+        "Cycles that degraded to tracker/inherited results",
+        labels.clone(),
+        trace.degraded_cycle_count() as u64,
+    );
+    reg.inc(
+        names::PIPELINE_DIVERGED_TOTAL,
+        "Cycles the tracker diverged",
+        labels.clone(),
+        trace.diverged_cycle_count() as u64,
+    );
+    let mut cycle_ms = Histogram::latency_ms();
+    for c in &trace.cycles {
+        cycle_ms.record(c.end_ms - c.start_ms);
+    }
+    if !cycle_ms.is_empty() {
+        reg.observe_hist(
+            names::PIPELINE_CYCLE_MS,
+            "Detection-cycle latency (ms)",
+            labels.clone(),
+            &cycle_ms,
+        );
+    }
+    reg.set_gauge(
+        names::PIPELINE_GPU_BUSY_MS,
+        "Total GPU busy time (ms)",
+        labels.clone(),
+        trace.gpu_busy_ms,
+    );
+    reg.set_gauge(
+        names::PIPELINE_CPU_BUSY_MS,
+        "Total CPU busy time (ms)",
+        labels.clone(),
+        trace.cpu_busy_ms,
+    );
+    // EnergyBreakdown accumulates in Wh; 1 Wh = 3.6e6 mJ.
+    reg.set_gauge(
+        names::PIPELINE_ENERGY_MJ,
+        "Energy above idle (mJ), all rails",
+        labels,
+        trace.energy.total_wh() * 3.6e6,
+    );
+    reg
 }
 
 #[cfg(test)]
@@ -905,6 +986,55 @@ mod tests {
         let t1 = fixed(ModelSetting::Yolo512).process(&c);
         let t2 = fixed(ModelSetting::Yolo512).process(&c);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn metrics_registry_derives_from_trace_and_never_perturbs() {
+        let c = clip(60, 11);
+        let plain = fixed(ModelSetting::Yolo512).process(&c);
+        assert!(plain.metrics.is_empty(), "metrics are off by default");
+
+        let mut cfg = PipelineConfig::default();
+        cfg.metrics = MetricsConfig::enabled();
+        let mut p = MpdtPipeline::new(
+            SimulatedDetector::new(DetectorConfig::default()),
+            SettingPolicy::Fixed(ModelSetting::Yolo512),
+            cfg,
+        );
+        let traced = p.process(&c);
+
+        // Recording must not change the run: stripping the registry gives
+        // the metrics-off trace back bit-for-bit.
+        let mut stripped = traced.clone();
+        stripped.metrics = MetricsRegistry::new();
+        assert_eq!(stripped, plain);
+
+        let labels = LabelSet::new(&[("pipeline", &traced.pipeline)]);
+        assert_eq!(
+            traced.metrics.counter(names::PIPELINE_CYCLES_TOTAL, &labels),
+            traced.cycles.len() as u64
+        );
+        assert_eq!(
+            traced
+                .metrics
+                .counter(names::PIPELINE_SWITCHES_TOTAL, &labels),
+            traced.switch_count() as u64
+        );
+        assert_eq!(
+            traced.metrics.counter(names::PIPELINE_FAULTS_TOTAL, &labels),
+            0
+        );
+        match traced.metrics.get(names::PIPELINE_CYCLE_MS, &labels) {
+            Some(crate::metrics::MetricValue::Hist(h)) => {
+                assert_eq!(h.count(), traced.cycles.len() as u64);
+            }
+            other => panic!("cycle-latency histogram missing: {other:?}"),
+        }
+        let gpu_ms = traced
+            .metrics
+            .gauge(names::PIPELINE_GPU_BUSY_MS, &labels)
+            .expect("gpu busy gauge");
+        assert!((gpu_ms - traced.gpu_busy_ms).abs() < 1e-12);
     }
 
     #[test]

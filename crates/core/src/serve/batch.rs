@@ -256,6 +256,12 @@ impl BatchScheduler {
         self.gpus.iter().map(|g| g.total_busy().as_ms()).sum()
     }
 
+    /// Busy time of each GPU in the pool, in ms, in GPU-index order
+    /// (feeds the per-GPU metrics gauges).
+    pub fn per_gpu_busy_ms(&self) -> Vec<f64> {
+        self.gpus.iter().map(|g| g.total_busy().as_ms()).collect()
+    }
+
     /// Mean pool utilization over `[0, horizon]`.
     pub fn pool_utilization(&self, horizon: SimTime) -> f64 {
         if self.gpus.is_empty() {

@@ -24,7 +24,10 @@
 use super::batch::BatchScheduler;
 use super::stream::{DetectionVerdict, NextWake, SloClass, StreamPipeline, StreamStats};
 use super::ServeConfig;
-use crate::telemetry::{Histogram, Percentiles};
+use crate::metrics::{names, LabelSet, MetricsRegistry};
+use crate::telemetry::{
+    Attr, EventKind, Histogram, Percentiles, Recorder, TelemetryConfig, TelemetryLog, Track,
+};
 use adavp_sim::{EventQueue, FaultPlan, SimTime};
 use std::collections::BTreeMap;
 
@@ -76,6 +79,18 @@ impl ClassReport {
     }
 }
 
+/// The observability bundle of one fleet run (present when
+/// [`crate::metrics::MetricsConfig::enabled`] is set on the config).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Counters, gauges, histograms, and sampled time-series. Render with
+    /// [`crate::metrics::prometheus_text`] / [`crate::metrics::json_snapshot`].
+    pub registry: MetricsRegistry,
+    /// Burn-rate threshold-crossing events
+    /// ([`EventKind::SloBurn`]) in `(at_ms, stream index)` order.
+    pub telemetry: TelemetryLog,
+}
+
 /// Everything one fleet run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -118,6 +133,9 @@ pub struct FleetReport {
     /// Per-stream stats, in fleet index order (rejected streams included
     /// with `admitted == false`).
     pub streams: Vec<StreamStats>,
+    /// Metrics registry + burn-alert telemetry; `None` unless the config
+    /// enabled metrics.
+    pub metrics: Option<FleetMetrics>,
 }
 
 /// Which streams admission control lets in, as a mask over
@@ -169,6 +187,91 @@ enum FleetEvent {
     BatchDone(u64),
 }
 
+/// Samples the fleet's live gauges at virtual time `t` into time-series.
+/// Called from inside the single-threaded event loop, so the sampled state
+/// is a pure function of the config and the samples are byte-identical
+/// across `--jobs` counts.
+fn take_sample(
+    reg: &mut MetricsRegistry,
+    t: SimTime,
+    streams: &[Option<StreamPipeline>],
+    sched: &BatchScheduler,
+    outstanding_batches: usize,
+) {
+    let t_ms = t.as_ms();
+    let none = LabelSet::empty();
+    reg.sample(
+        names::QUEUE_DEPTH,
+        "detection requests queued or in flight on the batch scheduler",
+        none.clone(),
+        t_ms,
+        sched.outstanding() as f64,
+    );
+    reg.sample(
+        names::OUTSTANDING_BATCHES,
+        "batches dispatched to a GPU and not yet completed",
+        none.clone(),
+        t_ms,
+        outstanding_batches as f64,
+    );
+    reg.sample(
+        names::GPU_BUSY_FRACTION,
+        "mean GPU-pool busy fraction over [0, t]",
+        none.clone(),
+        t_ms,
+        sched.pool_utilization(t),
+    );
+    reg.sample(
+        names::BATCH_OCCUPANCY,
+        "mean members per dispatched batch so far",
+        none.clone(),
+        t_ms,
+        sched.stats.mean_batch_size(),
+    );
+    let (mut shed, mut degraded) = (0u64, 0u64);
+    // (misses, cycles, budget) per class label; BTreeMap keeps the
+    // per-class series in a fixed order.
+    let mut per_class: BTreeMap<&'static str, (u64, u64, f64)> = BTreeMap::new();
+    for s in streams.iter().flatten() {
+        shed += s.stats.shed;
+        degraded += s.stats.degraded;
+        let class = s.spec().class;
+        let e = per_class
+            .entry(class.label())
+            .or_insert((0, 0, class.error_budget()));
+        e.0 += s.slo().misses();
+        e.1 += s.slo().cycles();
+    }
+    reg.sample(
+        names::SHED_SAMPLED,
+        "cumulative submissions shed by backpressure",
+        none.clone(),
+        t_ms,
+        shed as f64,
+    );
+    reg.sample(
+        names::DEGRADED_SAMPLED,
+        "cumulative degraded cycles",
+        none,
+        t_ms,
+        degraded as f64,
+    );
+    for (label, (misses, cycles, budget)) in per_class {
+        let burn = if cycles == 0 {
+            0.0
+        } else {
+            (misses as f64 / cycles as f64) / budget
+        };
+        reg.sample(
+            names::BURN_SAMPLED,
+            "error-budget burn rate at the sample time",
+            LabelSet::new(&[("class", label)]),
+            t_ms,
+            burn,
+        );
+    }
+}
+
 /// Runs one fleet to completion. See the module docs for the event loop.
 pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
     let plan = FaultPlan::new(cfg.faults.clone());
@@ -203,7 +306,23 @@ pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
         }
     }
 
+    let mcfg = cfg.metrics;
+    let cadence_ms = mcfg.cadence_ms.max(1.0);
+    let mut registry = MetricsRegistry::new();
+    let mut next_sample = SimTime::ZERO;
+    let mut last_now = SimTime::ZERO;
+
     while let Some((now, event)) = queue.pop() {
+        if mcfg.enabled {
+            // Sample strictly-earlier cadence ticks before handling this
+            // event: a sample at t reflects the state after every event
+            // before t and none at or after it.
+            while next_sample < now {
+                take_sample(&mut registry, next_sample, &streams, &sched, in_flight.len());
+                next_sample = SimTime::from_ms(next_sample.as_ms() + cadence_ms);
+            }
+            last_now = now;
+        }
         match event {
             FleetEvent::Wake(i) => {
                 let stream = streams[i].as_mut().expect("woke a rejected stream");
@@ -241,6 +360,11 @@ pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
         }
     }
     debug_assert!(in_flight.is_empty(), "batches left in flight at drain");
+    if mcfg.enabled && last_now > SimTime::ZERO {
+        // One closing sample at the final event time, so every series ends
+        // at the true horizon.
+        take_sample(&mut registry, last_now, &streams, &sched, in_flight.len());
+    }
 
     // Assemble the report (index order everywhere).
     let stats: Vec<StreamStats> = streams
@@ -268,7 +392,7 @@ pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
         switches += s.switches;
     }
 
-    let classes = SloClass::ALL
+    let classes: Vec<ClassReport> = SloClass::ALL
         .iter()
         .map(|&class| {
             let mut hist = Histogram::latency_ms();
@@ -303,6 +427,14 @@ pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
         0.0
     };
 
+    let metrics = if mcfg.enabled {
+        Some(assemble_metrics(
+            cfg, registry, &stats, &classes, &sched, &cycle_ms, horizon,
+        ))
+    } else {
+        None
+    };
+
     FleetReport {
         requested: cfg.streams.len(),
         admitted: mask.iter().filter(|&&a| a).count(),
@@ -323,6 +455,266 @@ pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
         cycle_ms,
         classes,
         streams: stats,
+        metrics,
+    }
+}
+
+/// Folds end-of-run counters, gauges, and histograms into the sampled
+/// registry and converts burn-rate crossings into [`EventKind::SloBurn`]
+/// telemetry events.
+fn assemble_metrics(
+    cfg: &ServeConfig,
+    mut registry: MetricsRegistry,
+    stats: &[StreamStats],
+    classes: &[ClassReport],
+    sched: &BatchScheduler,
+    cycle_ms: &Histogram,
+    horizon: SimTime,
+) -> FleetMetrics {
+    let none = LabelSet::empty();
+
+    // Per-class SLO accounting: counters, budget math, latency rollups.
+    for cr in classes {
+        let labels = LabelSet::new(&[("class", cr.class.label())]);
+        registry.inc(
+            names::CYCLES_TOTAL,
+            "completed detection cycles",
+            labels.clone(),
+            cr.cycles,
+        );
+        registry.inc(
+            names::DEADLINE_MISS_TOTAL,
+            "cycles that missed the class deadline",
+            labels.clone(),
+            cr.violations,
+        );
+        registry.set_gauge(
+            names::SLO_ERROR_BUDGET,
+            "allowed deadline-miss fraction for the class",
+            labels.clone(),
+            cr.class.error_budget(),
+        );
+        let burn = if cr.cycles == 0 {
+            0.0
+        } else {
+            (cr.violations as f64 / cr.cycles as f64) / cr.class.error_budget()
+        };
+        registry.set_gauge(
+            names::SLO_BURN_RATE,
+            "error-budget burn rate: miss-rate / budget",
+            labels.clone(),
+            burn,
+        );
+        registry.set_gauge(
+            names::SLO_BUDGET_REMAINING,
+            "fraction of error budget unspent: 1 - burn",
+            labels,
+            1.0 - burn,
+        );
+    }
+    // Per-class latency histograms (exact sample-preserving rollups of the
+    // per-stream histograms), plus the fleet-wide rollup as class="all".
+    for &class in &SloClass::ALL {
+        let mut hist = Histogram::latency_ms();
+        for (spec, s) in cfg.streams.iter().zip(stats) {
+            if spec.class == class && s.admitted {
+                hist.merge(&s.cycle_ms);
+            }
+        }
+        if !hist.is_empty() {
+            registry.observe_hist(
+                names::CYCLE_LATENCY_MS,
+                "end-to-end detection-cycle latency (ms)",
+                LabelSet::new(&[("class", class.label())]),
+                &hist,
+            );
+        }
+    }
+    if !cycle_ms.is_empty() {
+        registry.observe_hist(
+            names::CYCLE_LATENCY_MS,
+            "end-to-end detection-cycle latency (ms)",
+            LabelSet::new(&[("class", "all")]),
+            cycle_ms,
+        );
+    }
+
+    // Fleet-wide counters.
+    let sum = |f: fn(&StreamStats) -> u64| -> u64 {
+        stats.iter().filter(|s| s.admitted).map(f).sum()
+    };
+    registry.inc(
+        names::STREAMS_REQUESTED,
+        "streams that requested service",
+        none.clone(),
+        cfg.streams.len() as u64,
+    );
+    registry.inc(
+        names::STREAMS_ADMITTED,
+        "streams admitted by admission control",
+        none.clone(),
+        stats.iter().filter(|s| s.admitted).count() as u64,
+    );
+    registry.inc(
+        names::DETECTIONS_TOTAL,
+        "cycles that published a fresh detection",
+        none.clone(),
+        sum(|s| s.detections),
+    );
+    registry.inc(
+        names::DEGRADED_TOTAL,
+        "cycles degraded to held boxes",
+        none.clone(),
+        sum(|s| s.degraded),
+    );
+    registry.inc(
+        names::RETRIES_TOTAL,
+        "detection attempts retried after failures",
+        none.clone(),
+        sum(|s| s.retries),
+    );
+    registry.inc(
+        names::SHED_TOTAL,
+        "submissions shed by backpressure",
+        none.clone(),
+        sum(|s| s.shed),
+    );
+    registry.inc(
+        names::SWITCHES_TOTAL,
+        "model-setting step-downs and switches",
+        none.clone(),
+        sum(|s| s.switches),
+    );
+    registry.inc(
+        names::FRAMES_TOTAL,
+        "camera frames covered across admitted streams",
+        none.clone(),
+        sum(|s| s.frames),
+    );
+    registry.inc(
+        names::BATCHES_TOTAL,
+        "GPU batches dispatched",
+        none.clone(),
+        sched.stats.batches,
+    );
+    registry.inc(
+        names::BATCH_MEMBERS_TOTAL,
+        "members across all dispatched batches",
+        none.clone(),
+        sched.stats.members,
+    );
+    registry.inc(
+        names::CLOSED_ON_SIZE_TOTAL,
+        "batches closed by filling before the window deadline",
+        none.clone(),
+        sched.stats.closed_on_size,
+    );
+
+    // Pool gauges.
+    registry.set_gauge(
+        names::MEAN_BATCH_SIZE,
+        "mean members per dispatched batch",
+        none.clone(),
+        sched.stats.mean_batch_size(),
+    );
+    registry.set_gauge(
+        names::GPU_POOL_UTILIZATION,
+        "mean GPU-pool busy fraction over the horizon",
+        none.clone(),
+        sched.pool_utilization(horizon),
+    );
+    registry.set_gauge(
+        names::HORIZON_MS,
+        "virtual completion time of the fleet run (ms)",
+        none,
+        horizon.as_ms(),
+    );
+    for (i, busy) in sched.per_gpu_busy_ms().into_iter().enumerate() {
+        registry.set_gauge(
+            names::GPU_BUSY_MS,
+            "total busy time on one GPU (ms)",
+            LabelSet::new(&[("gpu", &i.to_string())]),
+            busy,
+        );
+    }
+
+    // Burn-alert crossings: counters per (class, threshold), and one
+    // telemetry event per crossing in (at_ms, stream index) order.
+    let mut crossings: Vec<(usize, crate::metrics::BudgetCrossing)> = Vec::new();
+    for (i, s) in stats.iter().enumerate() {
+        for c in &s.crossings {
+            crossings.push((i, *c));
+        }
+    }
+    crossings.sort_by(|a, b| a.1.at_ms.total_cmp(&b.1.at_ms).then(a.0.cmp(&b.0)));
+    let mut rec = Recorder::new(TelemetryConfig {
+        enabled: true,
+        step_spans: false,
+    });
+    for (i, c) in &crossings {
+        let spec = &cfg.streams[*i];
+        registry.inc(
+            names::BURN_ALERTS_TOTAL,
+            "burn-rate alert threshold crossings",
+            LabelSet::new(&[
+                ("class", spec.class.label()),
+                ("threshold", &format!("{}", c.threshold)),
+            ]),
+            1,
+        );
+        rec.event(
+            Track::Cpu,
+            EventKind::SloBurn,
+            "burn-alert".to_string(),
+            c.at_ms,
+            vec![
+                Attr::str("stream", &spec.name),
+                Attr::str("class", spec.class.label()),
+                Attr::f64("threshold", c.threshold),
+                Attr::f64("burn", c.burn),
+                Attr::u64("cycle", c.cycle),
+            ],
+        );
+    }
+
+    // Per-stream breakdowns are opt-in: they multiply label cardinality by
+    // the fleet size (DESIGN.md §17).
+    if cfg.metrics.per_stream {
+        for (spec, s) in cfg.streams.iter().zip(stats) {
+            if !s.admitted {
+                continue;
+            }
+            let labels =
+                LabelSet::new(&[("stream", &spec.name), ("class", spec.class.label())]);
+            registry.inc(
+                names::CYCLES_TOTAL,
+                "completed detection cycles",
+                labels.clone(),
+                s.cycles,
+            );
+            registry.inc(
+                names::DEADLINE_MISS_TOTAL,
+                "cycles that missed the class deadline",
+                labels.clone(),
+                s.slo_violations,
+            );
+            let burn = if s.cycles == 0 {
+                0.0
+            } else {
+                (s.slo_violations as f64 / s.cycles as f64) / spec.class.error_budget()
+            };
+            registry.set_gauge(
+                names::SLO_BURN_RATE,
+                "error-budget burn rate: miss-rate / budget",
+                labels,
+                burn,
+            );
+        }
+    }
+
+    FleetMetrics {
+        registry,
+        telemetry: rec.finish(),
     }
 }
 
@@ -437,6 +829,95 @@ mod tests {
         );
         assert!(rb.mean_batch_size > 1.5, "batches actually formed");
         assert!((ru.mean_batch_size - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_registry_matches_report_and_never_perturbs() {
+        use crate::metrics::MetricsConfig;
+        let mut c = cfg(6, 4);
+        c.metrics = MetricsConfig::enabled();
+        let r = run_fleet(&c);
+        let m = r.metrics.as_ref().expect("metrics enabled");
+        let reg = &m.registry;
+        let none = LabelSet::empty();
+        assert_eq!(reg.counter(names::DETECTIONS_TOTAL, &none), r.detections);
+        assert_eq!(reg.counter(names::BATCHES_TOTAL, &none), r.batches);
+        assert_eq!(reg.counter(names::SHED_TOTAL, &none), r.shed);
+        assert_eq!(reg.counter(names::SWITCHES_TOTAL, &none), r.switches);
+        assert_eq!(
+            reg.counter(names::STREAMS_ADMITTED, &none),
+            r.admitted as u64
+        );
+        assert_eq!(reg.gauge(names::HORIZON_MS, &none), Some(r.horizon_ms));
+        for cr in &r.classes {
+            let l = LabelSet::new(&[("class", cr.class.label())]);
+            assert_eq!(reg.counter(names::CYCLES_TOTAL, &l), cr.cycles);
+            assert_eq!(reg.counter(names::DEADLINE_MISS_TOTAL, &l), cr.violations);
+            // Closed-form budget math: burn = violation-rate / budget.
+            let burn = reg.gauge(names::SLO_BURN_RATE, &l).expect("burn gauge");
+            assert_eq!(burn, cr.violation_rate() / cr.class.error_budget());
+            assert_eq!(
+                reg.gauge(names::SLO_BUDGET_REMAINING, &l),
+                Some(1.0 - burn)
+            );
+        }
+        // Sampled series exist and are time-ordered.
+        let q = reg.find_series(names::QUEUE_DEPTH, &[]).expect("queue series");
+        assert!(!q.points.is_empty());
+        for w in q.points.windows(2) {
+            assert!(w[0].t_ms < w[1].t_ms, "sample times must increase");
+        }
+        // One gauge per GPU in the pool.
+        for g in 0..c.batch.gpus {
+            let l = LabelSet::new(&[("gpu", &g.to_string())]);
+            assert!(reg.gauge(names::GPU_BUSY_MS, &l).is_some(), "gpu {g}");
+        }
+        // Observing must not perturb: the metrics-off twin produces the
+        // exact same report minus the metrics field.
+        let mut off = c.clone();
+        off.metrics = MetricsConfig::default();
+        let r_off = run_fleet(&off);
+        assert!(r_off.metrics.is_none());
+        let mut r_stripped = r.clone();
+        r_stripped.metrics = None;
+        assert_eq!(r_stripped, r_off, "metrics recording changed the run");
+    }
+
+    #[test]
+    fn overload_emits_burn_alerts_as_telemetry_events() {
+        use crate::metrics::MetricsConfig;
+        use crate::telemetry::EventKind;
+        let mut c = cfg(20, 4);
+        c.metrics = MetricsConfig::enabled();
+        c.admission.enabled = false;
+        c.batch.gpus = 1;
+        let r = run_fleet(&c);
+        let total_misses: u64 = r.classes.iter().map(|cr| cr.violations).sum();
+        assert!(total_misses > 0, "20 streams on 1 GPU must miss deadlines");
+        let m = r.metrics.as_ref().expect("metrics enabled");
+        let crossings: usize = r.streams.iter().map(|s| s.crossings.len()).sum();
+        assert!(crossings > 0, "misses must cross burn thresholds");
+        let events: Vec<_> = m
+            .telemetry
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SloBurn)
+            .collect();
+        assert_eq!(events.len(), crossings, "one event per crossing");
+        for w in events.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms, "events must be time-ordered");
+        }
+        // Alert counters agree with the crossing count.
+        let alerts: u64 = m
+            .registry
+            .iter()
+            .filter(|(n, _, _)| *n == names::BURN_ALERTS_TOTAL)
+            .map(|(_, _, v)| match v {
+                crate::metrics::MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(alerts, crossings as u64);
     }
 
     #[test]

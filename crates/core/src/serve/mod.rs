@@ -54,11 +54,14 @@ pub mod stream;
 pub mod sweep;
 
 pub use batch::{BatchConfig, BatchScheduler};
-pub use fleet::{run_fleet, AdmissionPolicy, ClassReport, FleetReport};
+pub use fleet::{run_fleet, AdmissionPolicy, ClassReport, FleetMetrics, FleetReport};
 pub use stream::{NextWake, ServeScheme, SloClass, StreamPipeline, StreamSpec, StreamStats};
-pub use sweep::{run_sweep, sweep_csv, sweep_json, sweep_text, SweepConfig, SweepRow};
+pub use sweep::{
+    run_sweep, run_sweep_with_metrics, sweep_csv, sweep_json, sweep_text, SweepConfig, SweepRow,
+};
 
 use crate::latency::{BatchLatencyModel, LatencyModel};
+use crate::metrics::MetricsConfig;
 use crate::pipeline::{DegradationPolicy, SettingPolicy};
 use adavp_sim::FaultProfile;
 
@@ -119,6 +122,9 @@ pub struct ServeConfig {
     /// Seed for the synthetic content streams (velocity, object counts,
     /// latency jitter); independent of the fault seed.
     pub seed: u64,
+    /// Metrics recording (off by default; enabling must not perturb any
+    /// serving decision, only observe them).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +139,7 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::default(),
             faults: FaultProfile::none(),
             seed: 0xada5e,
+            metrics: MetricsConfig::default(),
         }
     }
 }

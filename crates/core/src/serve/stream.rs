@@ -19,6 +19,7 @@
 
 use super::{mix, unit, TAG_JITTER, TAG_OBJECTS, TAG_PROPOSAL, TAG_VELOCITY};
 use crate::latency::LatencyModel;
+use crate::metrics::{BudgetCrossing, SloTracker};
 use crate::pipeline::{CtdConfig, DegradationPolicy, SettingPolicy};
 use crate::telemetry::Histogram;
 use adavp_detector::ModelSetting;
@@ -107,6 +108,18 @@ impl SloClass {
             SloClass::Bronze => "bronze",
         }
     }
+
+    /// Error budget: the fraction of cycles allowed to miss
+    /// [`SloClass::deadline_ms`] before the class is out of budget. Burn
+    /// rate is the observed miss fraction divided by this budget
+    /// (see [`crate::metrics::SloTracker`]).
+    pub fn error_budget(self) -> f64 {
+        match self {
+            SloClass::Gold => 0.01,
+            SloClass::Silver => 0.05,
+            SloClass::Bronze => 0.20,
+        }
+    }
 }
 
 /// Static description of one camera stream requesting service.
@@ -177,6 +190,9 @@ pub struct StreamStats {
     pub cycle_ms: Histogram,
     /// Virtual time the stream finished its last cycle.
     pub finished_at: SimTime,
+    /// Error-budget burn-rate threshold crossings, in cycle order (each
+    /// alert threshold fires at most once per stream).
+    pub crossings: Vec<BudgetCrossing>,
 }
 
 impl StreamStats {
@@ -193,6 +209,7 @@ impl StreamStats {
             switches: 0,
             cycle_ms: Histogram::latency_ms(),
             finished_at: SimTime::ZERO,
+            crossings: Vec::new(),
         }
     }
 
@@ -261,6 +278,7 @@ pub struct StreamPipeline {
     cycle: u64,
     phase: Phase,
     verdict: Option<DetectionVerdict>,
+    slo: SloTracker,
     /// Counters and distributions; read out by the driver at the end.
     pub stats: StreamStats,
 }
@@ -278,6 +296,7 @@ impl StreamPipeline {
         faults: FaultPlan,
     ) -> Self {
         let setting = policy.initial_setting();
+        let slo = SloTracker::new(spec.class.error_budget());
         Self {
             index,
             spec,
@@ -290,8 +309,14 @@ impl StreamPipeline {
             cycle: 0,
             phase: Phase::AwaitFrame { frame: 0 },
             verdict: None,
+            slo,
             stats: StreamStats::new(),
         }
+    }
+
+    /// The stream's SLO error-budget tracker (burn rate, misses, budget).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
     }
 
     /// The stream's fleet index.
@@ -525,8 +550,17 @@ impl StreamPipeline {
         let done = SimTime::from_ms(now.as_ms() + publish_ms);
         let cycle_ms = done.as_ms() - arrival.as_ms();
         self.stats.cycle_ms.record(cycle_ms);
-        if cycle_ms > self.spec.class.deadline_ms() {
+        let missed = cycle_ms > self.spec.class.deadline_ms();
+        if missed {
             self.stats.slo_violations += 1;
+        }
+        if let Some(threshold) = self.slo.record(missed) {
+            self.stats.crossings.push(BudgetCrossing {
+                threshold,
+                burn: self.slo.burn_rate(),
+                at_ms: done.as_ms(),
+                cycle: self.cycle,
+            });
         }
         if degraded {
             self.stats.degraded += 1;
@@ -767,6 +801,29 @@ mod tests {
         let _ = p.step(now, &mut |_, _| true);
         assert_eq!(p.setting(), policy_next.lighter());
         assert_eq!(p.stats.degraded, 1);
+    }
+
+    #[test]
+    fn deadline_misses_burn_the_error_budget() {
+        let mut p = pipeline(5);
+        // Every detection takes 3 s — far past the 1.5 s Gold deadline.
+        drive(&mut p, 3000.0);
+        assert_eq!(p.stats.slo_violations, 5);
+        assert_eq!(p.slo().misses(), 5);
+        assert_eq!(p.slo().cycles(), 5);
+        assert_eq!(p.slo().budget(), SloClass::Gold.error_budget());
+        // Closed form: all cycles missing burns at 1/budget.
+        assert_eq!(p.slo().burn_rate(), 1.0 / SloClass::Gold.error_budget());
+        // The first miss crosses both alert thresholds at once —
+        // edge-triggered, so exactly one crossing (the highest).
+        assert_eq!(p.stats.crossings.len(), 1);
+        assert_eq!(p.stats.crossings[0].threshold, 2.0);
+        assert_eq!(p.stats.crossings[0].cycle, 0);
+        // A clean stream burns nothing and records no crossings.
+        let mut ok = pipeline(5);
+        drive(&mut ok, 0.0);
+        assert_eq!(ok.slo().burn_rate(), 0.0);
+        assert!(ok.stats.crossings.is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use super::fleet::{run_fleet, FleetReport};
 use super::stream::ServeScheme;
 use super::ServeConfig;
+use crate::metrics::{MetricsConfig, MetricsRegistry};
 use adavp_sim::FaultProfile;
 use adavp_vision::exec::Executor;
 
@@ -37,6 +38,9 @@ pub struct SweepConfig {
     /// Detection schemes to sweep (one row block per scheme within each
     /// profile). Defaults to MPDT only, preserving the historical grid.
     pub schemes: Vec<ServeScheme>,
+    /// Metrics recording applied to every cell (off by default;
+    /// [`run_sweep_with_metrics`] forces it on).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for SweepConfig {
@@ -53,6 +57,7 @@ impl Default for SweepConfig {
                 ("brownout".to_string(), FaultProfile::brownout(0xb0b0)),
             ],
             schemes: vec![ServeScheme::Mpdt],
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -87,7 +92,29 @@ impl SweepConfig {
         }
         cfg.faults = profile.clone();
         cfg.seed = self.seed;
+        cfg.metrics = self.metrics;
         cfg
+    }
+
+    /// The cell grid in row order: `profiles × schemes × stream_counts ×
+    /// {batched, unbatched}`.
+    fn cells(&self) -> Vec<(String, FaultProfile, ServeScheme, usize, bool)> {
+        let mut cells = Vec::new();
+        let schemes: &[ServeScheme] = if self.schemes.is_empty() {
+            &[ServeScheme::Mpdt]
+        } else {
+            &self.schemes
+        };
+        for (name, profile) in &self.profiles {
+            for &scheme in schemes {
+                for &n in &self.stream_counts {
+                    for batched in [true, false] {
+                        cells.push((name.clone(), profile.clone(), scheme, n, batched));
+                    }
+                }
+            }
+        }
+        cells
     }
 }
 
@@ -116,6 +143,10 @@ pub struct SweepRow {
     pub retries: u64,
     /// Submissions shed by backpressure.
     pub shed: u64,
+    /// Model-setting step-downs and switches (backpressure shedding and
+    /// degraded cycles both step settings down; see
+    /// [`super::stream::StreamStats::switches`]).
+    pub switches: u64,
     /// GPU batches dispatched.
     pub batches: u64,
     /// Mean members per batch.
@@ -161,6 +192,7 @@ impl SweepRow {
             degraded: r.degraded,
             retries: r.retries,
             shed: r.shed,
+            switches: r.switches,
             batches: r.batches,
             mean_batch_size: r.mean_batch_size,
             closed_on_size: r.closed_on_size,
@@ -181,25 +213,48 @@ impl SweepRow {
 /// {batched, unbatched}` — row order (and therefore rendered bytes) is
 /// independent of the executor's job count.
 pub fn run_sweep(cfg: &SweepConfig, exec: &Executor) -> Vec<SweepRow> {
-    let mut cells: Vec<(String, FaultProfile, ServeScheme, usize, bool)> = Vec::new();
-    let schemes: &[ServeScheme] = if cfg.schemes.is_empty() {
-        &[ServeScheme::Mpdt]
-    } else {
-        &cfg.schemes
-    };
-    for (name, profile) in &cfg.profiles {
-        for &scheme in schemes {
-            for &n in &cfg.stream_counts {
-                for batched in [true, false] {
-                    cells.push((name.clone(), profile.clone(), scheme, n, batched));
-                }
-            }
-        }
-    }
+    let cells = cfg.cells();
     exec.map(&cells, |_, (name, profile, scheme, n, batched)| {
         let report = run_fleet(&cfg.cell(profile, *scheme, *n, *batched));
         SweepRow::from_report(name, *scheme, *n, *batched, &report)
     })
+}
+
+/// Like [`run_sweep`], but with metrics recording forced on: returns the
+/// rows plus one sweep-wide [`MetricsRegistry`]. Each cell's registry is
+/// stamped with its `(profile, scheme, streams, batched)` identity and the
+/// stamped registries merge in cell-index order, so the merged registry —
+/// and any rendering of it — is byte-identical across `--jobs` counts.
+pub fn run_sweep_with_metrics(
+    cfg: &SweepConfig,
+    exec: &Executor,
+) -> (Vec<SweepRow>, MetricsRegistry) {
+    let cells = cfg.cells();
+    let results: Vec<(SweepRow, MetricsRegistry)> =
+        exec.map(&cells, |_, (name, profile, scheme, n, batched)| {
+            let mut cell = cfg.cell(profile, *scheme, *n, *batched);
+            cell.metrics.enabled = true;
+            let report = run_fleet(&cell);
+            let row = SweepRow::from_report(name, *scheme, *n, *batched, &report);
+            let registry = report
+                .metrics
+                .map(|m| m.registry)
+                .unwrap_or_default()
+                .relabeled(&[
+                    ("profile", name),
+                    ("scheme", scheme.label()),
+                    ("streams", &n.to_string()),
+                    ("batched", if *batched { "true" } else { "false" }),
+                ]);
+            (row, registry)
+        });
+    let mut merged = MetricsRegistry::new();
+    let mut rows = Vec::with_capacity(results.len());
+    for (row, registry) in results {
+        merged.merge(&registry);
+        rows.push(row);
+    }
+    (rows, merged)
 }
 
 fn fmt(v: f64) -> String {
@@ -212,13 +267,13 @@ fn fmt(v: f64) -> String {
 pub fn sweep_csv(rows: &[SweepRow]) -> String {
     let mut out = String::from(
         "profile,scheme,streams,batched,admitted,cycles,detections,throughput_dps,\
-         degraded,retries,shed,batches,mean_batch_size,closed_on_size,\
+         degraded,retries,shed,switches,batches,mean_batch_size,closed_on_size,\
          gpu_utilization,p50_ms,p90_ms,p99_ms,gold_violation_rate,\
          silver_violation_rate,bronze_violation_rate,horizon_ms\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.profile,
             r.scheme,
             r.streams,
@@ -230,6 +285,7 @@ pub fn sweep_csv(rows: &[SweepRow]) -> String {
             r.degraded,
             r.retries,
             r.shed,
+            r.switches,
             r.batches,
             fmt(r.mean_batch_size),
             r.closed_on_size,
@@ -256,7 +312,7 @@ pub fn sweep_json(rows: &[SweepRow]) -> String {
              \"batched\": {}, \
              \"admitted\": {}, \"cycles\": {}, \"detections\": {}, \
              \"throughput_dps\": {}, \"degraded\": {}, \"retries\": {}, \
-             \"shed\": {}, \"batches\": {}, \"mean_batch_size\": {}, \
+             \"shed\": {}, \"switches\": {}, \"batches\": {}, \"mean_batch_size\": {}, \
              \"closed_on_size\": {}, \"gpu_utilization\": {}, \
              \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \
              \"gold_violation_rate\": {}, \"silver_violation_rate\": {}, \
@@ -272,6 +328,7 @@ pub fn sweep_json(rows: &[SweepRow]) -> String {
             r.degraded,
             r.retries,
             r.shed,
+            r.switches,
             r.batches,
             fmt(r.mean_batch_size),
             r.closed_on_size,
@@ -294,7 +351,7 @@ pub fn sweep_json(rows: &[SweepRow]) -> String {
 pub fn sweep_text(rows: &[SweepRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:<8} {:>7} {:>9} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}\n",
+        "{:<10} {:<8} {:>7} {:>9} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}\n",
         "profile",
         "scheme",
         "streams",
@@ -306,13 +363,14 @@ pub fn sweep_text(rows: &[SweepRow]) -> String {
         "p90ms",
         "p99ms",
         "shed",
+        "switch",
         "gold%",
         "slvr%",
         "brnz%",
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:<8} {:>7} {:>9} {:>8} {:>8.2} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>7.2} {:>7.2} {:>7.2}\n",
+            "{:<10} {:<8} {:>7} {:>9} {:>8} {:>8.2} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>8} {:>7.2} {:>7.2} {:>7.2}\n",
             r.profile,
             r.scheme,
             r.streams,
@@ -324,6 +382,7 @@ pub fn sweep_text(rows: &[SweepRow]) -> String {
             r.p90_ms,
             r.p99_ms,
             r.shed,
+            r.switches,
             100.0 * r.gold_violation_rate,
             100.0 * r.silver_violation_rate,
             100.0 * r.bronze_violation_rate,
@@ -381,6 +440,10 @@ mod tests {
         };
         let rows = run_sweep(&cfg, &Executor::sequential());
         let csv = sweep_csv(&rows);
+        assert!(
+            csv.lines().next().unwrap().contains(",shed,switches,batches,"),
+            "backpressure columns missing from the CSV header"
+        );
         let header_cols = csv.lines().next().unwrap().split(',').count();
         for line in csv.lines().skip(1) {
             assert_eq!(line.split(',').count(), header_cols);
@@ -388,7 +451,33 @@ mod tests {
         let json = sweep_json(&rows);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
         assert_eq!(json.matches("\"profile\"").count(), rows.len());
+        assert_eq!(json.matches("\"switches\"").count(), rows.len());
         let text = sweep_text(&rows);
         assert_eq!(text.lines().count(), rows.len() + 1);
+    }
+
+    #[test]
+    fn metrics_sweep_merges_cells_identically_across_jobs() {
+        let cfg = SweepConfig {
+            stream_counts: vec![1, 4],
+            cycles: 2,
+            profiles: vec![("none".to_string(), FaultProfile::none())],
+            ..SweepConfig::smoke()
+        };
+        let (rows_s, reg_s) = run_sweep_with_metrics(&cfg, &Executor::sequential());
+        let (rows_p, reg_p) = run_sweep_with_metrics(&cfg, &Executor::new(4));
+        assert_eq!(rows_s, rows_p, "metrics sweep rows differ across jobs");
+        assert_eq!(reg_s, reg_p, "merged registries differ across jobs");
+        // Observing must not perturb: rows match the metrics-less sweep.
+        assert_eq!(rows_s, run_sweep(&cfg, &Executor::sequential()));
+        // Every metric carries its cell identity labels.
+        assert!(!reg_s.is_empty());
+        assert!(reg_s.iter().all(|(_, l, _)| l.get("profile").is_some()
+            && l.get("scheme").is_some()
+            && l.get("streams").is_some()
+            && l.get("batched").is_some()));
+        assert!(reg_s
+            .iter()
+            .any(|(_, l, _)| l.get("streams") == Some("4") && l.get("batched") == Some("true")));
     }
 }

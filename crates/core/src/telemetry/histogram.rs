@@ -45,7 +45,7 @@ pub const VELOCITY_EDGES: [f64; 12] = [
 
 /// A fixed-bucket histogram that also retains every sample for exact
 /// percentiles. See the module docs for the determinism contract.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,
@@ -245,6 +245,63 @@ mod tests {
         assert_eq!(merged.bucket_counts(), all.bucket_counts());
         assert_eq!(merged.percentiles(), all.percentiles());
         assert_eq!(merged.mean(), all.mean());
+    }
+
+    /// The rollup contract the metrics registry leans on: merging shards in
+    /// ANY order yields exactly the percentiles of the concatenated sample
+    /// set, for every percentile, not just p50/p90/p99.
+    #[test]
+    fn merged_percentiles_equal_concatenated_samples() {
+        // Three shards with deliberately skewed, overlapping values.
+        let shards: [&[f64]; 3] = [
+            &[12.0, 960.0, 47.0, 47.0, 3.0],
+            &[210.0, 5.0, 1800.0, 88.0],
+            &[33.0, 33.0, 420.0, 7.5, 640.0, 2.0],
+        ];
+        let mut hists = Vec::new();
+        let mut concat = Histogram::latency_ms();
+        for shard in shards {
+            let mut h = Histogram::latency_ms();
+            for &v in shard {
+                h.record(v);
+                concat.record(v);
+            }
+            hists.push(h);
+        }
+        // Every merge order must agree with the concatenation.
+        let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 0, 1], [1, 2, 0]];
+        for order in orders {
+            let mut merged = Histogram::latency_ms();
+            for i in order {
+                merged.merge(&hists[i]);
+            }
+            assert_eq!(merged.count(), concat.count());
+            assert_eq!(merged.bucket_counts(), concat.bucket_counts());
+            for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+                assert_eq!(
+                    merged.percentile(p),
+                    concat.percentile(p),
+                    "p{p} diverged for merge order {order:?}"
+                );
+            }
+            assert_eq!(merged.mean(), concat.mean());
+        }
+    }
+
+    /// Merging an empty histogram is an identity; merging INTO an empty
+    /// histogram reproduces the source exactly.
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::latency_ms();
+        for v in [10.0, 500.0, 75.0] {
+            h.record(v);
+        }
+        let snapshot = h.clone();
+        h.merge(&Histogram::latency_ms());
+        assert_eq!(h, snapshot);
+        let mut empty = Histogram::latency_ms();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
     }
 
     #[test]

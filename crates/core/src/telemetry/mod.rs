@@ -138,6 +138,9 @@ pub enum EventKind {
     Divergence,
     /// MARLIN's content-change detector fired.
     Trigger,
+    /// A stream's SLO error-budget burn rate crossed an alert threshold
+    /// ([`crate::metrics::BURN_ALERT_THRESHOLDS`]).
+    SloBurn,
 }
 
 impl EventKind {
@@ -150,6 +153,7 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Divergence => "fault",
             EventKind::Trigger => "adaptation",
+            EventKind::SloBurn => "slo",
         }
     }
 }

@@ -3,9 +3,25 @@
 # BENCH_kernels.json (which also re-asserts LK cross-path bit-parity) and
 # BENCH_experiments.json (which asserts parallel-harness result parity).
 #
-# Usage: scripts/ci.sh [--no-bench]
+# Usage: scripts/ci.sh [--no-bench] [--strict]
+#   --no-bench  skip the bench/smoke half (build+test+lint only)
+#   --strict    make the bench-diff regression gate fail CI instead of
+#               just printing its report
 set -eu
 cd "$(dirname "$0")/.."
+
+NO_BENCH=0
+STRICT=0
+for arg in "$@"; do
+    case "$arg" in
+    --no-bench) NO_BENCH=1 ;;
+    --strict) STRICT=1 ;;
+    *)
+        echo "unknown flag: $arg (usage: scripts/ci.sh [--no-bench] [--strict])" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== cargo build --release"
 cargo build --release --workspace
@@ -37,7 +53,13 @@ cargo test -q -p adavp-vision --test simd_parity --no-default-features
 cargo test -q -p adavp-vision --test simd_parity --no-default-features --features simd
 cargo test -q -p adavp-vision --test simd_parity --no-default-features --features fixed-point
 
-if [ "${1:-}" != "--no-bench" ]; then
+if [ "$NO_BENCH" != "1" ]; then
+    # Snapshot the committed baselines before the smoke runs regenerate the
+    # files in place, so bench-diff compares fresh-vs-committed.
+    mkdir -p target/ci-results
+    git show HEAD:BENCH_kernels.json > target/ci-results/baseline_kernels.json 2>/dev/null || true
+    git show HEAD:BENCH_serve.json > target/ci-results/baseline_serve.json 2>/dev/null || true
+
     echo "== kernel bench smoke (writes BENCH_kernels.json)"
     cargo run --release -p adavp-vision --bin kernels_bench -- BENCH_kernels.json
 
@@ -72,19 +94,50 @@ print(f"chrome trace OK: {len(events)} events on {len(tids)} tracks")
 EOF
     fi
 
-    echo "== serve sweep smoke (all three schemes, --jobs 2 vs --jobs 1 byte parity)"
+    echo "== serve sweep smoke (all three schemes, --jobs 2 vs --jobs 1 byte parity incl. metrics)"
     mkdir -p target/ci-results
     cargo run --release --bin adavp -- serve --streams 1,8,24 --cycles 6 --jobs 1 \
         --schemes mpdt,cascade,ctd \
-        --csv target/ci-results/serve_j1.csv --json target/ci-results/serve_j1.json
+        --csv target/ci-results/serve_j1.csv --json target/ci-results/serve_j1.json \
+        --metrics-prom target/ci-results/metrics_j1.prom \
+        --metrics-json target/ci-results/metrics_j1.json
     cargo run --release --bin adavp -- serve --streams 1,8,24 --cycles 6 --jobs 2 \
         --schemes mpdt,cascade,ctd \
-        --csv target/ci-results/serve_j2.csv --json target/ci-results/serve_j2.json
+        --csv target/ci-results/serve_j2.csv --json target/ci-results/serve_j2.json \
+        --metrics-prom target/ci-results/metrics_j2.prom \
+        --metrics-json target/ci-results/metrics_j2.json
     cmp target/ci-results/serve_j1.csv target/ci-results/serve_j2.csv
     cmp target/ci-results/serve_j1.json target/ci-results/serve_j2.json
+    cmp target/ci-results/metrics_j1.prom target/ci-results/metrics_j2.prom
+    cmp target/ci-results/metrics_j1.json target/ci-results/metrics_j2.json
+
+    echo "== metrics report smoke (2-stream fleet, SLO budget table)"
+    cargo run --release --bin adavp -- metrics --streams 2 --gpus 1 --cycles 6 \
+        --prom target/ci-results/fleet_metrics.prom
 
     echo "== serve bench (writes BENCH_serve.json; asserts batched >= 1.5x unbatched + jobs parity)"
     cargo run --release -p adavp-bench --bin serve_bench -- --jobs 4 --out BENCH_serve.json
+
+    echo "== bench-diff regression gate (fresh vs committed baselines)"
+    DIFF_FLAGS=""
+    if [ -s target/ci-results/baseline_serve.json ]; then
+        DIFF_FLAGS="$DIFF_FLAGS --baseline-serve target/ci-results/baseline_serve.json --fresh-serve BENCH_serve.json"
+    fi
+    if [ -s target/ci-results/baseline_kernels.json ]; then
+        DIFF_FLAGS="$DIFF_FLAGS --baseline-kernels target/ci-results/baseline_kernels.json --fresh-kernels BENCH_kernels.json"
+    fi
+    if [ -n "$DIFF_FLAGS" ]; then
+        if [ "$STRICT" = "1" ]; then
+            # shellcheck disable=SC2086
+            cargo run --release -p adavp-bench --bin bench-diff -- $DIFF_FLAGS
+        else
+            # shellcheck disable=SC2086
+            cargo run --release -p adavp-bench --bin bench-diff -- $DIFF_FLAGS ||
+                echo "WARN: bench regression beyond tolerance (non-blocking; re-run with --strict to gate)"
+        fi
+    else
+        echo "no committed baselines found; skipping bench-diff"
+    fi
 
     echo "== telemetry determinism suite (chrome trace bytes across jobs)"
     cargo test -q -p adavp-bench --test parallel_determinism \

@@ -8,18 +8,23 @@
 //! adavp run --scenario highway --system mpdt-608 --gt true
 //! adavp trace --scenario highway --system adavp --chrome trace.json
 //! adavp serve --streams 1,8,64 --gpus 4 --jobs 4 --csv sweep.csv
+//! adavp metrics --streams 16 --gpus 2 --prom metrics.prom
 //! ```
 
 use adavp::core::adaptation::AdaptationModel;
 use adavp::core::analysis;
 use adavp::core::eval::{evaluate_on_clip, EvalConfig, GroundTruthMode};
 use adavp::core::export::write_trace_json;
+use adavp::core::metrics::{self, MetricsConfig};
 use adavp::core::pipeline::{
     CascadeConfig, CascadePipeline, ContinuousPipeline, CtdConfig, CtdPipeline,
     DetectorOnlyPipeline, MarlinConfig, MarlinPipeline, MpdtPipeline, PipelineConfig,
     SettingPolicy, VideoProcessor,
 };
-use adavp::core::serve::{run_sweep, sweep_csv, sweep_json, sweep_text, ServeScheme, SweepConfig};
+use adavp::core::serve::{
+    run_fleet, run_sweep, run_sweep_with_metrics, sweep_csv, sweep_json, sweep_text, ServeConfig,
+    ServeScheme, SweepConfig,
+};
 use adavp::core::telemetry::{self, report, TelemetryConfig};
 use adavp::detector::{DetectorConfig, ModelSetting, SimulatedDetector};
 use adavp::video::clip::VideoClip;
@@ -41,8 +46,26 @@ const KNOWN_FLAGS: &[(&str, &[&str])] = &[
     (
         "serve",
         &[
-            "batch", "csv", "cycles", "gpus", "jobs", "json", "profile", "schemes", "seed",
-            "streams", "window",
+            "batch",
+            "csv",
+            "cycles",
+            "gpus",
+            "jobs",
+            "json",
+            "metrics-json",
+            "metrics-prom",
+            "profile",
+            "schemes",
+            "seed",
+            "streams",
+            "window",
+        ],
+    ),
+    (
+        "metrics",
+        &[
+            "batch", "bucket", "cadence", "cycles", "gpus", "json", "profile", "prom", "scheme",
+            "seed", "streams", "window",
         ],
     ),
 ];
@@ -57,7 +80,10 @@ fn usage() -> ExitCode {
          adavp trace --scenario <name> [--seed N] [--frames N] [--system <sys>] [--chrome <file.json>]\n  \
          adavp serve [--streams 1,8,64,256,1024] [--cycles N] [--gpus N] [--batch N] [--window MS]\n              \
                  [--jobs N] [--seed N] [--profile none|brownout|both] [--schemes mpdt,cascade,ctd]\n              \
-                 [--csv <file>] [--json <file>]\n\n\
+                 [--csv <file>] [--json <file>] [--metrics-prom <file>] [--metrics-json <file>]\n  \
+         adavp metrics [--streams N] [--cycles N] [--gpus N] [--batch N] [--window MS] [--seed N]\n              \
+                 [--scheme mpdt|cascade|ctd] [--profile none|brownout] [--cadence MS] [--bucket MS]\n              \
+                 [--prom <file>] [--json <file>]\n\n\
          systems: adavp (default), mpdt-320/416/512/608, marlin-320/416/512/608,\n          \
          cascade-320/416/512/608, ctd-320/416/512/608,\n          \
          without-tracking-512, continuous-320, continuous-608, tiny"
@@ -385,7 +411,28 @@ fn main() -> ExitCode {
             }
             let jobs: usize = flags.get("jobs").and_then(|v| v.parse().ok()).unwrap_or(1);
             let exec = adavp::vision::exec::Executor::new(jobs);
-            let rows = run_sweep(&sweep, &exec);
+            let want_metrics =
+                flags.contains_key("metrics-prom") || flags.contains_key("metrics-json");
+            let rows = if want_metrics {
+                let (rows, registry) = run_sweep_with_metrics(&sweep, &exec);
+                if let Some(path) = flags.get("metrics-prom").map(PathBuf::from) {
+                    if let Err(e) = std::fs::write(&path, metrics::prometheus_text(&registry)) {
+                        eprintln!("failed to write metrics exposition: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("prom:      written to {}", path.display());
+                }
+                if let Some(path) = flags.get("metrics-json").map(PathBuf::from) {
+                    if let Err(e) = std::fs::write(&path, metrics::json_snapshot(&registry)) {
+                        eprintln!("failed to write metrics snapshot: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("metrics:   written to {}", path.display());
+                }
+                rows
+            } else {
+                run_sweep(&sweep, &exec)
+            };
             print!("{}", sweep_text(&rows));
             if let Some(path) = flags.get("csv").map(PathBuf::from) {
                 if let Err(e) = std::fs::write(&path, sweep_csv(&rows)) {
@@ -397,6 +444,95 @@ fn main() -> ExitCode {
             if let Some(path) = flags.get("json").map(PathBuf::from) {
                 if let Err(e) = std::fs::write(&path, sweep_json(&rows)) {
                     eprintln!("failed to write JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("json:      written to {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        "metrics" => {
+            let streams: usize = flags
+                .get("streams")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            let cycles: usize = flags
+                .get("cycles")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20);
+            let mut cfg = ServeConfig::default();
+            cfg.seed = seed;
+            cfg.streams = ServeConfig::synthetic_streams(streams, cycles, seed);
+            if let Some(v) = flags.get("gpus").and_then(|v| v.parse().ok()) {
+                cfg.batch.gpus = v;
+            }
+            if let Some(v) = flags.get("batch").and_then(|v| v.parse().ok()) {
+                cfg.batch.max_batch = v;
+            }
+            if let Some(v) = flags.get("window").and_then(|v| v.parse().ok()) {
+                cfg.batch.window_ms = v;
+            }
+            if let Some(v) = flags.get("scheme") {
+                let Some(scheme) = ServeScheme::parse(v.trim()) else {
+                    eprintln!("unknown scheme: {v} (mpdt|cascade|ctd)");
+                    return ExitCode::from(2);
+                };
+                cfg.scheme = scheme;
+            }
+            match flags.get("profile").map(String::as_str) {
+                Some("brownout") => cfg.faults = adavp::sim::FaultProfile::brownout(0xb0b0),
+                Some("none") | None => {}
+                Some(other) => {
+                    eprintln!("unknown profile: {other} (none|brownout)");
+                    return ExitCode::from(2);
+                }
+            }
+            let cadence: f64 = flags
+                .get("cadence")
+                .and_then(|v| v.parse().ok())
+                .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                .unwrap_or(250.0);
+            let bucket: f64 = flags
+                .get("bucket")
+                .and_then(|v| v.parse().ok())
+                .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                .unwrap_or(cadence * 4.0);
+            cfg.metrics = MetricsConfig {
+                enabled: true,
+                cadence_ms: cadence,
+                per_stream: true,
+            };
+            let report = run_fleet(&cfg);
+            let m = report.metrics.as_ref().expect("metrics were enabled");
+            println!(
+                "fleet:     {} streams requested, {} admitted, {} GPUs ({})",
+                report.requested,
+                report.admitted,
+                cfg.batch.gpus,
+                cfg.scheme.label()
+            );
+            println!(
+                "cycles:    {} over {:.0} ms virtual ({:.2} detections/s, GPU util {:.0}%)",
+                report.cycles,
+                report.horizon_ms,
+                report.throughput_dps,
+                report.gpu_utilization * 100.0
+            );
+            println!(
+                "telemetry: {} burn-alert events",
+                m.telemetry.events.len()
+            );
+            println!();
+            print!("{}", metrics::report::utilization_report(&m.registry, bucket));
+            if let Some(path) = flags.get("prom").map(PathBuf::from) {
+                if let Err(e) = std::fs::write(&path, metrics::prometheus_text(&m.registry)) {
+                    eprintln!("failed to write metrics exposition: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("prom:      written to {}", path.display());
+            }
+            if let Some(path) = flags.get("json").map(PathBuf::from) {
+                if let Err(e) = std::fs::write(&path, metrics::json_snapshot(&m.registry)) {
+                    eprintln!("failed to write metrics snapshot: {e}");
                     return ExitCode::FAILURE;
                 }
                 println!("json:      written to {}", path.display());

@@ -6,10 +6,11 @@
 //! batch formation (close on size vs window deadline), admission rejection,
 //! and backpressure step-down — through the public API.
 
+use adavp::core::metrics::{json_snapshot, prometheus_text, MetricsConfig, SloTracker};
 use adavp::core::serve::stream::{DetectionRequest, SloClass};
 use adavp::core::serve::{
-    run_fleet, run_sweep, sweep_csv, sweep_json, BatchConfig, BatchScheduler, ServeConfig,
-    ServeScheme, SweepConfig,
+    run_fleet, run_sweep, run_sweep_with_metrics, sweep_csv, sweep_json, BatchConfig,
+    BatchScheduler, ServeConfig, ServeScheme, SweepConfig,
 };
 use adavp::sim::{FaultPlan, FaultProfile, SimTime};
 use adavp::vision::exec::Executor;
@@ -195,6 +196,104 @@ fn backpressure_sheds_and_steps_settings_down() {
     roomy.batch.queue_capacity = 10_000;
     let report_roomy = run_fleet(&roomy);
     assert_eq!(report_roomy.shed, 0);
+}
+
+/// The metrics snapshot rides the same byte-identity contract as the sweep
+/// renderers: Prometheus exposition and JSON snapshot bytes must be
+/// identical across `--jobs 1` and `--jobs 4`, and the per-class SLO
+/// error-budget burn rates must be present in both renderings.
+#[test]
+fn metrics_exposition_bytes_identical_across_jobs() {
+    let cfg = SweepConfig {
+        stream_counts: vec![2, 12],
+        cycles: 6,
+        metrics: MetricsConfig::enabled(),
+        ..SweepConfig::default()
+    };
+    let (rows_1, reg_1) = run_sweep_with_metrics(&cfg, &Executor::new(1));
+    let (rows_4, reg_4) = run_sweep_with_metrics(&cfg, &Executor::new(4));
+    assert_eq!(rows_1, rows_4, "metrics sweep rows differ across jobs");
+    assert_eq!(reg_1, reg_4, "merged registries differ across jobs");
+    let prom_1 = prometheus_text(&reg_1);
+    let prom_4 = prometheus_text(&reg_4);
+    assert_eq!(
+        prom_1.clone().into_bytes(),
+        prom_4.into_bytes(),
+        "Prometheus exposition bytes differ between --jobs 1 and 4"
+    );
+    let json_1 = json_snapshot(&reg_1);
+    let json_4 = json_snapshot(&reg_4);
+    assert_eq!(
+        json_1.clone().into_bytes(),
+        json_4.into_bytes(),
+        "metrics JSON snapshot bytes differ between --jobs 1 and 4"
+    );
+    // The SLO error-budget burn rates are in both renderings, per class.
+    for class in ["gold", "silver", "bronze"] {
+        assert!(
+            prom_1
+                .lines()
+                .any(|l| l.starts_with("adavp_slo_burn_rate{")
+                    && l.contains(&format!("class=\"{class}\""))),
+            "burn-rate gauge for {class} missing from exposition"
+        );
+        assert!(
+            json_1.contains(&format!("\"class\": \"{class}\"")),
+            "class {class} missing from JSON snapshot"
+        );
+    }
+    assert!(json_1.contains("\"adavp_slo_burn_rate\""));
+}
+
+/// Conformance pin for the error-budget math: driving a tracker with a
+/// synthetic deadline-miss schedule must reproduce the closed-form burn
+/// rate `(misses / cycles) / budget` exactly, and the fleet's reported
+/// per-class burn metric must equal the same closed form computed from its
+/// own violation counts.
+#[test]
+fn error_budget_burn_matches_closed_form() {
+    // Unit level: 7 misses in 40 cycles against a 5% budget.
+    let mut tracker = SloTracker::new(0.05);
+    for i in 0..40 {
+        tracker.record(i % 6 == 0); // misses at 0,6,12,18,24,30,36 = 7
+    }
+    assert_eq!(tracker.cycles(), 40);
+    assert_eq!(tracker.misses(), 7);
+    assert_eq!(tracker.burn_rate(), (7.0 / 40.0) / 0.05);
+
+    // Fleet level: the exported gauge equals the closed form derived from
+    // the same report's violation counts.
+    let mut cfg = ServeConfig::default();
+    cfg.streams = ServeConfig::synthetic_streams(18, 5, 23);
+    cfg.batch.gpus = 1; // scarce pool so some deadlines actually miss
+    cfg.metrics = MetricsConfig::enabled();
+    let report = run_fleet(&cfg);
+    let metrics = report.metrics.as_ref().expect("metrics enabled");
+    let prom = prometheus_text(&metrics.registry);
+    for cr in &report.classes {
+        if cr.cycles == 0 {
+            continue;
+        }
+        let expected = (cr.violations as f64 / cr.cycles as f64) / cr.class.error_budget();
+        let line = prom
+            .lines()
+            .find(|l| {
+                l.starts_with("adavp_slo_burn_rate{")
+                    && l.contains(&format!("class=\"{}\"", cr.class.label()))
+            })
+            .unwrap_or_else(|| panic!("no burn-rate line for {}", cr.class.label()));
+        let value: f64 = line
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("numeric gauge value");
+        assert!(
+            (value - expected).abs() < 1e-12,
+            "{}: exported burn {value} != closed form {expected}",
+            cr.class.label()
+        );
+    }
 }
 
 #[test]

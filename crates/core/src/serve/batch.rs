@@ -199,9 +199,16 @@ impl BatchScheduler {
     }
 
     /// Marks a dispatched batch's members complete, releasing queue slots.
+    ///
+    /// Invariant: `outstanding` counts exactly the members of dispatched,
+    /// uncompleted batches, and the fleet driver calls `complete` once per
+    /// `BatchDone` event — so the subtraction cannot underflow. The
+    /// saturating form keeps that true even under `overflow-checks = true`
+    /// with a buggy caller, while the debug_assert still catches the bug
+    /// in tests.
     pub fn complete(&mut self, members: usize) {
         debug_assert!(self.outstanding >= members, "completing unknown members");
-        self.outstanding -= members;
+        self.outstanding = self.outstanding.saturating_sub(members);
     }
 
     /// Window deadlines the driver must arm events for (drains).
@@ -215,6 +222,7 @@ impl BatchScheduler {
         std::mem::take(&mut self.dispatched)
     }
 
+    // adavp-lint: allow(panic-surface, item=dispatch) — GpuPool::new asserts a non-empty pool, so min_by over the GPUs always yields one
     fn dispatch(&mut self, now: SimTime) {
         let members = std::mem::take(&mut self.open);
         let id = self.open_id;

@@ -273,6 +273,7 @@ fn take_sample(
 }
 
 /// Runs one fleet to completion. See the module docs for the event loop.
+// adavp-lint: allow(panic-surface, item=run_fleet) — event-queue bookkeeping invariants (a wake, batch, or stat always has its stream); fault sweeps in scheme_conformance exercise every arm
 pub fn run_fleet(cfg: &ServeConfig) -> FleetReport {
     let plan = FaultPlan::new(cfg.faults.clone());
     let mut sched = BatchScheduler::new(cfg.batch.clone(), &plan);

@@ -370,6 +370,7 @@ impl StreamPipeline {
         let factor =
             (cfg.base_decay - cfg.velocity_penalty * self.velocity(cycle)).clamp(0.05, 0.999);
         let c0 = 0.62_f64;
+        // adavp-lint: allow(float-determinism) — closed-form CTD trigger: k is ceiled to a whole frame count, so a ±1-ulp ln() drift cannot move it off the integer; scheme_conformance pins the resulting schedule bytes
         let k = ((cfg.threshold / c0).ln() / factor.ln()).ceil().max(1.0);
         (k as u64).min(cfg.max_cycle_frames)
     }
@@ -427,6 +428,7 @@ impl StreamPipeline {
     /// returns in [`NextWake::At`], and after [`NextWake::OnDetection`]
     /// delivers a verdict via [`StreamPipeline::deliver`] before polling
     /// again (at the verdict's `end` time).
+    // adavp-lint: allow(panic-surface, item=step) — driver contract above: after OnDetection the fleet loop always delivers a verdict before re-polling; step_is_idempotent_across_early_polls pins it
     pub fn step(
         &mut self,
         now: SimTime,

@@ -175,7 +175,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.edges, other.edges, "cannot merge mismatched buckets");
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
-            *c += o;
+            // Saturate rather than wrap: u64 counts only hit the ceiling
+            // after ~10^19 observations, and a pinned count is a visibly
+            // wrong statistic while a wrapped one silently corrupts
+            // percentiles (and aborts under overflow-checks = true).
+            *c = c.saturating_add(*o);
         }
         self.samples.extend_from_slice(&other.samples);
     }
@@ -184,6 +188,21 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping_counts() {
+        // Regression for the overflow-checks = true test profile: merging
+        // histograms whose bucket counts sum past u64::MAX must pin at the
+        // ceiling, not wrap (or abort the whole export).
+        let mut a = Histogram::with_edges(&[10.0]);
+        let mut b = Histogram::with_edges(&[10.0]);
+        a.record(1.0);
+        b.record(2.0);
+        a.counts[0] = u64::MAX - 1;
+        b.counts[0] = 5;
+        a.merge(&b);
+        assert_eq!(a.counts[0], u64::MAX);
+    }
 
     #[test]
     fn exact_percentiles_on_known_distribution() {

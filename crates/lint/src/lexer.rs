@@ -3,12 +3,15 @@
 //!
 //! The output is a flat stream of tokens (identifiers, numbers, and
 //! punctuation, with `::` coalesced) carrying 1-based line numbers, plus the
-//! list of line comments (where inline waivers live). Comments, string
-//! literals, char literals, and raw/byte strings are consumed but produce no
-//! tokens, so `Instant::now` mentioned in a doc comment or inside an error
-//! message can never fire a rule. [`strip_cfg_test`] then removes every item
-//! annotated `#[cfg(test)]` — test modules may legitimately read the host
-//! clock or temp dir.
+//! list of line comments (where inline waivers live) and the list of string
+//! literals (which the metrics-vocabulary pass inspects). Comments, string
+//! literals, char literals, and raw/byte strings produce no *tokens*, so
+//! `Instant::now` mentioned in a doc comment or inside an error message can
+//! never fire a token rule. Raw identifiers (`r#fn`) lex as a single token
+//! carrying the `r#` prefix, so they never collide with the keyword they
+//! escape; a leading shebang line is skipped. [`strip_cfg_test`] then
+//! removes every item annotated `#[cfg(test)]` — test modules may
+//! legitimately read the host clock or temp dir.
 
 /// One lexed token: an identifier, number, or punctuation character
 /// (with `::` kept as a single token).
@@ -25,11 +28,23 @@ pub struct LineComment {
     pub line: u32,
 }
 
+/// One string literal (plain or raw; byte strings are skipped), with the
+/// quotes and any `r#…#` fencing removed. Escape sequences are *not*
+/// processed: the metrics-vocabulary pass only cares about plain
+/// `[a-z0-9_]` names, which carry no escapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    pub text: String,
+    /// Line where the literal opens.
+    pub line: u32,
+}
+
 /// The lexed form of one source file.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub comments: Vec<LineComment>,
+    pub strings: Vec<StrLit>,
 }
 
 /// Tokenize `src`. Never fails: unrecognized bytes become single-character
@@ -38,8 +53,16 @@ pub fn lex(src: &str) -> Lexed {
     let b: Vec<char> = src.chars().collect();
     let mut tokens = Vec::new();
     let mut comments = Vec::new();
+    let mut strings = Vec::new();
     let mut line: u32 = 1;
     let mut i = 0;
+    // A shebang line (`#!/usr/bin/env …`) is not Rust tokens; `#![…]` inner
+    // attributes are, so only skip when no `[` follows the `#!`.
+    if b.first() == Some(&'#') && b.get(1) == Some(&'!') && b.get(2) != Some(&'[') {
+        while i < b.len() && b[i] != '\n' {
+            i += 1;
+        }
+    }
     while i < b.len() {
         let c = b[i];
         if c == '\n' {
@@ -74,9 +97,45 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
         } else if c == '"' {
-            i = skip_plain_string(&b, i, &mut line);
+            let open_line = line;
+            let end = skip_plain_string(&b, i, &mut line);
+            strings.push(StrLit {
+                text: b[i + 1..end.saturating_sub(1).max(i + 1)].iter().collect(),
+                line: open_line,
+            });
+            i = end;
+        } else if c == 'r'
+            && b.get(i + 1) == Some(&'#')
+            && b.get(i + 2).is_some_and(|&n| n.is_alphabetic() || n == '_')
+        {
+            // Raw identifier `r#fn`: one token, prefix kept, so it never
+            // matches the keyword (or rule pattern) it escapes.
+            let start = i;
+            i += 2;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                text: b[start..i].iter().collect(),
+                line,
+            });
         } else if (c == 'r' || c == 'b') && string_prefix_len(&b, i).is_some() {
-            i = skip_prefixed_literal(&b, i, &mut line);
+            let open_line = line;
+            let start = i;
+            let end = skip_prefixed_literal(&b, i, &mut line);
+            if c == 'r' {
+                // Raw (non-byte) string: capture the fenced content.
+                let hashes = b[start + 1..end].iter().take_while(|&&h| h == '#').count();
+                let body_start = start + 2 + hashes; // r, hashes, quote
+                let body_end = end.saturating_sub(1 + hashes);
+                if body_end > body_start {
+                    strings.push(StrLit {
+                        text: b[body_start..body_end].iter().collect(),
+                        line: open_line,
+                    });
+                }
+            }
+            i = end;
         } else if c == '\'' {
             i = skip_char_or_lifetime(&b, i, &mut line);
         } else if c.is_alphabetic() || c == '_' {
@@ -112,7 +171,11 @@ pub fn lex(src: &str) -> Lexed {
             i += 1;
         }
     }
-    Lexed { tokens, comments }
+    Lexed {
+        tokens,
+        comments,
+        strings,
+    }
 }
 
 /// If position `i` starts a raw/byte string (`r"`, `r#"`, `b"`, `br#"`, …)
@@ -271,7 +334,20 @@ pub fn strip_cfg_test(lexed: Lexed) -> Lexed {
                 .any(|&(a, z)| c.line >= a && c.line <= z)
         })
         .collect();
-    Lexed { tokens, comments }
+    let strings = lexed
+        .strings
+        .into_iter()
+        .filter(|s| {
+            !skipped_lines
+                .iter()
+                .any(|&(a, z)| s.line >= a && s.line <= z)
+        })
+        .collect();
+    Lexed {
+        tokens,
+        comments,
+        strings,
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +430,76 @@ mod tests {
         let toks: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
         assert!(!toks.contains(&"HashMap"));
         assert!(toks.contains(&"live"));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        // `r#fn` is an identifier named `fn`, not the keyword; the token
+        // carries the `r#` so the item indexer never misparses it, and
+        // `r#unwrap` never matches a rule pattern written for `unwrap`.
+        assert_eq!(
+            texts("fn r#fn() { r#unwrap(); }"),
+            ["fn", "r#fn", "(", ")", "{", "r#unwrap", "(", ")", ";", "}"]
+        );
+        // …but `r#"…"#` is still a raw string, not a raw identifier.
+        let lexed = lex(r###"let s = r#"Instant"# ;"###);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "Instant"));
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].text, "Instant");
+    }
+
+    #[test]
+    fn shebang_is_skipped_but_inner_attrs_are_not() {
+        let lexed = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(
+            lexed.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            ["fn", "main", "(", ")", "{", "}"]
+        );
+        assert_eq!(lexed.tokens[0].line, 2, "shebang still counts as a line");
+        let attr = lex("#![forbid(unsafe_code)]");
+        assert_eq!(attr.tokens[0].text, "#", "inner attribute survives");
+        assert_eq!(attr.tokens.len(), 8);
+    }
+
+    #[test]
+    fn nested_generic_close_is_two_tokens_not_a_shift() {
+        let toks = texts("let v: Vec<Vec<u8>> = x >> 2;");
+        let closes = toks.iter().filter(|t| *t == ">").count();
+        assert_eq!(closes, 4, "both `>>` forms lex as individual `>`: {toks:?}");
+        assert!(!toks.contains(&">>".to_string()));
+    }
+
+    #[test]
+    fn float_literals_with_suffixes_are_one_opaque_token() {
+        assert_eq!(
+            texts("let x = 1.5f32 + 2e3f64 + 0x1Fu8;"),
+            ["let", "x", "=", "1.5f32", "+", "2e3f64", "+", "0x1Fu8", ";"]
+        );
+    }
+
+    #[test]
+    fn doc_comment_markers_distinguish_inner_and_outer() {
+        let lexed = lex("//! inner module doc\n/// outer item doc\n// plain\nfn f() {}\n");
+        let texts: Vec<&str> = lexed.comments.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(texts, ["! inner module doc", "/ outer item doc", " plain"]);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn string_literals_are_captured_with_lines() {
+        let src = "fn f() {\n    let a = \"adavp_queue_depth\";\n    let b = b\"bytes\";\n}";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 1, "byte strings are not captured");
+        assert_eq!(lexed.strings[0].text, "adavp_queue_depth");
+        assert_eq!(lexed.strings[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_strips_string_literals_in_range() {
+        let src = "pub fn live() { let _ = \"adavp_live\"; }\n#[cfg(test)]\nmod t {\n    fn g() { let _ = \"adavp_testonly\"; }\n}";
+        let lexed = strip_cfg_test(lex(src));
+        let texts: Vec<&str> = lexed.strings.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, ["adavp_live"]);
     }
 }

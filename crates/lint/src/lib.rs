@@ -15,30 +15,47 @@
 //! * [`lexer`] — minimal tokenizer: identifiers/punctuation with line
 //!   numbers, comments and string/char literals stripped, `#[cfg(test)]`
 //!   items removed (test code may legitimately touch the host).
-//! * [`rules`] — the static rule table (forbidden token sequences plus the
-//!   `#![forbid(unsafe_code)]` crate-root requirement).
+//! * [`items`] — lightweight item indexer over the token stream: module /
+//!   fn / impl / trait spans with attribute capture, so findings carry an
+//!   enclosing-item path and waivers can scope to a whole fn.
+//! * [`rules`] — the static rule table: forbidden token sequences, the
+//!   `#![forbid(unsafe_code)]` crate-root requirement, and the four
+//!   flow-aware passes.
+//! * [`passes`] — panic-surface, float-determinism, cast-truncation, and
+//!   metrics-vocabulary (DESIGN.md §18).
 //! * [`policy`] — `lint.toml` parsing (per-rule path scopes, audited
 //!   `[[allow]]` entries) and the inline-waiver grammar
-//!   `// adavp-lint: allow(<rule>) — <reason>`.
+//!   `// adavp-lint: allow(<rule>[, item=<name>][, bound=<N>]) — <reason>`.
+//! * [`baseline`] — stable finding fingerprints and the checked-in
+//!   `lint.baseline` debt ratchet: legacy findings stay visible, new debt
+//!   fails, shrunk debt must be ratcheted down.
 //! * [`engine`] — applies rules to one source string or to the whole
-//!   workspace, tracks waiver hit counts, and renders the violation and
-//!   waiver-audit reports. Stale waivers (zero suppressed findings) fail
-//!   `--fix-check`.
+//!   workspace, tracks waiver hit counts, applies the baseline, and renders
+//!   the violation, waiver-audit, and byte-stable `--json` reports. Stale
+//!   waivers (zero suppressed findings — including item waivers on deleted
+//!   fns) fail `--fix-check`.
 //!
 //! The binary (`cargo run -p adavp-lint -- --fix-check`) gates CI before
 //! clippy; `tests/tooling.rs` at the workspace root also invokes
 //! [`lint_workspace`] as a library so plain `cargo test` enforces the pass.
-//! DESIGN.md §13 documents the rule table and waiver grammar.
+//! DESIGN.md §13 documents the rule table and waiver grammar; §18 the pass
+//! architecture and baseline scheme.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod engine;
+pub mod items;
 pub mod lexer;
+pub mod passes;
 pub mod policy;
 pub mod rules;
 
+pub use baseline::{fingerprint, Baseline, BaselineEntry};
 pub use engine::{
-    lint_source, lint_workspace, FileOutcome, Finding, Outcome, WaiverSource, WaiverUse,
+    baseline_from, lint_source, lint_workspace, lint_workspace_with, load_baseline, FileOutcome,
+    Finding, Outcome, StaleBaseline, WaiverSource, WaiverUse,
 };
+pub use items::{Item, ItemIndex, ItemKind};
 pub use policy::{load_policy, parse_policy, Policy, PolicyAllow};
-pub use rules::{rule_names, Rule, RuleKind, RULES};
+pub use rules::{rule_names, PassKind, Rule, RuleKind, Severity, RULES};

@@ -1,15 +1,27 @@
-//! `adavp-lint` binary: lint the workspace against `lint.toml`.
+//! `adavp-lint` binary: lint the workspace against `lint.toml` and the
+//! `lint.baseline` debt ratchet.
 //!
 //! ```text
-//! adavp-lint [--root <dir>] [--report] [--fix-check]
+//! adavp-lint [--root <dir>] [--report] [--fix-check] [--strict]
+//!            [--json <path|->] [--baseline <path>] [--write-baseline]
 //! ```
 //!
-//! * default: print violations, exit 1 if any.
-//! * `--report`: also print the audit table of every active waiver.
+//! * default: print violations; deny findings exit 1, warn findings exit 0.
+//! * `--strict`: warn findings also exit 1.
+//! * `--report`: also print the audit table of every active waiver with
+//!   per-rule counts.
 //! * `--fix-check`: additionally fail on stale waivers (waiver present,
-//!   rule no longer triggered) — the CI mode.
+//!   rule no longer triggered — including item waivers on deleted fns) and
+//!   stale baseline entries (debt shrank, entry must ratchet down) — the
+//!   CI mode.
+//! * `--json <path|->`: write the machine-readable findings report (byte
+//!   stable across runs) to a file or stdout.
+//! * `--baseline <path>`: read the debt baseline from `path` instead of
+//!   `<root>/lint.baseline`.
+//! * `--write-baseline`: run without a baseline and write one absorbing
+//!   every current finding to `<root>/lint.baseline`, then exit 0.
 //!
-//! Exit codes: 0 clean, 1 violations or stale waivers, 2 usage/IO error.
+//! Exit codes: 0 clean, 1 findings/stale entries, 2 usage/policy/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +30,10 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut report = false;
     let mut fix_check = false;
+    let mut strict = false;
+    let mut json_to: Option<String> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -25,10 +41,20 @@ fn main() -> ExitCode {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage(),
             },
+            "--json" => match args.next() {
+                Some(p) => json_to = Some(p),
+                None => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             "--report" => report = true,
             "--fix-check" => fix_check = true,
+            "--strict" => strict = true,
+            "--write-baseline" => write_baseline = true,
             "--help" | "-h" => {
-                eprintln!("usage: adavp-lint [--root <dir>] [--report] [--fix-check]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -46,7 +72,30 @@ fn main() -> ExitCode {
     };
 
     let started = std::time::Instant::now();
-    let outcome = match adavp_lint::lint_workspace(&root) {
+    let baseline = if write_baseline {
+        None
+    } else {
+        match baseline_path {
+            Some(p) => match std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))
+                .and_then(|t| adavp_lint::Baseline::parse(&t))
+            {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("adavp-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => match adavp_lint::load_baseline(&root) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("adavp-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    };
+    let outcome = match adavp_lint::lint_workspace_with(&root, baseline.as_ref()) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("adavp-lint: {e}");
@@ -54,28 +103,62 @@ fn main() -> ExitCode {
         }
     };
 
+    if write_baseline {
+        let b = adavp_lint::baseline_from(&outcome);
+        let path = root.join("lint.baseline");
+        if let Err(e) = std::fs::write(&path, b.render()) {
+            eprintln!("adavp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "adavp-lint: wrote {} entr(ies) absorbing {} finding(s) to {}",
+            b.entries.len(),
+            outcome.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(dest) = &json_to {
+        let json = outcome.json_report();
+        if dest == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(dest, &json) {
+            eprintln!("adavp-lint: cannot write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let deny = outcome.deny_findings().len();
+    let warn = outcome.warn_findings().len();
     let mut failed = false;
     if !outcome.findings.is_empty() {
         eprint!("{}", outcome.violation_report());
         eprintln!(
-            "adavp-lint: {} violation(s) — see DESIGN.md §13 for the rule table \
-             and waiver grammar",
-            outcome.findings.len()
+            "adavp-lint: {deny} deny, {warn} warn finding(s) — see DESIGN.md §13/§18 for \
+             the rule table, waiver grammar, and baseline scheme"
         );
-        failed = true;
+        if deny > 0 || (strict && warn > 0) {
+            failed = true;
+        }
     }
     if report {
         print!("{}", outcome.waiver_report());
     }
     if fix_check {
-        let stale = outcome.stale_waivers();
-        if !stale.is_empty() {
-            for w in &stale {
-                eprintln!(
-                    "stale waiver: [{}] at {} — rule no longer triggers; remove it ({})",
-                    w.rule, w.site, w.reason
-                );
-            }
+        for w in outcome.stale_waivers() {
+            eprintln!(
+                "stale waiver: [{}] at {} — rule no longer triggers; remove it ({})",
+                w.rule, w.site, w.reason
+            );
+            failed = true;
+        }
+        for s in &outcome.stale_baseline {
+            eprintln!(
+                "stale baseline entry: {} tolerates {} `{}` finding(s) at {} but only {} \
+                 remain — ratchet the count down",
+                s.entry.fingerprint, s.entry.count, s.entry.rule, s.entry.path, s.live
+            );
             failed = true;
         }
     }
@@ -83,15 +166,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "adavp-lint: {} files clean, {} active waiver(s) ({} ms)",
+        "adavp-lint: {} files clean, {} active waiver(s), {} baselined finding(s) ({} ms)",
         outcome.files_scanned,
         outcome.waivers.len(),
+        outcome.baseline_suppressed,
         started.elapsed().as_millis()
     );
     ExitCode::SUCCESS
 }
 
+const USAGE: &str = "usage: adavp-lint [--root <dir>] [--report] [--fix-check] [--strict] \
+                     [--json <path|->] [--baseline <path>] [--write-baseline]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: adavp-lint [--root <dir>] [--report] [--fix-check]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }

@@ -53,6 +53,9 @@ pub struct Policy {
     /// rule name → workspace-relative path prefixes the rule applies to.
     pub includes: BTreeMap<String, Vec<String>>,
     pub allows: Vec<PolicyAllow>,
+    /// Legal metric name literals, extracted from `metrics::names` by
+    /// [`load_policy`]; the `metrics-vocabulary` pass checks against this.
+    pub metric_vocab: Vec<String>,
 }
 
 impl Policy {
@@ -72,12 +75,20 @@ pub fn prefix_matches(prefix: &str, path: &str) -> bool {
             .is_some_and(|rest| rest.starts_with('/'))
 }
 
-/// Load and parse `<root>/lint.toml`.
+/// Load and parse `<root>/lint.toml`, plus the metric-name vocabulary from
+/// `crates/core/src/metrics/names.rs` when that file exists.
 pub fn load_policy(root: &std::path::Path) -> Result<Policy, String> {
     let path = root.join("lint.toml");
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    parse_policy(&text, &crate::rules::rule_names())
+    let mut policy = parse_policy(&text, &crate::rules::rule_names())?;
+    let names = root.join("crates/core/src/metrics/names.rs");
+    if names.is_file() {
+        let src = std::fs::read_to_string(&names)
+            .map_err(|e| format!("cannot read {}: {e}", names.display()))?;
+        policy.metric_vocab = crate::passes::extract_vocabulary(&src);
+    }
+    Ok(policy)
 }
 
 /// Parse policy text. `known_rules` validates rule names; every known rule
@@ -90,6 +101,10 @@ pub fn parse_policy(text: &str, known_rules: &[&str]) -> Result<Policy, String> 
     }
     let mut policy = Policy::default();
     let mut ctx = Ctx::None;
+    // Rules whose section carried an explicit `include =` key, plus the
+    // section's line for the missing-include diagnostic.
+    let mut saw_include: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut section_line: BTreeMap<String, u32> = BTreeMap::new();
     let mut lines = text.lines().enumerate();
     while let Some((idx, raw)) = lines.next() {
         let lineno = idx as u32 + 1;
@@ -103,9 +118,13 @@ pub fn parse_policy(text: &str, known_rules: &[&str]) -> Result<Policy, String> 
         {
             let name = name.trim();
             if !known_rules.contains(&name) {
-                return Err(format!("lint.toml:{lineno}: unknown rule `{name}`"));
+                return Err(format!(
+                    "lint.toml:{lineno}: unknown rule `{name}` — known rules are: {}",
+                    known_rules.join(", ")
+                ));
             }
             policy.includes.entry(name.to_string()).or_default();
+            section_line.insert(name.to_string(), lineno);
             ctx = Ctx::Rule(name.to_string());
         } else if line == "[[allow]]" {
             policy.allows.push(PolicyAllow {
@@ -134,6 +153,7 @@ pub fn parse_policy(text: &str, known_rules: &[&str]) -> Result<Policy, String> 
                     let prefixes = parse_string_array(&value)
                         .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
                     policy.includes.insert(name.clone(), prefixes);
+                    saw_include.insert(name.clone());
                 }
                 Ctx::Allow(i) => {
                     let v = parse_string(&value).map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
@@ -162,6 +182,13 @@ pub fn parse_policy(text: &str, known_rules: &[&str]) -> Result<Policy, String> 
             return Err(format!(
                 "lint.toml: rule `{rule}` has no [rule.{rule}] section; \
                  add one (an empty include list disables it explicitly)"
+            ));
+        }
+        if !saw_include.contains(*rule) {
+            let at = section_line.get(*rule).copied().unwrap_or(0);
+            return Err(format!(
+                "lint.toml:{at}: [rule.{rule}] section is missing its `include` key; \
+                 write `include = []` to disable the rule explicitly"
             ));
         }
     }
@@ -240,6 +267,12 @@ pub struct InlineWaiver {
     pub rule: String,
     pub reason: String,
     pub line: u32,
+    /// `item=<name>` — waive across a whole fn/impl/mod (matched against
+    /// the item index) instead of the same/next line.
+    pub item: Option<String>,
+    /// `bound=<N>` — the asserted maximum magnitude flowing into a
+    /// narrowing cast; machine-checked against the cast target's range.
+    pub bound: Option<u64>,
 }
 
 /// Result of inspecting one line comment for a waiver.
@@ -252,7 +285,9 @@ pub enum WaiverParse {
     Invalid(String),
 }
 
-/// Parse `// adavp-lint: allow(<rule>) — <reason>` from a comment body.
+/// Parse `// adavp-lint: allow(<rule>[, item=<name>][, bound=<N>]) — <reason>`
+/// from a comment body. `cast-truncation` waivers must carry `bound=` — the
+/// engine machine-checks it against the cast target's range.
 pub fn parse_waiver(comment: &str, line: u32, known_rules: &[&str]) -> WaiverParse {
     // Doc comments arrive as `/ ...` / `! ...`; strip the markers.
     let t = comment.trim_start_matches(['/', '!']).trim();
@@ -262,15 +297,43 @@ pub fn parse_waiver(comment: &str, line: u32, known_rules: &[&str]) -> WaiverPar
     let rest = rest.trim();
     let Some(rest) = rest.strip_prefix("allow(") else {
         return WaiverParse::Invalid(
-            "waiver must have the form `adavp-lint: allow(<rule>) — <reason>`".to_string(),
+            "waiver must have the form `adavp-lint: allow(<rule>[, item=<name>][, bound=<N>]) \
+             — <reason>`"
+                .to_string(),
         );
     };
     let Some(close) = rest.find(')') else {
         return WaiverParse::Invalid("waiver is missing `)` after the rule name".to_string());
     };
-    let rule = rest[..close].trim();
+    let mut args = rest[..close].split(',').map(str::trim);
+    let rule = args.next().unwrap_or("");
     if !known_rules.contains(&rule) {
         return WaiverParse::Invalid(format!("waiver names unknown rule `{rule}`"));
+    }
+    let mut item: Option<String> = None;
+    let mut bound: Option<u64> = None;
+    for arg in args {
+        match arg.split_once('=').map(|(k, v)| (k.trim(), v.trim())) {
+            Some(("item", v)) if !v.is_empty() => item = Some(v.to_string()),
+            Some(("bound", v)) => match v.parse::<u64>() {
+                Ok(n) => bound = Some(n),
+                Err(_) => {
+                    return WaiverParse::Invalid(format!(
+                        "waiver bound `{v}` is not an unsigned integer"
+                    ))
+                }
+            },
+            _ => {
+                return WaiverParse::Invalid(format!(
+                    "unknown waiver argument `{arg}`; valid keys are `item=` and `bound=`"
+                ))
+            }
+        }
+    }
+    if rule == "cast-truncation" && bound.is_none() {
+        return WaiverParse::Invalid(
+            "cast-truncation waivers must carry `bound=N` justifying the value range".to_string(),
+        );
     }
     let mut reason = rest[close + 1..].trim();
     for sep in ["—", "--", "-", ":"] {
@@ -286,6 +349,8 @@ pub fn parse_waiver(comment: &str, line: u32, known_rules: &[&str]) -> WaiverPar
         rule: rule.to_string(),
         reason: reason.to_string(),
         line,
+        item,
+        bound,
     })
 }
 
@@ -352,6 +417,8 @@ mod tests {
                 assert_eq!(w.rule, "wallclock");
                 assert_eq!(w.reason, "timers are real");
                 assert_eq!(w.line, 7);
+                assert_eq!(w.item, None);
+                assert_eq!(w.bound, None);
             }
             other => panic!("expected waiver, got {other:?}"),
         }
@@ -367,5 +434,51 @@ mod tests {
             parse_waiver(" adavp-lint: allow(nope) — x", 1, KNOWN),
             WaiverParse::Invalid(_)
         ));
+    }
+
+    #[test]
+    fn waiver_item_and_bound_arguments() {
+        let known = &["cast-truncation", "panic-surface"];
+        match parse_waiver(
+            " adavp-lint: allow(cast-truncation, item=blur_row, bound=4080) — acc ≤ 16*255",
+            3,
+            known,
+        ) {
+            WaiverParse::Waiver(w) => {
+                assert_eq!(w.rule, "cast-truncation");
+                assert_eq!(w.item.as_deref(), Some("blur_row"));
+                assert_eq!(w.bound, Some(4080));
+                assert_eq!(w.reason, "acc ≤ 16*255");
+            }
+            other => panic!("expected waiver, got {other:?}"),
+        }
+        // cast-truncation without bound= is rejected at parse time.
+        let v = parse_waiver(" adavp-lint: allow(cast-truncation, item=f) — x", 1, known);
+        assert!(
+            matches!(&v, WaiverParse::Invalid(m) if m.contains("bound=")),
+            "{v:?}"
+        );
+        // Unknown argument keys and malformed bounds are rejected.
+        assert!(matches!(
+            parse_waiver(" adavp-lint: allow(panic-surface, scope=f) — x", 1, known),
+            WaiverParse::Invalid(_)
+        ));
+        assert!(matches!(
+            parse_waiver(" adavp-lint: allow(cast-truncation, bound=lots) — x", 1, known),
+            WaiverParse::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn rule_section_without_include_key_is_an_error() {
+        let err = parse_policy("[rule.wallclock]\n[rule.env]\ninclude = []\n", KNOWN).unwrap_err();
+        assert!(err.contains("lint.toml:1"), "{err}");
+        assert!(err.contains("missing its `include` key"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_diagnostic_lists_known_rules() {
+        let err = parse_policy("[rule.bogus]\ninclude = []\n", KNOWN).unwrap_err();
+        assert!(err.contains("known rules are: wallclock, env"), "{err}");
     }
 }

@@ -7,6 +7,33 @@
 //! the same table serves the whole workspace, and the policy file is the
 //! single audited place where scope is granted or waived.
 
+/// Finding severity. `Deny` fails the run (exit 1); `Warn` is reported but
+/// only fails under `--strict`. Both respect waivers and the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Which flow-aware pass implements a [`RuleKind::Pass`] rule (see
+/// [`crate::passes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    PanicSurface,
+    FloatDeterminism,
+    CastTruncation,
+    MetricsVocabulary,
+}
+
 /// How a rule matches.
 #[derive(Debug, Clone, Copy)]
 pub enum RuleKind {
@@ -14,6 +41,8 @@ pub enum RuleKind {
     Forbid(&'static [&'static [&'static str]]),
     /// Files named `src/lib.rs` in scope must contain this token sequence.
     RequireInCrateRoot(&'static [&'static str]),
+    /// Flow-aware pass over tokens + item index (+ string literals).
+    Pass(PassKind),
 }
 
 /// One named rule.
@@ -92,6 +121,26 @@ pub const RULES: &[Rule] = &[
             ")",
             "]",
         ]),
+    },
+    Rule {
+        name: "panic-surface",
+        summary: "hot paths must be panic-free: no unwrap/expect/panic!/index panics (DESIGN.md §18)",
+        kind: RuleKind::Pass(PassKind::PanicSurface),
+    },
+    Rule {
+        name: "float-determinism",
+        summary: "libm-dependent float calls drift across toolchains; deterministic crates forbid them",
+        kind: RuleKind::Pass(PassKind::FloatDeterminism),
+    },
+    Rule {
+        name: "cast-truncation",
+        summary: "narrowing `as` casts in fixed-point kernels need a machine-checked bound= waiver",
+        kind: RuleKind::Pass(PassKind::CastTruncation),
+    },
+    Rule {
+        name: "metrics-vocabulary",
+        summary: "metric name literals must come from metrics::names, never ad-hoc strings",
+        kind: RuleKind::Pass(PassKind::MetricsVocabulary),
     },
 ];
 

@@ -20,6 +20,14 @@ include = ["fix"]
 include = ["fix/pipeline"]
 [rule.forbid-unsafe]
 include = ["fix"]
+[rule.panic-surface]
+include = ["fix/hot"]
+[rule.float-determinism]
+include = ["fix/det"]
+[rule.cast-truncation]
+include = ["fix/kernel"]
+[rule.metrics-vocabulary]
+include = ["fix/metrics"]
 
 [[allow]]
 rule = "wallclock"
@@ -28,7 +36,9 @@ reason = "fixture bench timing"
 "#;
 
 fn policy() -> Policy {
-    parse_policy(POLICY, &rule_names()).expect("fixture policy parses")
+    let mut p = parse_policy(POLICY, &rule_names()).expect("fixture policy parses");
+    p.metric_vocab = vec!["adavp_frames_total".to_string()];
+    p
 }
 
 fn rules_flagged(path: &str, src: &str) -> Vec<String> {
@@ -252,6 +262,168 @@ fn stale_inline_waiver_is_detected() {
     assert!(out.findings.is_empty());
     assert_eq!(out.inline_waivers.len(), 1);
     assert_eq!(out.inline_waivers[0].hits, 0, "stale waiver counted a hit");
+}
+
+// --- Flow-aware passes (DESIGN.md §18) -------------------------------------
+
+#[test]
+fn panic_surface_flags_injected_violations_with_severities() {
+    let src = "fn f(x: Option<u8>, b: &[u8]) -> u8 {\n\
+               let v = x.unwrap();\n\
+               if v > 9 { panic!(\"bad\") }\n\
+               v + b[0]\n\
+               }\n";
+    let out = lint_source("fix/hot/panics.rs", src, &policy());
+    let kinds: Vec<(&str, &str, adavp_lint::Severity)> = out
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.category.as_str(), f.severity))
+        .collect();
+    assert!(kinds.contains(&("panic-surface", "unwrap", adavp_lint::Severity::Deny)));
+    assert!(kinds.contains(&("panic-surface", "panic!", adavp_lint::Severity::Deny)));
+    assert!(kinds.contains(&("panic-surface", "index", adavp_lint::Severity::Warn)));
+    // Every finding is attributed to the enclosing fn and fingerprinted.
+    for f in &out.findings {
+        assert_eq!(f.item, "f", "{f:?}");
+        assert_eq!(f.fingerprint.len(), 16);
+    }
+}
+
+#[test]
+fn float_determinism_flags_transcendentals_not_sqrt() {
+    let src = "fn f(x: f32) -> f32 { x.powf(2.0) + x.sqrt() + f32::exp(x) }\n";
+    let out = lint_source("fix/det/float.rs", src, &policy());
+    // Findings on the same line sort by category.
+    let cats: Vec<&str> = out.findings.iter().map(|f| f.category.as_str()).collect();
+    assert_eq!(cats, ["exp", "powf"], "{:?}", out.findings);
+}
+
+#[test]
+fn cast_truncation_requires_bound_waiver_and_machine_checks_it() {
+    // No waiver: the narrowing cast is a deny finding.
+    let bare = "fn f(x: u32) -> u8 { x as u8 }\n";
+    let out = lint_source("fix/kernel/cast.rs", bare, &policy());
+    assert_eq!(out.findings.len(), 1);
+    assert_eq!(out.findings[0].rule, "cast-truncation");
+
+    // A fitting bound on the enclosing item suppresses it.
+    let good = "// adavp-lint: allow(cast-truncation, item=f, bound=255) — clamped upstream\n\
+                fn f(x: u32) -> u8 { x.min(255) as u8 }\n";
+    let out = lint_source("fix/kernel/good.rs", good, &policy());
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.inline_waivers[0].hits, 1);
+
+    // A bound the target type cannot hold trips the machine check.
+    let bad = "// adavp-lint: allow(cast-truncation, item=f, bound=4080) — wrong bound class\n\
+               fn f(x: u32) -> u8 { x as u8 }\n";
+    let out = lint_source("fix/kernel/bad.rs", bad, &policy());
+    let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert_eq!(rules, ["waiver-bound"], "{:?}", out.findings);
+    assert!(out.findings[0].message.contains("exceeds `u8` max 255"));
+
+    // Per-bound-class waivers: the u16 cast picks the 4080 bound, the u8
+    // store picks the 255 bound.
+    let classes = "// adavp-lint: allow(cast-truncation, item=g, bound=4080) — u16 accumulator\n\
+                   // adavp-lint: allow(cast-truncation, item=g, bound=255) — post-shift store\n\
+                   fn g(a: u32) -> u8 { let acc = a as u16; (acc / 16) as u8 }\n";
+    let out = lint_source("fix/kernel/classes.rs", classes, &policy());
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.inline_waivers.len(), 2);
+    for w in &out.inline_waivers {
+        assert_eq!(w.hits, 1, "waiver at {} unmatched", w.site);
+    }
+}
+
+#[test]
+fn metrics_vocabulary_rejects_ad_hoc_names() {
+    let src = "fn f(reg: &mut Reg) {\n\
+               reg.inc(\"adavp_frames_total\");\n\
+               reg.inc(\"adavp_bogus_counter\");\n\
+               }\n";
+    let out = lint_source("fix/metrics/names_use.rs", src, &policy());
+    assert_eq!(out.findings.len(), 1);
+    assert_eq!(out.findings[0].rule, "metrics-vocabulary");
+    assert_eq!(out.findings[0].category, "adavp_bogus_counter");
+}
+
+#[test]
+fn item_waiver_covers_whole_fn_but_not_siblings() {
+    let src = "// adavp-lint: allow(panic-surface, item=covered) — fixture invariant\n\
+               fn covered(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               fn sibling(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let out = lint_source("fix/hot/items.rs", src, &policy());
+    assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+    assert_eq!(out.findings[0].item, "sibling");
+    assert_eq!(out.inline_waivers[0].hits, 1);
+}
+
+#[test]
+fn item_waiver_on_deleted_fn_is_stale() {
+    let src = "// adavp-lint: allow(panic-surface, item=removed_fn) — fn was deleted\n\
+               fn live() {}\n";
+    let out = lint_source("fix/hot/deleted.rs", src, &policy());
+    assert!(out.findings.is_empty());
+    assert_eq!(out.inline_waivers[0].hits, 0, "stale item waiver counted");
+}
+
+#[test]
+fn workspace_policy_errors_are_pointed() {
+    // Missing rule section / missing include key / unknown rule: the binary
+    // maps these Err returns to exit 2.
+    let dir = std::env::temp_dir().join(format!("adavp-lint-fix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(dir.join("src/lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
+    std::fs::write(dir.join("lint.toml"), "[rule.bogus]\ninclude = []\n").unwrap();
+    let err = adavp_lint::lint_workspace(&dir).unwrap_err();
+    assert!(err.contains("unknown rule `bogus`"), "{err}");
+    assert!(err.contains("known rules are:"), "{err}");
+
+    std::fs::write(dir.join("lint.toml"), "[rule.wallclock]\n").unwrap();
+    let err = adavp_lint::lint_workspace(&dir).unwrap_err();
+    assert!(err.contains("missing its `include` key"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn baseline_absorbs_legacy_debt_but_not_new_debt() {
+    use adavp_lint::{baseline_from, Baseline};
+    let one = "fn f(b: &[u8]) -> u8 { b[0] }\n";
+    let two = "fn f(b: &[u8]) -> u8 { b[0] + b[1] }\n";
+    let p = policy();
+
+    // Build a baseline from the single-finding version of the file.
+    let mut outcome = adavp_lint::Outcome::default();
+    outcome
+        .findings
+        .extend(lint_source("fix/hot/debt.rs", one, &p).findings);
+    let baseline = baseline_from(&outcome);
+    assert_eq!(baseline.entries.len(), 1);
+    let entry = baseline.entries.values().next().unwrap();
+    assert_eq!(entry.count, 1);
+    assert_eq!(entry.rule, "panic-surface");
+
+    // Round-trip through the file format.
+    let baseline = Baseline::parse(&baseline.render()).unwrap();
+
+    // Same debt: fully absorbed. The second version adds one NEW index
+    // expression with the same fingerprint — the excess must survive.
+    let f1 = lint_source("fix/hot/debt.rs", one, &p).findings;
+    let f2 = lint_source("fix/hot/debt.rs", two, &p).findings;
+    assert_eq!(f2.len(), 2);
+    let absorbed: Vec<_> = f1
+        .iter()
+        .filter(|f| !baseline.entries.contains_key(&f.fingerprint))
+        .collect();
+    assert!(absorbed.is_empty(), "legacy debt not absorbed");
+    let excess = f2
+        .iter()
+        .filter(|f| baseline.entries.contains_key(&f.fingerprint))
+        .count();
+    assert_eq!(excess, 2, "count-based fingerprints should collide");
+    // The workspace layer enforces the per-fingerprint count; its math is
+    // covered by the live workspace test and the count semantics here:
+    assert!(baseline.entries.values().all(|e| e.count == 1));
 }
 
 #[test]

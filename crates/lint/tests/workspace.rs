@@ -1,7 +1,9 @@
-//! Live-workspace tests: the committed tree must lint clean with zero
-//! stale waivers, the `--report` audit table must list exactly the waivers
-//! the policy grants, the pass must stay fast, and an injected violation
-//! in a deterministic crate must be caught by the real policy.
+//! Live-workspace tests: the committed tree must lint clean (deny, warn,
+//! and stale entries all zero once the baseline is applied), the `--report`
+//! audit table must list exactly the waivers the policy grants, the `--json`
+//! report must be byte-stable across runs, the pass must stay fast, and
+//! injected violations — including the flow-aware passes — must be caught
+//! by the real policy.
 
 use adavp_lint::{lint_source, lint_workspace, load_policy, Outcome, WaiverSource};
 use std::path::{Path, PathBuf};
@@ -32,7 +34,17 @@ fn live_workspace_is_clean_with_no_stale_waivers() {
         .map(|w| format!("[{}] {}", w.rule, w.site))
         .collect();
     assert!(stale.is_empty(), "stale waivers: {stale:?}");
+    let stale_b: Vec<String> = outcome
+        .stale_baseline
+        .iter()
+        .map(|s| format!("{} {} live {}", s.entry.fingerprint, s.entry.path, s.live))
+        .collect();
+    assert!(stale_b.is_empty(), "stale baseline entries: {stale_b:?}");
     assert!(outcome.fix_check_ok());
+    assert!(
+        outcome.baseline_suppressed > 0,
+        "the committed lint.baseline should absorb the legacy index-expression debt"
+    );
     assert!(
         outcome.files_scanned >= 70,
         "suspiciously few files scanned: {}",
@@ -54,43 +66,38 @@ fn report_lists_exactly_the_audited_waivers() {
         })
         .collect();
     got.sort();
-    let mut expected = vec![
+    use WaiverSource::{Inline, Policy};
+    let grants: &[(&str, &str, WaiverSource, usize)] = &[
+        ("cast-truncation", "crates/vision/src/gradient.rs", Inline, 5),
+        ("cast-truncation", "crates/vision/src/image.rs", Inline, 3),
+        ("cast-truncation", "crates/vision/src/simd.rs", Inline, 7),
+        ("env", "crates/bench/src", Policy, 1),
+        ("env", "crates/vision/src/bin/kernels_bench.rs", Policy, 1),
+        ("env", "src/bin/adavp.rs", Policy, 1),
+        ("float-determinism", "crates/core/src/serve/stream.rs", Inline, 1),
+        ("float-determinism", "crates/detector/src/model.rs", Inline, 1),
         (
-            "env".into(),
-            "crates/bench/src".into(),
-            WaiverSource::Policy,
+            "float-determinism",
+            "crates/vision/src/bin/kernels_bench.rs",
+            Policy,
+            1,
         ),
-        (
-            "env".into(),
-            "crates/vision/src/bin/kernels_bench.rs".into(),
-            WaiverSource::Policy,
-        ),
-        (
-            "env".into(),
-            "src/bin/adavp.rs".into(),
-            WaiverSource::Policy,
-        ),
-        (
-            "wallclock".into(),
-            "crates/bench/src".into(),
-            WaiverSource::Policy,
-        ),
-        (
-            "wallclock".into(),
-            "crates/core/src/rt.rs".into(),
-            WaiverSource::Inline,
-        ),
-        (
-            "wallclock".into(),
-            "crates/vision/src/bin/kernels_bench.rs".into(),
-            WaiverSource::Policy,
-        ),
-        (
-            "wallclock".into(),
-            "crates/vision/src/perf.rs".into(),
-            WaiverSource::Inline,
-        ),
+        ("panic-surface", "crates/core/src/serve/batch.rs", Inline, 1),
+        ("panic-surface", "crates/core/src/serve/fleet.rs", Inline, 1),
+        ("panic-surface", "crates/core/src/serve/stream.rs", Inline, 1),
+        ("panic-surface", "crates/vision/src/image.rs", Inline, 1),
+        ("panic-surface", "crates/vision/src/pyramid.rs", Inline, 1),
+        ("wallclock", "crates/bench/src", Policy, 1),
+        ("wallclock", "crates/core/src/rt.rs", Inline, 1),
+        ("wallclock", "crates/vision/src/bin/kernels_bench.rs", Policy, 1),
+        ("wallclock", "crates/vision/src/perf.rs", Inline, 1),
     ];
+    let mut expected: Vec<(String, String, WaiverSource)> = grants
+        .iter()
+        .flat_map(|(rule, file, source, n)| {
+            std::iter::repeat((rule.to_string(), file.to_string(), *source)).take(*n)
+        })
+        .collect();
     expected.sort();
     assert_eq!(got, expected, "waiver audit drifted from the granted set");
     for w in &outcome.waivers {
@@ -101,7 +108,8 @@ fn report_lists_exactly_the_audited_waivers() {
             w.site
         );
     }
-    // The rendered table carries every site and reason.
+    // The rendered table carries every site and reason, plus the per-rule
+    // count block.
     let report = outcome.waiver_report();
     for w in &outcome.waivers {
         assert!(report.contains(&w.site), "report missing {}", w.site);
@@ -111,6 +119,17 @@ fn report_lists_exactly_the_audited_waivers() {
             w.site
         );
     }
+    assert!(report.contains("per-rule waiver counts:"));
+    assert!(report.contains("cast-truncation"));
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs() {
+    let a = lint_live().json_report();
+    let b = lint_live().json_report();
+    assert_eq!(a, b, "two --json runs over the same tree diverged");
+    assert!(a.starts_with("{\n  \"schema\": \"adavp-lint/1\""));
+    assert!(a.contains("\"baseline_suppressed\""));
 }
 
 #[test]
@@ -157,6 +176,32 @@ fn injected_violations_in_deterministic_crates_are_caught() {
             "forbid-unsafe",
             "crates/metrics/src/lib.rs",
             "pub fn crate_root_without_header() {}",
+        ),
+        // The flow-aware passes, against the real include scopes.
+        (
+            "panic-surface",
+            "crates/core/src/serve/stream.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        ),
+        (
+            "panic-surface",
+            "crates/vision/src/simd.rs",
+            "pub fn f() { panic!(\"kernel bug\") }",
+        ),
+        (
+            "float-determinism",
+            "crates/core/src/pipeline/mpdt.rs",
+            "pub fn f(x: f64) -> f64 { x.exp() }",
+        ),
+        (
+            "cast-truncation",
+            "crates/vision/src/simd.rs",
+            "pub fn f(x: u32) -> u8 { x as u8 }",
+        ),
+        (
+            "metrics-vocabulary",
+            "crates/core/src/metrics/export.rs",
+            "pub fn f(reg: &mut Reg) { reg.inc(\"adavp_not_in_vocab\"); }",
         ),
     ];
     for (rule, path, src) in cases {

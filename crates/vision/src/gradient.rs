@@ -223,6 +223,7 @@ pub fn scharr_gradients_into(img: &GrayImage, field: &mut GradientField, pool: &
 /// The fused single-pass implementation behind [`scharr_gradients_into`]
 /// when the `simd` feature is on.
 #[cfg(feature = "simd")]
+// adavp-lint: allow(cast-truncation, item=scharr_gradients_into_vec, bound=4080) — u8 pixels widen to u16 (taps sum to 16, max 4080); smoothed u16 values widen to i32 for the central difference
 fn scharr_gradients_into_vec(img: &GrayImage, field: &mut GradientField, pool: &mut ScratchPool) {
     let _timer = perf::ScopedTimer::new(|c| &mut c.gradient_ns);
     perf::record(|c| c.gradient_fields += 1);
@@ -306,6 +307,7 @@ fn scharr_gradients_into_vec(img: &GrayImage, field: &mut GradientField, pool: &
 /// and clear-then-resize plane reuse. Retained verbatim as the scalar
 /// baseline for parity tests and the `scharr_scalar_256` bench entry;
 /// produces bit-identical planes.
+// adavp-lint: allow(cast-truncation, item=scharr_gradients_into_scalar, bound=4080) — same fixed-point bounds as the vectorized path: smoothing acc <= 16*255 = 4080, differences in [-4080, 4080]
 pub fn scharr_gradients_into_scalar(
     img: &GrayImage,
     field: &mut GradientField,
@@ -459,6 +461,7 @@ impl GradientFieldI16 {
 /// output bytes of the `f32` kernel. Widening the result with
 /// [`GradientFieldI16::to_f32_into`] reproduces the `f32` kernel's planes
 /// bit for bit.
+// adavp-lint: allow(cast-truncation, item=scharr_gradients_i16_into, bound=4080) — smoothing acc <= 4080 in u16; raw differences in [-4080, 4080] fit i16 exactly
 pub fn scharr_gradients_i16_into(
     img: &GrayImage,
     field: &mut GradientFieldI16,
@@ -568,6 +571,7 @@ pub fn gaussian_blur_into(img: &GrayImage, out: &mut GrayImage, pool: &mut Scrat
 /// # Panics
 ///
 /// Panics if `out` dimensions differ from `img`.
+// adavp-lint: allow(cast-truncation, item=gaussian_blur_into_fixed, bound=255) — widening u8 pixel reads into the u16 tap accumulator (max 16*255 = 4080)
 pub fn gaussian_blur_into_fixed(img: &GrayImage, out: &mut GrayImage, pool: &mut ScratchPool) {
     assert!(
         out.width() == img.width() && out.height() == img.height(),
@@ -633,6 +637,7 @@ pub fn gaussian_blur_into_fixed(img: &GrayImage, out: &mut GrayImage, pool: &mut
 /// # Panics
 ///
 /// Panics if `out` dimensions differ from `img`.
+// adavp-lint: allow(cast-truncation, item=gaussian_blur_into_scalar, bound=255) — u8 pixels widen to u32; acc <= 4080 so acc/16 <= 255 fits both the u16 staging row and the final u8 store
 pub fn gaussian_blur_into_scalar(img: &GrayImage, out: &mut GrayImage, pool: &mut ScratchPool) {
     assert!(
         out.width() == img.width() && out.height() == img.height(),

@@ -43,6 +43,7 @@ impl GrayImage {
     /// # Panics
     ///
     /// Panics if `width * height` overflows `usize`.
+    // adavp-lint: allow(panic-surface, item=new) — documented constructor precondition; overflow here means a corrupt config, not a runtime fault
     pub fn new(width: u32, height: u32) -> Self {
         let len = (width as usize)
             .checked_mul(height as usize)
@@ -160,6 +161,7 @@ impl GrayImage {
     /// Pixel value with coordinates clamped to the image border
     /// (replicate-border addressing, used by convolution kernels).
     #[inline]
+    // adavp-lint: allow(cast-truncation, item=get_clamped, bound=4294967295) — coordinates are clamped to [0, dim-1] and dims are u32, so the i64 value fits by construction
     pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
         let cx = x.clamp(0, self.width as i64 - 1) as u32;
         let cy = y.clamp(0, self.height as i64 - 1) as u32;
@@ -244,6 +246,7 @@ impl GrayImage {
     /// # Panics
     ///
     /// Panics if `out` has the wrong dimensions.
+    // adavp-lint: allow(cast-truncation, item=downsample_into, bound=255) — four u8 pixels widen to u32 (sum <= 1020); sum/4 <= 255 fits the u8 store
     pub fn downsample_into(&self, out: &mut GrayImage) {
         let nw = (self.width / 2).max(1);
         let nh = (self.height / 2).max(1);
@@ -299,6 +302,7 @@ impl GrayImage {
     /// # Panics
     ///
     /// Panics if `out` has the wrong dimensions.
+    // adavp-lint: allow(cast-truncation, item=downsample_into_scalar, bound=255) — four u8 pixels widen to u32 (sum <= 1020); sum/4 <= 255 fits the u8 store
     pub fn downsample_into_scalar(&self, out: &mut GrayImage) {
         let nw = (self.width / 2).max(1);
         let nh = (self.height / 2).max(1);

@@ -88,6 +88,7 @@ impl Pyramid {
         let mut levels = Vec::with_capacity(max_levels as usize);
         levels.push(pool.take_image_copy(base));
         while (levels.len() as u32) < max_levels {
+            // adavp-lint: allow(panic-surface) — levels starts with the base image pushed two lines up
             let last = levels.last().expect("pyramid has at least one level");
             let (w, h) = (last.width(), last.height());
             if w / 2 < Self::MIN_SIDE || h / 2 < Self::MIN_SIDE {

@@ -122,6 +122,7 @@ pub fn contiguous_start(idx: &[i64], limit: usize) -> Option<usize> {
 /// # Panics
 ///
 /// Panics unless `src.len() == dst.len() + 4`.
+// adavp-lint: allow(cast-truncation, item=blur5_h_row, bound=255) — widening u8 pixel reads; the u16 accumulator maxes at 16*255 = 4080
 pub fn blur5_h_row(src: &[u8], dst: &mut [u16]) {
     let n = dst.len();
     assert!(src.len() == n + 4);
@@ -137,6 +138,7 @@ pub fn blur5_h_row(src: &[u8], dst: &mut [u16]) {
 /// # Panics
 ///
 /// Panics unless all five rows have `dst`'s length.
+// adavp-lint: allow(cast-truncation, item=blur5_v_row, bound=255) — acc <= 4080, so acc/16 <= 255 fits the u8 store exactly
 pub fn blur5_v_row(r0: &[u16], r1: &[u16], r2: &[u16], r3: &[u16], r4: &[u16], dst: &mut [u8]) {
     let n = dst.len();
     assert!(
@@ -156,6 +158,7 @@ pub fn blur5_v_row(r0: &[u16], r1: &[u16], r2: &[u16], r3: &[u16], r4: &[u16], d
 /// # Panics
 ///
 /// Panics unless both source rows hold at least `2 * dst.len()` pixels.
+// adavp-lint: allow(cast-truncation, item=box2_row, bound=255) — sum <= 4*255 = 1020 in u16, so sum/4 <= 255 fits the u8 store
 pub fn box2_row(r0: &[u8], r1: &[u8], dst: &mut [u8]) {
     let n = dst.len();
     assert!(r0.len() >= 2 * n && r1.len() >= 2 * n);
@@ -177,6 +180,7 @@ pub fn box2_row(r0: &[u8], r1: &[u8], dst: &mut [u8]) {
 /// # Panics
 ///
 /// Panics unless all rows have `dst`'s length.
+// adavp-lint: allow(cast-truncation, item=smooth313_v_row, bound=255) — widening u8 pixel reads; 3+10+3 taps max at 16*255 = 4080 in u16
 pub fn smooth313_v_row(up: &[u8], mid: &[u8], dn: &[u8], dst: &mut [u16]) {
     let n = dst.len();
     assert!(up.len() == n && mid.len() == n && dn.len() == n);
@@ -191,6 +195,7 @@ pub fn smooth313_v_row(up: &[u8], mid: &[u8], dn: &[u8], dst: &mut [u16]) {
 /// # Panics
 ///
 /// Panics unless `mid.len() == dst.len() + 2`.
+// adavp-lint: allow(cast-truncation, item=smooth313_h_row, bound=255) — widening u8 pixel reads; 3+10+3 taps max at 16*255 = 4080 in u16
 pub fn smooth313_h_row(mid: &[u8], dst: &mut [u16]) {
     let n = dst.len();
     assert!(mid.len() == n + 2);
@@ -207,6 +212,7 @@ pub fn smooth313_h_row(mid: &[u8], dst: &mut [u16]) {
 /// # Panics
 ///
 /// Panics unless `hi`, `lo` and `out` share a length.
+// adavp-lint: allow(cast-truncation, item=diff_norm_row, bound=4080) — smoothed inputs are <= 4080, widened to i32 before the subtraction
 pub fn diff_norm_row(hi: &[u16], lo: &[u16], norm: f32, out: &mut [f32]) {
     let n = out.len();
     assert!(hi.len() == n && lo.len() == n);
@@ -223,6 +229,7 @@ pub fn diff_norm_row(hi: &[u16], lo: &[u16], norm: f32, out: &mut [f32]) {
 /// # Panics
 ///
 /// Panics unless `hi`, `lo` and `out` share a length.
+// adavp-lint: allow(cast-truncation, item=diff_i16_row, bound=4080) — inputs <= 4080 widen to i32; the difference lies in [-4080, 4080] and fits i16
 pub fn diff_i16_row(hi: &[u16], lo: &[u16], out: &mut [i16]) {
     let n = out.len();
     assert!(hi.len() == n && lo.len() == n);

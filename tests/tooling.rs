@@ -310,3 +310,41 @@ fn determinism_lint_passes_on_live_workspace() {
         outcome.files_scanned
     );
 }
+
+/// The flow-aware passes (DESIGN.md §18) as part of the same tier-1 gate:
+/// the committed baseline absorbs only the pre-existing index-expression
+/// debt, every baseline entry still matches a live finding, and `--fix-check`
+/// semantics (no deny findings, no stale waivers, no stale baseline rows)
+/// hold without invoking the CLI.
+#[test]
+fn flow_aware_passes_hold_on_live_workspace() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline = adavp_lint::load_baseline(root).expect("lint.baseline parses");
+    assert!(
+        baseline.as_ref().is_some_and(|b| !b.entries.is_empty()),
+        "lint.baseline should be committed and non-empty"
+    );
+    let outcome = adavp_lint::lint_workspace_with(root, baseline.as_ref())
+        .expect("adavp-lint runs on the workspace");
+    assert!(
+        outcome.fix_check_ok(),
+        "fix-check failed — deny: {}, stale waivers: {}, stale baseline: {}\n{}",
+        outcome.deny_findings().len(),
+        outcome.stale_waivers().len(),
+        outcome.stale_baseline.len(),
+        outcome.violation_report()
+    );
+    assert!(
+        outcome.baseline_suppressed > 0,
+        "baseline no longer suppresses anything — regenerate or delete it"
+    );
+    // The machine-readable report is deterministic: no timestamps, stable
+    // ordering, so two runs serialize identically byte for byte.
+    let again = adavp_lint::lint_workspace_with(root, baseline.as_ref())
+        .expect("second lint run");
+    assert_eq!(
+        outcome.json_report(),
+        again.json_report(),
+        "--json output must be byte-stable across runs"
+    );
+}
